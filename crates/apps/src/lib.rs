@@ -1,0 +1,26 @@
+//! Additional benchmark applications for the RISPP run-time system.
+//!
+//! The paper stresses that its concept "is by no means limited to" the
+//! H.264 encoder; this crate backs that claim with two further
+//! applications whose kernels are, again, really computed:
+//!
+//! * [`crypto`] — an AES-128 packet-encryption gateway ([`aes`] is a
+//!   complete FIPS-197 implementation) with CRC-32 integrity checking;
+//!   its hot spots migrate between key handshakes, bulk encryption and
+//!   integrity scanning, exactly the kind of profile shift the run-time
+//!   system adapts to.
+//! * [`audio`] — a multi-stage audio filterbank (FIR low-pass, biquad
+//!   equalisers, decimation) over synthesised input, whose per-stage SI
+//!   mix depends on the signal content.
+//!
+//! Both expose `*_si_library()` + a workload generator producing
+//! [`rispp_sim::Trace`]s, so every scheduler/baseline of the H.264
+//! benchmarks runs on them unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod audio;
+pub mod crc;
+pub mod crypto;

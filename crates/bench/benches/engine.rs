@@ -1,0 +1,49 @@
+//! Throughput of the cycle-level execution engine per system kind: how
+//! fast the simulator replays the encoder trace (simulated cycles per
+//! wall-clock second is the figure of merit for large sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rispp_bench::experiments::quick_workload;
+use rispp_core::SchedulerKind;
+use rispp_h264::h264_si_library;
+use rispp_sim::{simulate, SimConfig};
+
+fn bench_engine(c: &mut Criterion) {
+    let library = h264_si_library();
+    let workload = quick_workload(4);
+    let trace = workload.trace();
+    let executions = trace.total_si_executions();
+
+    let mut group = c.benchmark_group("simulate_4_frames");
+    group.throughput(Throughput::Elements(executions));
+    group.bench_function("rispp_hef_15ac", |b| {
+        b.iter(|| simulate(&library, trace, &SimConfig::rispp(15, SchedulerKind::Hef)))
+    });
+    group.bench_function("rispp_hef_15ac_detail", |b| {
+        b.iter(|| {
+            simulate(
+                &library,
+                trace,
+                &SimConfig::rispp(15, SchedulerKind::Hef).with_detail(true),
+            )
+        })
+    });
+    group.bench_function("molen_15ac", |b| {
+        b.iter(|| simulate(&library, trace, &SimConfig::molen(15)))
+    });
+    group.bench_function("software_only", |b| {
+        b.iter(|| simulate(&library, trace, &SimConfig::software_only()))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20)
+}
+
+criterion_group! {
+    name = engine;
+    config = config();
+    targets = bench_engine
+}
+criterion_main!(engine);

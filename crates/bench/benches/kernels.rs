@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the H.264 kernels the Special Instructions
+//! accelerate — the software baselines whose cost the SI latency model
+//! abstracts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rispp_h264::kernels::dct::transform_roundtrip;
+use rispp_h264::kernels::deblock::{filter_vertical_edge_bs4, Thresholds};
+use rispp_h264::kernels::mc::compensate_16x16;
+use rispp_h264::kernels::sad::sad_16x16;
+use rispp_h264::kernels::satd::satd_nxn;
+use rispp_h264::{Encoder, EncoderConfig, Plane};
+use std::hint::black_box;
+
+fn textured_plane(w: usize, h: usize) -> Plane {
+    let mut p = Plane::filled(w, h, 0);
+    for y in 0..h {
+        for x in 0..w {
+            let v = 128.0 + 60.0 * ((x as f64) * 0.33).sin() + 40.0 * ((y as f64) * 0.27).cos();
+            p.set_sample(x, y, v.clamp(0.0, 255.0) as u8);
+        }
+    }
+    p
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let cur = textured_plane(64, 64);
+    let reference = textured_plane(64, 64);
+    c.bench_function("sad_16x16", |b| {
+        b.iter(|| sad_16x16(black_box(&cur), black_box(&reference), 16, 16, 3, -2))
+    });
+
+    let a: Vec<u8> = (0..256).map(|i| (i * 13 % 251) as u8).collect();
+    let bb: Vec<u8> = (0..256).map(|i| (i * 7 % 241) as u8).collect();
+    c.bench_function("satd_16x16", |b| {
+        b.iter(|| satd_nxn(black_box(&a), black_box(&bb), 16))
+    });
+
+    let residual: [i32; 16] = core::array::from_fn(|i| (i as i32 * 5 % 23) - 11);
+    c.bench_function("dct_quant_roundtrip_4x4", |b| {
+        b.iter(|| transform_roundtrip(black_box(&residual), 28))
+    });
+
+    let mut out = [0u8; 256];
+    c.bench_function("mc_quarter_pel_16x16", |b| {
+        b.iter(|| {
+            compensate_16x16(black_box(&reference), 16, 16, 5, 7, &mut out);
+            out[0]
+        })
+    });
+
+    c.bench_function("deblock_bs4_vertical_edge", |b| {
+        b.iter_with_setup(
+            || textured_plane(32, 32),
+            |mut plane| filter_vertical_edge_bs4(&mut plane, 16, 0, Thresholds::for_qp(28)),
+        )
+    });
+}
+
+fn bench_encoder(c: &mut Criterion) {
+    c.bench_function("encode_tiny_frame", |b| {
+        b.iter_with_setup(
+            || Encoder::new(EncoderConfig::tiny(1)),
+            |mut enc| enc.encode_next_frame(),
+        )
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(30)
+}
+
+criterion_group! {
+    name = kernels;
+    config = config();
+    targets = bench_kernels, bench_encoder
+}
+criterion_main!(kernels);

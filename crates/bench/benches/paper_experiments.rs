@@ -1,0 +1,102 @@
+//! One Criterion bench per paper table/figure: each group prints the
+//! regenerated series once (on a CI-sized workload) and then measures the
+//! cost of regenerating it. The full-scale series are produced by the
+//! `fig*`/`table*` binaries (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rispp_bench::experiments::{
+    ablation_bandwidth, ablation_forecast, fig2_upgrade_comparison, fig4_schedules, fig5_paths,
+    fig8_detail, quick_workload, scheduler_sweep, table1_inventory, table3_hardware,
+};
+use rispp_bench::report;
+use rispp_h264::SiKind;
+use rispp_sim::Trace;
+
+const BENCH_FRAMES: u32 = 6;
+
+fn bench_fig2(c: &mut Criterion) {
+    let workload = quick_workload(BENCH_FRAMES);
+    let (with, without) = fig2_upgrade_comparison(workload.trace(), 7);
+    println!("{}", report::fig2_series(&with, &without, 16));
+    c.bench_function("fig2_upgrade_comparison", |b| {
+        b.iter(|| fig2_upgrade_comparison(workload.trace(), 7))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let (good, bad) = fig4_schedules();
+    println!("{}", report::fig4_table(&good, &bad));
+    c.bench_function("fig4_schedules", |b| b.iter(fig4_schedules));
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    println!("{}", report::fig5_table(&fig5_paths()));
+    c.bench_function("fig5_paths", |b| b.iter(fig5_paths));
+}
+
+fn bench_fig7_table2(c: &mut Criterion) {
+    let workload = quick_workload(BENCH_FRAMES);
+    let sweep = scheduler_sweep(workload.trace(), [6u16, 12, 18, 24]);
+    println!("{}", report::fig7_table(&sweep));
+    println!("{}", report::table2(&sweep));
+    c.bench_function("fig7_scheduler_sweep_point", |b| {
+        b.iter(|| scheduler_sweep(workload.trace(), [12u16]))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let workload = quick_workload(2);
+    let me_ee = Trace::from_invocations(workload.trace().invocations()[3..=4].to_vec());
+    let stats = fig8_detail(&me_ee, 10);
+    let sis = [
+        (SiKind::Sad.id(), "SAD"),
+        (SiKind::Satd.id(), "SATD"),
+        (SiKind::Mc.id(), "MC"),
+        (SiKind::Dct.id(), "DCT"),
+    ];
+    println!("{}", report::fig8_table(&stats, &sis, 16));
+    c.bench_function("fig8_detail", |b| b.iter(|| fig8_detail(&me_ee, 10)));
+}
+
+fn bench_table1(c: &mut Criterion) {
+    println!("{}", report::table1(&table1_inventory()));
+    c.bench_function("table1_inventory", |b| b.iter(table1_inventory));
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let (paper, estimate, fsm) = table3_hardware();
+    println!("{}", report::table3(&paper, &estimate, &fsm));
+    c.bench_function("table3_hef_fsm", |b| b.iter(table3_hardware));
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let workload = quick_workload(BENCH_FRAMES);
+    let forecast = ablation_forecast(workload.trace(), 15);
+    println!(
+        "{}",
+        report::ablation_table("Ablation: forecast policy (HEF, 15 ACs)", &forecast)
+    );
+    let bw: Vec<(String, u64)> = ablation_bandwidth(workload.trace(), 15)
+        .into_iter()
+        .map(|(mbps, cycles)| (format!("{mbps} MB/s"), cycles))
+        .collect();
+    println!(
+        "{}",
+        report::ablation_table("Ablation: reconfiguration bandwidth (HEF, 15 ACs)", &bw)
+    );
+    c.bench_function("ablation_forecast", |b| {
+        b.iter(|| ablation_forecast(workload.trace(), 15))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = experiments;
+    config = config();
+    targets = bench_fig2, bench_fig4, bench_fig5, bench_fig7_table2, bench_fig8,
+              bench_table1, bench_table3, bench_ablations
+}
+criterion_main!(experiments);

@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the run-time system itself: how long one
+//! scheduling decision takes per strategy, the Molecule selection step,
+//! and the HEF hardware FSM model. The paper's point that the HEF decision
+//! is cheap relative to one 874 µs Atom load must hold for the software
+//! implementation too.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rispp_core::{
+    AtomScheduler, GreedySelector, ScheduleRequest, SchedulerKind, SelectionRequest,
+};
+use rispp_h264::{h264_si_library, SiKind};
+use rispp_hw::HefFsm;
+use rispp_model::Molecule;
+
+fn ee_request(library: &rispp_model::SiLibrary) -> ScheduleRequest<'_> {
+    let demands = vec![
+        (SiKind::Dct.id(), 9_504),
+        (SiKind::Ht2x2.id(), 792),
+        (SiKind::Ht4x4.id(), 80),
+        (SiKind::Mc.id(), 360),
+        (SiKind::IPredHdc.id(), 16),
+        (SiKind::IPredVdc.id(), 20),
+    ];
+    let selection = GreedySelector.select(&SelectionRequest::new(library, demands.clone(), 20));
+    let mut expected = vec![0u64; library.len()];
+    for (si, e) in demands {
+        expected[si.index()] = e;
+    }
+    ScheduleRequest::new(library, selection, Molecule::zero(library.arity()), expected)
+        .expect("valid request")
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let library = h264_si_library();
+    let request = ee_request(&library);
+    let mut group = c.benchmark_group("schedule_ee_hotspot");
+    for kind in SchedulerKind::ALL {
+        let scheduler = kind.create();
+        group.bench_function(kind.abbreviation(), |b| {
+            b.iter(|| scheduler.schedule(&request))
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let library = h264_si_library();
+    let demands = vec![
+        (SiKind::Dct.id(), 9_504),
+        (SiKind::Ht2x2.id(), 792),
+        (SiKind::Mc.id(), 360),
+    ];
+    c.bench_function("greedy_selection_20ac", |b| {
+        b.iter_batched(
+            || SelectionRequest::new(&library, demands.clone(), 20),
+            |req| GreedySelector.select(&req),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_hef_fsm(c: &mut Criterion) {
+    let library = h264_si_library();
+    let request = ee_request(&library);
+    c.bench_function("hef_fsm_model", |b| b.iter(|| HefFsm::new().run(&request)));
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(50)
+}
+
+criterion_group! {
+    name = schedulers;
+    config = config();
+    targets = bench_schedulers, bench_selection, bench_hef_fsm
+}
+criterion_main!(schedulers);

@@ -1,0 +1,29 @@
+//! Ablation studies beyond the paper: forecast policy (including the
+//! perfect-knowledge oracle of Section 4.2) and reconfiguration-bandwidth
+//! sweeps.
+//!
+//! Usage: `ablations [frames]` (default 30).
+
+use rispp_bench::experiments::{ablation_bandwidth, ablation_forecast, quick_workload};
+use rispp_bench::report::ablation_table;
+
+fn main() {
+    let frames: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let workload = quick_workload(frames);
+    let forecast = ablation_forecast(workload.trace(), 15);
+    println!(
+        "{}",
+        ablation_table("Ablation: forecast policy (HEF, 15 ACs)", &forecast)
+    );
+    let bw: Vec<(String, u64)> = ablation_bandwidth(workload.trace(), 15)
+        .into_iter()
+        .map(|(mbps, cycles)| (format!("{mbps} MB/s"), cycles))
+        .collect();
+    println!(
+        "{}",
+        ablation_table("Ablation: reconfiguration bandwidth (HEF, 15 ACs)", &bw)
+    );
+}

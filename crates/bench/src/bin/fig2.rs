@@ -1,0 +1,22 @@
+//! Regenerates Figure 2: ME hot-spot SI executions per 100 K cycles, with
+//! vs. without stepwise SI upgrade, on a cold fabric with 7 ACs.
+//!
+//! Usage: `fig2 [frames]` (default 4; the paper plots roughly one cold ME
+//! run plus its successor).
+
+use rispp_bench::experiments::{fig2_upgrade_comparison, quick_workload};
+use rispp_bench::report::fig2_series;
+
+fn main() {
+    let frames: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let workload = quick_workload(frames);
+    let (with, without) = fig2_upgrade_comparison(workload.trace(), 7);
+    println!(
+        "ME executions: {} (paper: 31,977 for one hot-spot run)",
+        with.total_executions()
+    );
+    println!("{}", fig2_series(&with, &without, 24));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 4: Molecule availability after each Atom load for a
+//! good vs. a bad schedule.
+
+use rispp_bench::experiments::fig4_schedules;
+use rispp_bench::report::fig4_table;
+
+fn main() {
+    let (good, bad) = fig4_schedules();
+    println!("{}", fig4_table(&good, &bad));
+}

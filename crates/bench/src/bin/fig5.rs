@@ -1,0 +1,8 @@
+//! Regenerates Figure 5: the FSFR/ASF/SJF/HEF upgrade paths for two SIs.
+
+use rispp_bench::experiments::fig5_paths;
+use rispp_bench::report::fig5_table;
+
+fn main() {
+    println!("{}", fig5_table(&fig5_paths()));
+}

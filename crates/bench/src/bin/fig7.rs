@@ -1,0 +1,26 @@
+//! Regenerates Figure 7: execution time vs. #Atom Containers per scheduler.
+//!
+//! Usage: `fig7 [frames]` (default 140, the paper's setting).
+
+use rispp_bench::experiments::{quick_workload, scheduler_sweep, AC_SWEEP};
+use rispp_bench::report::fig7_table;
+
+fn main() {
+    let frames: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(140);
+    eprintln!("encoding {frames} CIF frames...");
+    let workload = quick_workload(frames);
+    let s = workload.summary();
+    eprintln!(
+        "workload: {} SI executions, {:.0} ME executions/frame, PSNR {:.1} dB",
+        workload.trace().total_si_executions(),
+        s.me_executions_per_frame,
+        s.mean_psnr_y
+    );
+    eprintln!("sweeping {:?} ACs x 4 schedulers + Molen...", AC_SWEEP);
+    let sweep = scheduler_sweep(workload.trace(), AC_SWEEP);
+    println!("{}", fig7_table(&sweep));
+    println!("{}", rispp_bench::report::table2(&sweep));
+}

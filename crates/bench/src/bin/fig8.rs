@@ -1,0 +1,24 @@
+//! Regenerates Figure 8: detailed HEF behaviour (per-SI latency steps and
+//! execution frequency) for the first two hot spots — Motion Estimation
+//! and Encoding Engine — of one encoded frame at 10 ACs.
+
+use rispp_bench::experiments::{fig8_detail, quick_workload};
+use rispp_bench::report::fig8_table;
+use rispp_h264::SiKind;
+use rispp_sim::Trace;
+
+fn main() {
+    // Frame 0 is the all-intra anchor frame; the paper's figure covers the
+    // ME and EE hot spots of a P frame, so replay frame 1's ME + EE on a
+    // cold fabric.
+    let workload = quick_workload(2);
+    let invocations = workload.trace().invocations()[3..=4].to_vec();
+    let stats = fig8_detail(&Trace::from_invocations(invocations), 10);
+    let sis = [
+        (SiKind::Sad.id(), "SAD"),
+        (SiKind::Satd.id(), "SATD"),
+        (SiKind::Mc.id(), "MC"),
+        (SiKind::Dct.id(), "DCT"),
+    ];
+    println!("{}", fig8_table(&stats, &sis, 24));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 1: the implemented H.264 Special Instructions.
+
+use rispp_bench::experiments::table1_inventory;
+use rispp_bench::report::table1;
+
+fn main() {
+    println!("{}", table1(&table1_inventory()));
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table 2: speedups of HEF vs. ASF, ASF vs. Molen and HEF vs.
+//! Molen across 5–24 Atom Containers.
+//!
+//! Usage: `table2 [frames]` (default 140, the paper's setting).
+
+use rispp_bench::experiments::{quick_workload, scheduler_sweep, AC_SWEEP};
+use rispp_bench::report::table2;
+
+fn main() {
+    let frames: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(140);
+    eprintln!("encoding {frames} CIF frames and sweeping {AC_SWEEP:?} ACs...");
+    let workload = quick_workload(frames);
+    let sweep = scheduler_sweep(workload.trace(), AC_SWEEP);
+    println!("{}", table2(&sweep));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 3: hardware implementation results of the HEF
+//! scheduler (paper synthesis numbers, parametric model, FSM timing).
+
+use rispp_bench::experiments::table3_hardware;
+use rispp_bench::report::table3;
+
+fn main() {
+    let (paper, estimate, fsm) = table3_hardware();
+    println!("{}", table3(&paper, &estimate, &fsm));
+}

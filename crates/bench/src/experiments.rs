@@ -1,0 +1,344 @@
+//! Structured experiment runners, one per paper table/figure.
+
+use rispp_core::SchedulerKind;
+use rispp_h264::{EncoderConfig, EncoderWorkload, HotSpot};
+use rispp_sim::{simulate, RunStats, SimConfig, SystemKind, Trace};
+
+/// The AC sweep of Figure 7 / Table 2.
+pub const AC_SWEEP: std::ops::RangeInclusive<u16> = 5..=24;
+
+/// One row of the Figure 7 sweep: execution time per scheduler at a given
+/// Atom Container count.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Atom Containers.
+    pub containers: u16,
+    /// Total cycles per scheduler, in [`SchedulerKind::ALL`] order
+    /// (ASF, FSFR, SJF, HEF).
+    pub cycles: [u64; 4],
+    /// Total cycles of the Molen-like baseline.
+    pub molen_cycles: u64,
+}
+
+/// Results of the full Figure 7 / Table 2 sweep.
+#[derive(Debug, Clone)]
+pub struct SchedulerSweep {
+    /// Pure-software execution time (the paper's 7,403 M cycles point).
+    pub software_cycles: u64,
+    /// One entry per AC count in ascending order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SchedulerSweep {
+    /// Cycles of `kind` at `containers`.
+    #[must_use]
+    pub fn cycles(&self, containers: u16, kind: SchedulerKind) -> Option<u64> {
+        let idx = SchedulerKind::ALL.iter().position(|&k| k == kind)?;
+        self.points
+            .iter()
+            .find(|p| p.containers == containers)
+            .map(|p| p.cycles[idx])
+    }
+
+    /// Speedup of HEF over Molen at each point (paper Table 2 bottom row).
+    #[must_use]
+    pub fn hef_vs_molen(&self) -> Vec<(u16, f64)> {
+        let hef = SchedulerKind::ALL
+            .iter()
+            .position(|&k| k == SchedulerKind::Hef)
+            .expect("HEF is in ALL");
+        self.points
+            .iter()
+            .map(|p| (p.containers, p.molen_cycles as f64 / p.cycles[hef] as f64))
+            .collect()
+    }
+}
+
+/// Generates the paper's 140-frame CIF workload (expensive; cache it).
+#[must_use]
+pub fn paper_workload() -> EncoderWorkload {
+    EncoderWorkload::paper_cif()
+}
+
+/// A reduced workload for quick experiments and CI.
+#[must_use]
+pub fn quick_workload(frames: u32) -> EncoderWorkload {
+    let mut config = EncoderConfig::paper_cif();
+    config.frames = frames;
+    EncoderWorkload::generate(&config)
+}
+
+/// Runs the Figure 7 / Table 2 sweep over `containers` for the given trace.
+#[must_use]
+pub fn scheduler_sweep<I: IntoIterator<Item = u16>>(trace: &Trace, containers: I) -> SchedulerSweep {
+    let library = rispp_h264::h264_si_library();
+    let software_cycles = simulate(&library, trace, &SimConfig::software_only()).total_cycles;
+    let points = containers
+        .into_iter()
+        .map(|acs| {
+            let mut cycles = [0u64; 4];
+            for (i, &kind) in SchedulerKind::ALL.iter().enumerate() {
+                cycles[i] = simulate(&library, trace, &SimConfig::rispp(acs, kind)).total_cycles;
+            }
+            let molen_cycles = simulate(&library, trace, &SimConfig::molen(acs)).total_cycles;
+            SweepPoint {
+                containers: acs,
+                cycles,
+                molen_cycles,
+            }
+        })
+        .collect();
+    SchedulerSweep {
+        software_cycles,
+        points,
+    }
+}
+
+/// Figure 2: the ME hot spot with (HEF) and without (Molen-like) stepwise
+/// SI upgrades, on a cold fabric. Returns `(with_upgrade, without)`.
+#[must_use]
+pub fn fig2_upgrade_comparison(trace: &Trace, containers: u16) -> (RunStats, RunStats) {
+    let library = rispp_h264::h264_si_library();
+    let me_only = trace.filtered(HotSpot::MotionEstimation.id());
+    let with = simulate(
+        &library,
+        &me_only,
+        &SimConfig::rispp(containers, SchedulerKind::Hef).with_detail(true),
+    );
+    let without = simulate(
+        &library,
+        &me_only,
+        &SimConfig {
+            system: SystemKind::Molen,
+            ..SimConfig::molen(containers)
+        }
+        .with_detail(true),
+    );
+    (with, without)
+}
+
+/// Figure 8: detailed HEF run (latency timelines + execution buckets).
+#[must_use]
+pub fn fig8_detail(trace: &Trace, containers: u16) -> RunStats {
+    let library = rispp_h264::h264_si_library();
+    simulate(
+        &library,
+        trace,
+        &SimConfig::rispp(containers, SchedulerKind::Hef).with_detail(true),
+    )
+}
+
+/// One row of the Figure 4 example: after loading `atoms_loaded` Atoms,
+/// the fastest available Molecule (by latency) of the example SI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig4Row {
+    /// Number of Atoms loaded so far.
+    pub atoms_loaded: u32,
+    /// Latency of the fastest available Molecule, or `None` (software).
+    pub fastest_latency: Option<u32>,
+    /// Name tag of that Molecule (`"m1"`, `"m2"`, `"m3"`).
+    pub molecule: Option<&'static str>,
+}
+
+/// Figure 4: the schedule-quality example. One SI with Molecules
+/// `m1 = (2,1)`, `m2 = (2,2)`, `m3 = (4,2)` (and the wrong-mix
+/// `m4 = (1,3)`); `m3` is selected. Returns the availability table for a
+/// good (HEF) schedule and a deliberately bad one, exactly mirroring the
+/// paper's table.
+#[must_use]
+pub fn fig4_schedules() -> (Vec<Fig4Row>, Vec<Fig4Row>) {
+    use rispp_core::{AtomScheduler, HefScheduler, ScheduleRequest, SelectedMolecule};
+    use rispp_model::{AtomTypeInfo, AtomUniverse, Molecule, SiId, SiLibraryBuilder};
+
+    let universe = AtomUniverse::from_types([AtomTypeInfo::new("A1"), AtomTypeInfo::new("A2")])
+        .expect("unique names");
+    let mut b = SiLibraryBuilder::new(universe);
+    b.special_instruction("FIG4", 1_000)
+        .expect("unique name")
+        .molecule(Molecule::from_counts([2, 1]), 60)
+        .expect("valid")
+        .molecule(Molecule::from_counts([2, 2]), 40)
+        .expect("valid")
+        .molecule(Molecule::from_counts([4, 2]), 20)
+        .expect("valid")
+        .molecule(Molecule::from_counts([1, 3]), 55)
+        .expect("valid");
+    let library = b.build().expect("valid library");
+    let si = library.by_name("FIG4").expect("just built");
+    let m3 = si
+        .variants()
+        .iter()
+        .position(|v| v.atoms == Molecule::from_counts([4, 2]))
+        .expect("m3 exists");
+    let request = ScheduleRequest::new(
+        &library,
+        vec![SelectedMolecule::new(SiId(0), m3)],
+        Molecule::zero(2),
+        vec![1_000],
+    )
+    .expect("valid request");
+
+    let name_of = |lat: u32| -> &'static str {
+        match lat {
+            60 => "m1",
+            40 => "m2",
+            20 => "m3",
+            55 => "m4",
+            _ => "?",
+        }
+    };
+    let availability = |order: &[usize]| -> Vec<Fig4Row> {
+        let mut avail = Molecule::zero(2);
+        let mut rows = Vec::new();
+        for (i, &unit) in order.iter().enumerate() {
+            avail = avail.saturating_add(&Molecule::unit(2, unit));
+            let fastest = si.fastest_available(&avail);
+            rows.push(Fig4Row {
+                atoms_loaded: (i + 1) as u32,
+                fastest_latency: fastest.map(|v| v.latency),
+                molecule: fastest.map(|v| name_of(v.latency)),
+            });
+        }
+        rows
+    };
+
+    let good_schedule = HefScheduler.schedule(&request);
+    let good_order: Vec<usize> = good_schedule.atoms().map(|a| a.index()).collect();
+    // The bad schedule of Figure 4: all A1 atoms first, then all A2.
+    let bad_order = vec![0, 0, 0, 0, 1, 1];
+    (availability(&good_order), availability(&bad_order))
+}
+
+/// Figure 5: upgrade paths (`(SI, variant)` milestones) of the four
+/// schedulers for two SIs with three Molecules each.
+#[must_use]
+pub fn fig5_paths() -> Vec<(SchedulerKind, Vec<(u16, usize)>)> {
+    use rispp_core::{ScheduleRequest, SelectedMolecule};
+    use rispp_model::{AtomTypeInfo, AtomUniverse, Molecule, SiId, SiLibraryBuilder};
+
+    let universe = AtomUniverse::from_types([AtomTypeInfo::new("A1"), AtomTypeInfo::new("A2")])
+        .expect("unique names");
+    let mut b = SiLibraryBuilder::new(universe);
+    b.special_instruction("SI1", 1_000)
+        .expect("unique name")
+        .molecule(Molecule::from_counts([1, 1]), 120)
+        .expect("valid")
+        .molecule(Molecule::from_counts([2, 1]), 70)
+        .expect("valid")
+        .molecule(Molecule::from_counts([3, 2]), 30)
+        .expect("valid");
+    b.special_instruction("SI2", 800)
+        .expect("unique name")
+        .molecule(Molecule::from_counts([0, 1]), 200)
+        .expect("valid")
+        .molecule(Molecule::from_counts([1, 2]), 90)
+        .expect("valid")
+        .molecule(Molecule::from_counts([2, 3]), 45)
+        .expect("valid");
+    let library = b.build().expect("valid library");
+    let request = ScheduleRequest::new(
+        &library,
+        vec![
+            SelectedMolecule::new(SiId(0), 2),
+            SelectedMolecule::new(SiId(1), 2),
+        ],
+        Molecule::zero(2),
+        vec![900, 400],
+    )
+    .expect("valid request");
+
+    SchedulerKind::ALL
+        .iter()
+        .map(|&kind| {
+            let schedule = kind.create().schedule(&request);
+            let path = schedule
+                .upgrades()
+                .into_iter()
+                .map(|(si, v)| (si.0, v))
+                .collect();
+            (kind, path)
+        })
+        .collect()
+}
+
+/// One row of Table 1: SI name, atom types used, Molecule count.
+#[must_use]
+pub fn table1_inventory() -> Vec<(String, usize, usize)> {
+    rispp_h264::h264_si_library()
+        .iter()
+        .map(|si| (si.name().to_string(), si.atom_type_count(), si.molecule_count()))
+        .collect()
+}
+
+/// Table 3: paper synthesis results next to the parametric estimate, plus
+/// the FSM's scheduling latency on a full H.264 EE request.
+#[must_use]
+pub fn table3_hardware() -> (rispp_hw::AreaReport, rispp_hw::AreaReport, rispp_hw::FsmRun) {
+    use rispp_core::{GreedySelector, ScheduleRequest, SelectionRequest};
+    use rispp_h264::SiKind;
+    use rispp_model::Molecule;
+
+    let library = rispp_h264::h264_si_library();
+    let demands = vec![
+        (SiKind::Dct.id(), 9_504),
+        (SiKind::Ht2x2.id(), 792),
+        (SiKind::Ht4x4.id(), 80),
+        (SiKind::Mc.id(), 360),
+        (SiKind::IPredHdc.id(), 16),
+        (SiKind::IPredVdc.id(), 20),
+    ];
+    let selection = GreedySelector.select(&SelectionRequest::new(&library, demands.clone(), 20));
+    let mut expected = vec![0u64; library.len()];
+    for (si, e) in demands {
+        expected[si.index()] = e;
+    }
+    let request = ScheduleRequest::new(&library, selection, Molecule::zero(library.arity()), expected)
+        .expect("valid request");
+    let run = rispp_hw::HefFsm::new().run(&request);
+    (
+        rispp_hw::AreaReport::paper_hef(),
+        rispp_hw::area_estimate(&rispp_hw::AreaParameters::default()),
+        run,
+    )
+}
+
+/// Ablation: forecast policies (and the oracle bound) on the HEF system.
+/// Returns `(label, total cycles)` per policy.
+#[must_use]
+pub fn ablation_forecast(trace: &Trace, containers: u16) -> Vec<(String, u64)> {
+    use rispp_monitor::ForecastPolicy;
+    let library = rispp_h264::h264_si_library();
+    let base = SimConfig::rispp(containers, SchedulerKind::Hef);
+    let mut out = Vec::new();
+    for (label, policy) in [
+        ("last-value", ForecastPolicy::LastValue),
+        ("ewma w=2", ForecastPolicy::ewma(2)),
+        ("ewma w=4", ForecastPolicy::ewma(4)),
+        ("cumulative avg", ForecastPolicy::CumulativeAverage),
+    ] {
+        let stats = simulate(&library, trace, &base.with_forecast(policy));
+        out.push((label.to_string(), stats.total_cycles));
+    }
+    let oracle = simulate(&library, trace, &base.with_oracle(true));
+    out.push(("oracle".to_string(), oracle.total_cycles));
+    out
+}
+
+/// Ablation: reconfiguration-port bandwidth sweep (ICAP generations).
+/// Returns `(bandwidth MB/s, HEF cycles, Molen-unchanged reference)`.
+#[must_use]
+pub fn ablation_bandwidth(trace: &Trace, containers: u16) -> Vec<(u64, u64)> {
+    let library = rispp_h264::h264_si_library();
+    [33u64, 66, 132, 264, 800]
+        .iter()
+        .map(|&mbps| {
+            let stats = simulate(
+                &library,
+                trace,
+                &SimConfig::rispp(containers, SchedulerKind::Hef)
+                    .with_port_bandwidth(mbps * 1_000_000),
+            );
+            (mbps, stats.total_cycles)
+        })
+        .collect()
+}

@@ -1,0 +1,13 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Each experiment of the evaluation section has one function in
+//! [`experiments`] returning structured results, a printing helper in
+//! [`report`], a standalone binary (`cargo run --release -p rispp-bench
+//! --bin fig7` etc.) and a Criterion bench. The per-experiment index lives
+//! in the repository's `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,276 @@
+//! Subcommand implementations.
+
+use std::process::ExitCode;
+
+use rispp_core::{GreedySelector, ScheduleRequest, SchedulerKind, SelectionRequest};
+use rispp_h264::{h264_si_library, EncoderConfig, EncoderWorkload, SiKind};
+use rispp_model::Molecule;
+use rispp_sim::{simulate as run_simulation, SimConfig, SystemKind};
+
+use crate::args::Options;
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::FAILURE
+}
+
+fn scheduler_kind(name: &str) -> Option<SchedulerKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "hef" => Some(SchedulerKind::Hef),
+        "asf" => Some(SchedulerKind::Asf),
+        "fsfr" => Some(SchedulerKind::Fsfr),
+        "sjf" => Some(SchedulerKind::Sjf),
+        _ => None,
+    }
+}
+
+fn system_kind(name: &str) -> Option<SystemKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "molen" => Some(SystemKind::Molen),
+        "onechip" => Some(SystemKind::OneChip),
+        "software" => Some(SystemKind::SoftwareOnly),
+        other => scheduler_kind(other).map(SystemKind::Rispp),
+    }
+}
+
+/// `rispp-cli inventory [--molecules]`.
+pub fn inventory(args: &[String]) -> ExitCode {
+    let options = match Options::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let library = h264_si_library();
+    println!("H.264 SI library ({} SIs over {} atom types):", library.len(), library.arity());
+    for si in library.iter() {
+        println!(
+            "  {:<12} sw {:>6} cycles, {:>2} molecules over {} atom types",
+            si.name(),
+            si.software_latency(),
+            si.molecule_count(),
+            si.atom_type_count()
+        );
+        if options.flag("molecules") {
+            for (i, v) in si.variants().iter().enumerate() {
+                println!(
+                    "      m{:<2} {} -> {:>5} cycles ({} atoms)",
+                    i,
+                    v.atoms,
+                    v.latency,
+                    v.atoms.total_atoms()
+                );
+            }
+        }
+    }
+    println!("\natom types:");
+    for (id, info) in library.universe().iter() {
+        println!(
+            "  {id} {:<14} bitstream {:>6} B, {:>4} slices",
+            info.name, info.bitstream_bytes, info.slices
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rispp-cli schedule [--acs N] [--scheduler KIND]`.
+pub fn schedule(args: &[String]) -> ExitCode {
+    let options = match Options::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let acs: u16 = match options.number("acs", 16) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let kinds: Vec<SchedulerKind> = match options.value("scheduler") {
+        None => SchedulerKind::ALL.to_vec(),
+        Some(name) => match scheduler_kind(name) {
+            Some(k) => vec![k],
+            None => return fail(&format!("unknown scheduler `{name}`")),
+        },
+    };
+
+    let library = h264_si_library();
+    let demands = vec![
+        (SiKind::Dct.id(), 9_504),
+        (SiKind::Ht2x2.id(), 792),
+        (SiKind::Ht4x4.id(), 80),
+        (SiKind::Mc.id(), 360),
+        (SiKind::IPredHdc.id(), 16),
+        (SiKind::IPredVdc.id(), 20),
+    ];
+    let selection = GreedySelector.select(&SelectionRequest::new(&library, demands.clone(), acs));
+    println!("Encoding-Engine hot spot, {acs} ACs, cold fabric. Selection:");
+    for s in &selection {
+        let si = library.si(s.si).expect("selected");
+        let v = &si.variants()[s.variant_index];
+        println!(
+            "  {:<12} m{} {} @ {} cycles (sw {})",
+            si.name(),
+            s.variant_index,
+            v.atoms,
+            v.latency,
+            si.software_latency()
+        );
+    }
+    let mut expected = vec![0u64; library.len()];
+    for (si, e) in demands {
+        expected[si.index()] = e;
+    }
+    let request = match ScheduleRequest::new(
+        &library,
+        selection,
+        Molecule::zero(library.arity()),
+        expected,
+    ) {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
+    };
+    for kind in kinds {
+        let schedule = kind.create().schedule(&request);
+        println!("\n{kind} schedule ({} atom loads):", schedule.len());
+        for (i, step) in schedule.steps().iter().enumerate() {
+            let name = library
+                .universe()
+                .info(step.atom)
+                .map(|t| t.name.as_str())
+                .unwrap_or("?");
+            match step.completes {
+                Some((si, v)) => {
+                    let si_name = library.si(si).map(|s| s.name()).unwrap_or("?");
+                    println!("  {:>2}. {name:<14} completes {si_name} m{v}", i + 1);
+                }
+                None => println!("  {:>2}. {name}", i + 1),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rispp-cli simulate [--frames N] [--acs N] [--system KIND] [--oracle]
+/// [--bandwidth MBPS] [--csv]`.
+pub fn simulate(args: &[String]) -> ExitCode {
+    let options = match Options::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let frames: u32 = match options.number("frames", 20) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let acs: u16 = match options.number("acs", 15) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let system = match options.value("system") {
+        None => SystemKind::Rispp(SchedulerKind::Hef),
+        Some(name) => match system_kind(name) {
+            Some(s) => s,
+            None => return fail(&format!("unknown system `{name}`")),
+        },
+    };
+    let mut config = SimConfig {
+        containers: acs,
+        system,
+        ..SimConfig::rispp(acs, SchedulerKind::Hef)
+    };
+    if options.flag("oracle") {
+        config = config.with_oracle(true);
+    }
+    match options.number::<u64>("bandwidth", 0) {
+        Ok(0) => {}
+        Ok(mbps) => config = config.with_port_bandwidth(mbps * 1_000_000),
+        Err(e) => return fail(&e),
+    }
+
+    eprintln!("encoding {frames} CIF frames...");
+    let mut encoder_config = EncoderConfig::paper_cif();
+    encoder_config.frames = frames;
+    let workload = EncoderWorkload::generate(&encoder_config);
+    let library = h264_si_library();
+    let stats = run_simulation(&library, workload.trace(), &config);
+
+    if options.flag("csv") {
+        println!("{}", rispp_sim::export::summary_csv_header());
+        println!("{}", rispp_sim::export::summary_csv_row(&stats));
+    } else {
+        println!("system:            {}", stats.system);
+        println!("total cycles:      {} ({:.1} M)", stats.total_cycles, stats.total_cycles as f64 / 1e6);
+        println!("SI executions:     {}", stats.total_executions());
+        println!("hardware fraction: {:.1}%", stats.hardware_fraction() * 100.0);
+        println!("reconfigurations:  {}", stats.reconfigurations);
+        println!(
+            "port busy:         {:.1}% of execution time",
+            stats.reconfiguration_cycles as f64 * 100.0 / stats.total_cycles.max(1) as f64
+        );
+        println!(
+            "workload quality:  {:.1} dB PSNR, {:.0} kbit/frame",
+            workload.summary().mean_psnr_y,
+            workload.summary().mean_kbits_per_frame
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rispp-cli sweep [--frames N] [--from N] [--to N]`.
+pub fn sweep(args: &[String]) -> ExitCode {
+    let options = match Options::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let frames: u32 = match options.number("frames", 20) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let from: u16 = match options.number("from", 5) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let to: u16 = match options.number("to", 24) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    if from > to {
+        return fail("--from must not exceed --to");
+    }
+    eprintln!("encoding {frames} CIF frames and sweeping {from}..={to} ACs...");
+    let mut encoder_config = EncoderConfig::paper_cif();
+    encoder_config.frames = frames;
+    let workload = EncoderWorkload::generate(&encoder_config);
+    let library = h264_si_library();
+
+    println!("  #ACs       ASF      FSFR       SJF       HEF     Molen");
+    for acs in from..=to {
+        print!("  {acs:>4}");
+        for kind in SchedulerKind::ALL {
+            let stats = run_simulation(&library, workload.trace(), &SimConfig::rispp(acs, kind));
+            print!("{:>10.1}", stats.total_cycles as f64 / 1e6);
+        }
+        let molen = run_simulation(&library, workload.trace(), &SimConfig::molen(acs));
+        println!("{:>10.1}", molen.total_cycles as f64 / 1e6);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rispp-cli hw`.
+pub fn hw(args: &[String]) -> ExitCode {
+    if let Err(e) = Options::parse(args) {
+        return fail(&e);
+    }
+    let paper = rispp_hw::AreaReport::paper_hef();
+    let estimate = rispp_hw::area_estimate(&rispp_hw::AreaParameters::default());
+    let atom = rispp_hw::AreaReport::paper_average_atom();
+    println!("HEF scheduler hardware (paper Table 3 vs parametric model):");
+    println!("  characteristic      paper HEF   model HEF   avg atom");
+    println!("  # slices            {:>9}   {:>9}   {:>8}", paper.slices, estimate.slices, atom.slices);
+    println!("  # LUTs              {:>9}   {:>9}   {:>8}", paper.luts, estimate.luts, atom.luts);
+    println!("  # FFs               {:>9}   {:>9}   {:>8}", paper.ffs, estimate.ffs, atom.ffs);
+    println!("  # MULT18X18         {:>9}   {:>9}   {:>8}", paper.mult18x18, estimate.mult18x18, atom.mult18x18);
+    println!("  gate equivalents    {:>9}   {:>9}   {:>8}", paper.gate_equivalents, estimate.gate_equivalents, atom.gate_equivalents);
+    println!("  clock delay [ns]    {:>9.3}   {:>9.3}   {:>8.3}", paper.clock_delay_ns, estimate.clock_delay_ns, atom.clock_delay_ns);
+    println!(
+        "  utilisation {:.2}% of the xc2v3000; fits one Atom Container: {}",
+        paper.device_utilisation_percent(),
+        paper.fits_one_atom_container()
+    );
+    ExitCode::SUCCESS
+}

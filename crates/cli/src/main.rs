@@ -1,0 +1,60 @@
+//! `rispp-cli` — command-line interface to the RISPP run-time system.
+//!
+//! Subcommands: `inventory`, `schedule`, `simulate`, `sweep`, `hw`.
+//! Run `rispp-cli help` for details.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("inventory") => commands::inventory(&argv[1..]),
+        Some("schedule") => commands::schedule(&argv[1..]),
+        Some("simulate") => commands::simulate(&argv[1..]),
+        Some("sweep") => commands::sweep(&argv[1..]),
+        Some("hw") => commands::hw(&argv[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", HELP);
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n");
+            eprint!("{}", HELP);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+rispp-cli — run-time system for an extensible embedded processor (DATE'08)
+
+USAGE:
+    rispp-cli <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+    inventory [--molecules]
+        Print the H.264 SI library (paper Table 1); with --molecules also
+        every Molecule's atom vector and latency.
+
+    schedule [--acs N] [--scheduler KIND]
+        Compute and print the Atom loading sequence for a representative
+        Encoding-Engine hot spot on a cold fabric.
+
+    simulate [--frames N] [--acs N] [--system KIND] [--oracle]
+             [--bandwidth MBPS] [--csv]
+        Encode synthetic CIF video and replay the workload on one system.
+        KIND: hef | asf | fsfr | sjf | molen | onechip | software.
+
+    sweep [--frames N] [--from N] [--to N]
+        The Figure 7 sweep: all four schedulers plus Molen across an
+        Atom Container range (default 5..=24).
+
+    hw
+        The HEF scheduler hardware report (paper Table 3) and FSM timing.
+
+    help
+        Show this message.
+";

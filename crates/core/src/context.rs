@@ -1,0 +1,352 @@
+use rispp_model::{AtomTypeId, Molecule, SiId};
+
+use crate::types::{ScheduleRequest, ScheduleStep, SelectedMolecule};
+
+/// One Molecule-upgrade candidate from the set `M′` of eq. (3): a Molecule
+/// of a selected SI that is dominated by `sup(M)` and therefore a possible
+/// intermediate step on the schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// The SI this Molecule implements.
+    pub si: SiId,
+    /// Index into the SI's variant list.
+    pub variant_index: usize,
+    /// The candidate's atom requirements.
+    pub atoms: Molecule,
+    /// Single-execution latency of the SI on this Molecule.
+    pub latency: u32,
+}
+
+/// Shared state of the Molecule-upgrade scheduling loop used by all four
+/// schedulers: the candidate set `M′` (eq. 3), the cleaning rule (eq. 4),
+/// and the commit step that appends the residual Atoms of a chosen
+/// candidate to the schedule.
+#[derive(Debug)]
+pub struct UpgradeContext<'a, 'lib> {
+    request: &'a ScheduleRequest<'lib>,
+    /// `a⃗`: available ∪ already-scheduled atoms.
+    scheduled: Molecule,
+    /// Best (lowest) latency per SI id, initialised from the initially
+    /// available atoms (software latency when no Molecule is available).
+    best_latency: Vec<u32>,
+    candidates: Vec<Candidate>,
+    steps: Vec<ScheduleStep>,
+}
+
+impl<'a, 'lib> UpgradeContext<'a, 'lib> {
+    /// Builds the context: enumerates `M′` per eq. (3) and initialises the
+    /// `bestLatency` array from the currently available atoms (Figure 6,
+    /// lines 1–9).
+    #[must_use]
+    pub fn new(request: &'a ScheduleRequest<'lib>) -> Self {
+        let library = request.library();
+        let sup = request.supremum();
+        let available = request.available();
+
+        let mut best_latency = vec![0u32; library.len()];
+        for si in library.iter() {
+            best_latency[si.id().index()] = si.best_latency(available);
+        }
+
+        let mut candidates = Vec::new();
+        for sel in request.selected() {
+            let si = library.si(sel.si).expect("validated request");
+            for (variant_index, v) in si.variants().iter().enumerate() {
+                // eq. (3): o ≤ sup(M) and o implements a selected SI.
+                if v.atoms <= sup {
+                    candidates.push(Candidate {
+                        si: sel.si,
+                        variant_index,
+                        atoms: v.atoms.clone(),
+                        latency: v.latency,
+                    });
+                }
+            }
+        }
+        candidates.sort_by_key(|c| (c.si, c.variant_index));
+
+        UpgradeContext {
+            request,
+            scheduled: available.clone(),
+            best_latency,
+            candidates,
+            steps: Vec::new(),
+        }
+    }
+
+    /// The request being scheduled.
+    #[must_use]
+    pub fn request(&self) -> &ScheduleRequest<'lib> {
+        self.request
+    }
+
+    /// `a⃗`: atoms available or already scheduled.
+    #[must_use]
+    pub fn scheduled_atoms(&self) -> &Molecule {
+        &self.scheduled
+    }
+
+    /// Current best latency of `si` considering scheduled upgrades.
+    #[must_use]
+    pub fn best_latency(&self, si: SiId) -> u32 {
+        self.best_latency[si.index()]
+    }
+
+    /// Applies the cleaning rule of eq. (4): drops candidates that are
+    /// already available/scheduled (`m ≤ a⃗`) or that do not improve on the
+    /// SI's current best latency. Returns the remaining candidates.
+    pub fn clean(&mut self) -> &[Candidate] {
+        let scheduled = self.scheduled.clone();
+        let best = &self.best_latency;
+        self.candidates
+            .retain(|c| !(c.atoms <= scheduled) && c.latency < best[c.si.index()]);
+        &self.candidates
+    }
+
+    /// The candidate list without cleaning (test/diagnostic use).
+    #[must_use]
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// Additional atoms the candidate at `index` needs: `|a⃗ ⊖ o|`.
+    #[must_use]
+    pub fn additional_atoms(&self, candidate: &Candidate) -> u32 {
+        self.scheduled.residual(&candidate.atoms).total_atoms()
+    }
+
+    /// Commits the candidate at position `index` of the current candidate
+    /// list: appends its residual atoms to the schedule (the last one
+    /// annotated with the completed upgrade), updates `a⃗` and
+    /// `bestLatency`, and removes the candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn commit(&mut self, index: usize) {
+        let candidate = self.candidates.remove(index);
+        self.commit_molecule(candidate.si, candidate.variant_index, &candidate.atoms, candidate.latency);
+    }
+
+    fn commit_molecule(&mut self, si: SiId, variant_index: usize, atoms: &Molecule, latency: u32) {
+        let residual = self.scheduled.residual(atoms);
+        let units = residual.to_unit_indices();
+        let arity = self.scheduled.arity();
+        for (i, unit) in units.iter().enumerate() {
+            self.steps.push(ScheduleStep {
+                atom: AtomTypeId(*unit as u16),
+                completes: (i + 1 == units.len()).then_some((si, variant_index)),
+            });
+        }
+        if units.is_empty() {
+            // Molecule already covered; it still becomes the SI's best if
+            // faster (can happen when a larger molecule of another SI
+            // supplied the atoms).
+        }
+        let _ = arity;
+        self.scheduled = self.scheduled.union(atoms);
+        let best = &mut self.best_latency[si.index()];
+        *best = (*best).min(latency);
+    }
+
+    /// Commits a Molecule that is not (or no longer) in the candidate list,
+    /// e.g. a selected Molecule whose remaining candidates were all cleaned
+    /// away. Stale candidates it subsumes are removed by the next `clean`.
+    pub fn commit_external(
+        &mut self,
+        si: SiId,
+        variant_index: usize,
+        atoms: &Molecule,
+        latency: u32,
+    ) {
+        self.commit_molecule(si, variant_index, atoms, latency);
+    }
+
+    /// Guarantees condition (2): commits every still-missing *selected*
+    /// Molecule (cheapest residual first) so that the final atom set equals
+    /// `available ∪ sup(M)`. Called by every scheduler after its candidate
+    /// loop terminates.
+    pub fn finish(&mut self) {
+        loop {
+            let missing: Vec<SelectedMolecule> = self
+                .request
+                .selected()
+                .iter()
+                .copied()
+                .filter(|&sel| !(self.request.molecule(sel) <= &self.scheduled))
+                .collect();
+            let Some(&sel) = missing.iter().min_by_key(|&&sel| {
+                self.scheduled
+                    .residual(self.request.molecule(sel))
+                    .total_atoms()
+            }) else {
+                break;
+            };
+            let atoms = self.request.molecule(sel).clone();
+            let latency = self.request.library().si(sel.si).expect("validated").variants()
+                [sel.variant_index]
+                .latency;
+            self.commit_molecule(sel.si, sel.variant_index, &atoms, latency);
+        }
+    }
+
+    /// Consumes the context, returning the accumulated schedule steps.
+    #[must_use]
+    pub fn into_steps(self) -> Vec<ScheduleStep> {
+        self.steps
+    }
+
+    /// Steps emitted so far.
+    #[must_use]
+    pub fn steps(&self) -> &[ScheduleStep] {
+        &self.steps
+    }
+
+    /// Importance of an SI for FSFR/ASF ordering: expected executions times
+    /// the potential improvement of its selected Molecule over the current
+    /// best latency.
+    #[must_use]
+    pub fn importance(&self, sel: SelectedMolecule) -> u64 {
+        let selected_latency = self.request.library().si(sel.si).expect("validated").variants()
+            [sel.variant_index]
+            .latency;
+        let best = self.best_latency[sel.si.index()];
+        let improvement = u64::from(best.saturating_sub(selected_latency));
+        self.request.expected(sel.si) * improvement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SelectedMolecule;
+    use rispp_model::{AtomTypeInfo, AtomUniverse, SiLibrary, SiLibraryBuilder};
+
+    /// Library mirroring Figure 4: one SI with molecules
+    /// m1=(2,1)@60, m2=(2,2)@40, m3=(4,2)@20 and the wrong-mix m4=(1,3)@55.
+    fn fig4_library() -> SiLibrary {
+        let universe = AtomUniverse::from_types([
+            AtomTypeInfo::new("A1"),
+            AtomTypeInfo::new("A2"),
+        ])
+        .unwrap();
+        let mut b = SiLibraryBuilder::new(universe);
+        b.special_instruction("FIG4", 1000)
+            .unwrap()
+            .molecule(Molecule::from_counts([2, 1]), 60)
+            .unwrap()
+            .molecule(Molecule::from_counts([2, 2]), 40)
+            .unwrap()
+            .molecule(Molecule::from_counts([4, 2]), 20)
+            .unwrap()
+            .molecule(Molecule::from_counts([1, 3]), 55)
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn candidates_are_bounded_by_supremum() {
+        let lib = fig4_library();
+        // Select m3 = (4,2); sup = (4,2). m4=(1,3) is NOT ≤ sup -> excluded.
+        let si = lib.by_name("FIG4").unwrap();
+        let m3_idx = si
+            .variants()
+            .iter()
+            .position(|v| v.atoms == Molecule::from_counts([4, 2]))
+            .unwrap();
+        let req = ScheduleRequest::new(
+            &lib,
+            vec![SelectedMolecule::new(si.id(), m3_idx)],
+            Molecule::zero(2),
+            vec![100],
+        )
+        .unwrap();
+        let ctx = UpgradeContext::new(&req);
+        assert_eq!(ctx.candidates().len(), 3);
+        assert!(ctx
+            .candidates()
+            .iter()
+            .all(|c| c.atoms <= Molecule::from_counts([4, 2])));
+    }
+
+    #[test]
+    fn cleaning_drops_available_and_non_improving() {
+        let lib = fig4_library();
+        let si = lib.by_name("FIG4").unwrap();
+        let m3_idx = si
+            .variants()
+            .iter()
+            .position(|v| v.atoms == Molecule::from_counts([4, 2]))
+            .unwrap();
+        // m1 = (2,1) already available -> best latency 60; cleaning removes
+        // m1 (available) and keeps m2, m3.
+        let req = ScheduleRequest::new(
+            &lib,
+            vec![SelectedMolecule::new(si.id(), m3_idx)],
+            Molecule::from_counts([2, 1]),
+            vec![100],
+        )
+        .unwrap();
+        let mut ctx = UpgradeContext::new(&req);
+        assert_eq!(ctx.best_latency(si.id()), 60);
+        let remaining = ctx.clean();
+        assert_eq!(remaining.len(), 2);
+        assert!(remaining.iter().all(|c| c.latency < 60));
+    }
+
+    #[test]
+    fn commit_emits_residual_atoms_and_updates_best() {
+        let lib = fig4_library();
+        let si = lib.by_name("FIG4").unwrap();
+        let m3_idx = si
+            .variants()
+            .iter()
+            .position(|v| v.atoms == Molecule::from_counts([4, 2]))
+            .unwrap();
+        let req = ScheduleRequest::new(
+            &lib,
+            vec![SelectedMolecule::new(si.id(), m3_idx)],
+            Molecule::zero(2),
+            vec![100],
+        )
+        .unwrap();
+        let mut ctx = UpgradeContext::new(&req);
+        ctx.clean();
+        // Commit the smallest candidate m1 = (2,1)@60.
+        let idx = ctx
+            .candidates()
+            .iter()
+            .position(|c| c.atoms == Molecule::from_counts([2, 1]))
+            .unwrap();
+        ctx.commit(idx);
+        assert_eq!(ctx.steps().len(), 3);
+        assert_eq!(ctx.best_latency(si.id()), 60);
+        assert_eq!(ctx.scheduled_atoms(), &Molecule::from_counts([2, 1]));
+        // Only the last atom of the group completes the upgrade.
+        assert!(ctx.steps()[..2].iter().all(|s| s.completes.is_none()));
+        assert!(ctx.steps()[2].completes.is_some());
+    }
+
+    #[test]
+    fn finish_guarantees_condition_two() {
+        let lib = fig4_library();
+        let si = lib.by_name("FIG4").unwrap();
+        let m3_idx = si
+            .variants()
+            .iter()
+            .position(|v| v.atoms == Molecule::from_counts([4, 2]))
+            .unwrap();
+        let req = ScheduleRequest::new(
+            &lib,
+            vec![SelectedMolecule::new(si.id(), m3_idx)],
+            Molecule::zero(2),
+            vec![0], // zero expected: HEF would schedule nothing
+        )
+        .unwrap();
+        let mut ctx = UpgradeContext::new(&req);
+        ctx.finish();
+        let schedule = crate::Schedule::from_steps(ctx.into_steps());
+        schedule.validate(&req).unwrap();
+        assert_eq!(schedule.len(), 6);
+    }
+}

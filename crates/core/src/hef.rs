@@ -1,0 +1,194 @@
+use crate::context::UpgradeContext;
+use crate::scheduler::AtomScheduler;
+use crate::types::{Schedule, ScheduleRequest};
+
+/// *Highest Efficiency First* — the paper's proposed scheduler (Figure 6).
+///
+/// Each round, every remaining Molecule candidate `o⃗` is scored with
+///
+/// ```text
+/// benefit(o⃗) = expected(SI(o⃗)) · (bestLatency[SI(o⃗)] − latency(o⃗)) / |a⃗ ⊖ o⃗|
+/// ```
+///
+/// i.e. the latency improvement over the SI's currently fastest
+/// available/scheduled Molecule, weighted by the expected executions of the
+/// SI and relativised by the number of additionally required Atoms. The
+/// candidate with the highest benefit is scheduled next.
+///
+/// Like the paper's hardware implementation, the comparison avoids the
+/// division: `(g₁/c₁) > (g₂/c₂)` is evaluated as `g₁·c₂ > g₂·c₁`, which is
+/// valid because the additional-atom counts are always positive after
+/// cleaning (eq. 4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HefScheduler;
+
+impl AtomScheduler for HefScheduler {
+    fn name(&self) -> &'static str {
+        "HEF"
+    }
+
+    fn schedule(&self, request: &ScheduleRequest<'_>) -> Schedule {
+        let mut ctx = UpgradeContext::new(request);
+        loop {
+            if ctx.clean().is_empty() {
+                break;
+            }
+            // bestBenefit starts at 0 and the comparison is strict, so
+            // candidates with zero expected executions are never chosen here
+            // (finish() completes them for condition (2) afterwards).
+            let mut best: Option<(usize, u64, u64)> = None; // (index, gain, cost)
+            for (i, c) in ctx.candidates().iter().enumerate() {
+                let cost = u64::from(ctx.additional_atoms(c));
+                debug_assert!(cost > 0, "cleaning must remove available candidates");
+                let gain = request.expected(c.si)
+                    * u64::from(ctx.best_latency(c.si).saturating_sub(c.latency));
+                let better = match best {
+                    None => gain > 0,
+                    // (gain/cost) > (best_gain/best_cost) without division.
+                    Some((_, bg, bc)) => gain.saturating_mul(bc) > bg.saturating_mul(cost),
+                };
+                if better {
+                    best = Some((i, gain, cost));
+                }
+            }
+            match best {
+                Some((i, _, _)) => ctx.commit(i),
+                None => break,
+            }
+        }
+        ctx.finish();
+        Schedule::from_steps(ctx.into_steps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SelectedMolecule;
+    use rispp_model::{AtomTypeInfo, AtomUniverse, Molecule, SiId, SiLibrary, SiLibraryBuilder};
+
+    /// Two SIs over two atom types, as in Figure 5 of the paper.
+    fn two_si_library() -> SiLibrary {
+        let universe = AtomUniverse::from_types([
+            AtomTypeInfo::new("A1"),
+            AtomTypeInfo::new("A2"),
+        ])
+        .unwrap();
+        let mut b = SiLibraryBuilder::new(universe);
+        b.special_instruction("SI1", 1000)
+            .unwrap()
+            .molecule(Molecule::from_counts([1, 1]), 120)
+            .unwrap()
+            .molecule(Molecule::from_counts([2, 1]), 70)
+            .unwrap()
+            .molecule(Molecule::from_counts([3, 2]), 30)
+            .unwrap();
+        b.special_instruction("SI2", 800)
+            .unwrap()
+            .molecule(Molecule::from_counts([0, 1]), 200)
+            .unwrap()
+            .molecule(Molecule::from_counts([1, 2]), 90)
+            .unwrap()
+            .molecule(Molecule::from_counts([2, 3]), 45)
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    fn request(lib: &SiLibrary, expected: [u64; 2]) -> ScheduleRequest<'_> {
+        ScheduleRequest::new(
+            lib,
+            vec![
+                SelectedMolecule::new(SiId(0), 2),
+                SelectedMolecule::new(SiId(1), 2),
+            ],
+            Molecule::zero(2),
+            expected.to_vec(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hef_schedule_is_valid() {
+        let lib = two_si_library();
+        let req = request(&lib, [500, 300]);
+        let schedule = HefScheduler.schedule(&req);
+        schedule.validate(&req).unwrap();
+        // sup = (3,2) ∪ (2,3) = (3,3) -> 6 atoms from scratch.
+        assert_eq!(schedule.len(), 6);
+    }
+
+    #[test]
+    fn hef_starts_with_cheapest_high_benefit_upgrade() {
+        let lib = two_si_library();
+        // SI2 hugely important: its 1-atom molecule (0,1)@200 has benefit
+        // 10000·(800-200)/1 = 6e6, far above any SI1 candidate.
+        let req = request(&lib, [10, 10_000]);
+        let schedule = HefScheduler.schedule(&req);
+        let first = schedule.steps()[0];
+        assert_eq!(first.atom.index(), 1);
+        assert_eq!(first.completes, Some((SiId(1), 0)));
+    }
+
+    #[test]
+    fn hef_interleaves_sis_by_benefit() {
+        let lib = two_si_library();
+        let req = request(&lib, [500, 450]);
+        let schedule = HefScheduler.schedule(&req);
+        let upgrades = schedule.upgrades();
+        // Both SIs must receive at least one intermediate upgrade before
+        // either reaches its selected molecule.
+        let sis: Vec<SiId> = upgrades.iter().map(|&(si, _)| si).collect();
+        assert!(sis.contains(&SiId(0)) && sis.contains(&SiId(1)));
+        let first_si0_final = upgrades.iter().position(|&u| u == (SiId(0), 2)).unwrap();
+        let first_si1_any = upgrades.iter().position(|&(si, _)| si == SiId(1)).unwrap();
+        assert!(
+            first_si1_any < first_si0_final,
+            "SI2 must get accelerated before SI1 is fully upgraded"
+        );
+    }
+
+    #[test]
+    fn hef_with_zero_expectations_still_satisfies_condition_two() {
+        let lib = two_si_library();
+        let req = request(&lib, [0, 0]);
+        let schedule = HefScheduler.schedule(&req);
+        schedule.validate(&req).unwrap();
+    }
+
+    #[test]
+    fn hef_respects_preloaded_atoms() {
+        let lib = two_si_library();
+        let req = ScheduleRequest::new(
+            &lib,
+            vec![
+                SelectedMolecule::new(SiId(0), 2),
+                SelectedMolecule::new(SiId(1), 2),
+            ],
+            Molecule::from_counts([2, 2]),
+            vec![100, 100],
+        )
+        .unwrap();
+        let schedule = HefScheduler.schedule(&req);
+        schedule.validate(&req).unwrap();
+        // sup = (3,3); available (2,2) -> only 2 atoms to load.
+        assert_eq!(schedule.len(), 2);
+    }
+
+    #[test]
+    fn division_free_comparison_matches_division() {
+        // Exhaustive check on small values: (a·b)/c > (d·e)/f ⟺ abf > dec
+        // for the comparison used by HEF (integer benefit semantics are
+        // defined by the cross-multiplied form).
+        for g1 in 0u64..20 {
+            for c1 in 1u64..5 {
+                for g2 in 0u64..20 {
+                    for c2 in 1u64..5 {
+                        let exact = (g1 as f64 / c1 as f64) > (g2 as f64 / c2 as f64);
+                        let crossed = g1 * c2 > g2 * c1;
+                        assert_eq!(exact, crossed);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,524 @@
+use rispp_fabric::{Fabric, FabricConfig};
+use rispp_model::{Molecule, SiId, SiLibrary};
+use rispp_monitor::{ExecutionMonitor, ForecastPolicy, HotSpotId};
+
+use crate::scheduler::{AtomScheduler, SchedulerKind};
+use crate::selection::{GreedySelector, SelectionRequest};
+use crate::types::{ScheduleRequest, SelectedMolecule};
+use crate::CoreError;
+
+/// Result of executing one Special Instruction through the Run-Time
+/// Manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiExecution {
+    /// Cycles the execution took.
+    pub latency: u32,
+    /// The Molecule variant used, or `None` when the SI trapped to the
+    /// base instruction set (software path).
+    pub variant_index: Option<usize>,
+}
+
+impl SiExecution {
+    /// Whether the SI executed on accelerating hardware.
+    #[must_use]
+    pub fn is_hardware(&self) -> bool {
+        self.variant_index.is_some()
+    }
+}
+
+/// One homogeneous stretch of a burst execution: `count` executions at the
+/// same latency, starting at cycle `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstSegment {
+    /// Cycle at which the first execution of this segment starts.
+    pub start: u64,
+    /// Number of executions in this segment.
+    pub count: u64,
+    /// Per-execution SI latency during this segment.
+    pub latency: u32,
+    /// Molecule variant used, or `None` for the software (trap) path.
+    pub variant_index: Option<usize>,
+}
+
+impl BurstSegment {
+    /// Whether this segment executed on accelerating hardware.
+    #[must_use]
+    pub fn is_hardware(&self) -> bool {
+        self.variant_index.is_some()
+    }
+}
+
+/// The RISPP Run-Time Manager (paper Section 3.1): controls SI execution
+/// (task I), observes and adapts to varying requirements via the monitor
+/// (task II), and determines Atom re-loading decisions through selection
+/// and scheduling (task III).
+#[derive(Debug)]
+pub struct RunTimeManager<'a> {
+    library: &'a SiLibrary,
+    fabric: Fabric,
+    monitor: ExecutionMonitor,
+    scheduler: Box<dyn AtomScheduler>,
+    selector: GreedySelector,
+    current_hot_spot: Option<HotSpotId>,
+    selected: Vec<SelectedMolecule>,
+}
+
+impl<'a> RunTimeManager<'a> {
+    /// Starts building a manager over `library`.
+    #[must_use]
+    pub fn builder(library: &'a SiLibrary) -> RunTimeManagerBuilder<'a> {
+        RunTimeManagerBuilder {
+            library,
+            containers: 10,
+            scheduler: SchedulerKind::Hef,
+            policy: ForecastPolicy::default(),
+            port_bandwidth: None,
+        }
+    }
+
+    /// The SI library the manager operates on.
+    #[must_use]
+    pub fn library(&self) -> &'a SiLibrary {
+        self.library
+    }
+
+    /// The reconfigurable fabric.
+    #[must_use]
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The execution monitor.
+    #[must_use]
+    pub fn monitor(&self) -> &ExecutionMonitor {
+        &self.monitor
+    }
+
+    /// The Molecules currently selected for the active hot spot.
+    #[must_use]
+    pub fn selected(&self) -> &[SelectedMolecule] {
+        &self.selected
+    }
+
+    /// The active hot spot, if any.
+    #[must_use]
+    pub fn current_hot_spot(&self) -> Option<HotSpotId> {
+        self.current_hot_spot
+    }
+
+    /// Enters a hot spot at cycle `now`: forecasts the SI execution
+    /// profile (seeding with `hints` on the first encounter), selects
+    /// Molecules for the available Atom Containers, runs the scheduler and
+    /// (re)programs the reconfiguration queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule-request validation failures; these indicate a
+    /// library/selection inconsistency and cannot occur through the public
+    /// builder path.
+    pub fn enter_hot_spot(
+        &mut self,
+        hot_spot: HotSpotId,
+        hints: &[(SiId, u64)],
+        now: u64,
+    ) -> Result<(), CoreError> {
+        let first_visit = self.monitor.iterations(hot_spot) == 0;
+        let demands: Vec<(SiId, u64)> = hints
+            .iter()
+            .map(|&(si, hint)| {
+                let expected = if first_visit {
+                    hint
+                } else {
+                    self.monitor.expected(hot_spot, si)
+                };
+                (si, expected)
+            })
+            .collect();
+        self.enter_hot_spot_with_profile(hot_spot, &demands, now)
+    }
+
+    /// Enters a hot spot with an externally supplied execution profile,
+    /// bypassing the online forecast. Used for oracle studies (perfect
+    /// future knowledge, the bound Section 4.2 mentions) and testing.
+    ///
+    /// # Errors
+    ///
+    /// See [`RunTimeManager::enter_hot_spot`].
+    pub fn enter_hot_spot_with_profile(
+        &mut self,
+        hot_spot: HotSpotId,
+        demands: &[(SiId, u64)],
+        now: u64,
+    ) -> Result<(), CoreError> {
+        let demands = demands.to_vec();
+        self.fabric.advance_to(now);
+        self.monitor.begin_hot_spot(hot_spot);
+        self.current_hot_spot = Some(hot_spot);
+
+        let selection_request =
+            SelectionRequest::new(self.library, demands.clone(), self.fabric.container_count());
+        self.selected = self.selector.select(&selection_request);
+
+        let mut expected = vec![0u64; self.library.len()];
+        for (si, e) in demands {
+            expected[si.index()] = e;
+        }
+        let request = ScheduleRequest::new(
+            self.library,
+            self.selected.clone(),
+            self.fabric.available().clone(),
+            expected,
+        )?;
+        let schedule = self.scheduler.schedule(&request);
+        debug_assert!(schedule.validate(&request).is_ok());
+
+        self.fabric.clear_pending();
+        self.fabric.set_protected(request.supremum());
+        self.fabric.enqueue_schedule(schedule.atoms());
+        Ok(())
+    }
+
+    /// Executes one SI at cycle `now`: forwards it to the fastest available
+    /// Molecule or traps to the base instruction set, and records the
+    /// execution for the monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `si` is outside the library.
+    pub fn execute_si(&mut self, si: SiId, now: u64) -> SiExecution {
+        self.fabric.advance_to(now);
+        let def = self.library.si(si).expect("si within library");
+        let available = self.fabric.available();
+        let best = def
+            .variants()
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_available(available))
+            .min_by_key(|(_, v)| v.latency);
+        let execution = match best {
+            Some((idx, v)) if v.latency < def.software_latency() => {
+                let atoms = v.atoms.clone();
+                self.fabric.mark_used(&atoms, now);
+                SiExecution {
+                    latency: v.latency,
+                    variant_index: Some(idx),
+                }
+            }
+            _ => SiExecution {
+                latency: def.software_latency(),
+                variant_index: None,
+            },
+        };
+        if let Some(hs) = self.current_hot_spot {
+            self.monitor.record_execution(hs, si);
+        }
+        execution
+    }
+
+    /// Executes a *burst* of `count` back-to-back executions of `si`
+    /// starting at cycle `start`, each followed by `overhead` cycles of
+    /// base-processor work (loop control, address generation).
+    ///
+    /// Equivalent to calling [`RunTimeManager::execute_si`] `count` times at
+    /// the appropriate cycles, but runs in `O(reconfiguration events)`
+    /// instead of `O(count)`: the burst is split into segments at the
+    /// cycles where a completed Atom load upgrades the SI's latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `si` is outside the library.
+    pub fn execute_burst(
+        &mut self,
+        si: SiId,
+        count: u32,
+        overhead: u32,
+        start: u64,
+    ) -> Vec<BurstSegment> {
+        let def = self.library.si(si).expect("si within library");
+        let mut segments = Vec::new();
+        let mut t = start;
+        let mut remaining = u64::from(count);
+        while remaining > 0 {
+            self.fabric.advance_to(t);
+            let best = def
+                .variants()
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.is_available(self.fabric.available()))
+                .min_by_key(|(_, v)| v.latency);
+            let (latency, variant_index, atoms) = match best {
+                Some((idx, v)) if v.latency < def.software_latency() => {
+                    (v.latency, Some(idx), Some(v.atoms.clone()))
+                }
+                _ => (def.software_latency(), None, None),
+            };
+            if let Some(atoms) = &atoms {
+                self.fabric.mark_used(atoms, t);
+            }
+            let per = u64::from(latency) + u64::from(overhead);
+            let n = match self.fabric.next_event_at() {
+                Some(event) if event > t => {
+                    let until_event = (event - t).div_ceil(per);
+                    until_event.min(remaining)
+                }
+                _ => remaining,
+            };
+            segments.push(BurstSegment {
+                start: t,
+                count: n,
+                latency,
+                variant_index,
+            });
+            t += n * per;
+            remaining -= n;
+        }
+        if let Some(hs) = self.current_hot_spot {
+            self.monitor.record_executions(hs, si, u64::from(count));
+        }
+        segments
+    }
+
+    /// Leaves the current hot spot, folding measured execution counts into
+    /// the monitor's expectations.
+    pub fn exit_hot_spot(&mut self, now: u64) {
+        self.fabric.advance_to(now);
+        if let Some(hs) = self.current_hot_spot.take() {
+            self.monitor.end_hot_spot(hs);
+        }
+    }
+
+    /// Advances the fabric to `now`, returning the atoms that completed.
+    pub fn advance_to(&mut self, now: u64) -> Vec<rispp_fabric::LoadCompleted> {
+        self.fabric.advance_to(now)
+    }
+
+    /// Effective latency of `si` with the atoms available *right now*.
+    #[must_use]
+    pub fn current_latency(&self, si: SiId) -> u32 {
+        self.library
+            .si(si)
+            .map(|def| def.best_latency(self.fabric.available()))
+            .unwrap_or(0)
+    }
+
+    /// Atoms currently available on the fabric.
+    #[must_use]
+    pub fn available_atoms(&self) -> &Molecule {
+        self.fabric.available()
+    }
+}
+
+/// Builder for [`RunTimeManager`] (C-BUILDER).
+#[derive(Debug)]
+pub struct RunTimeManagerBuilder<'a> {
+    library: &'a SiLibrary,
+    containers: u16,
+    scheduler: SchedulerKind,
+    policy: ForecastPolicy,
+    port_bandwidth: Option<u64>,
+}
+
+impl<'a> RunTimeManagerBuilder<'a> {
+    /// Sets the number of Atom Containers (paper sweeps 5–24).
+    #[must_use]
+    pub fn containers(mut self, containers: u16) -> Self {
+        self.containers = containers;
+        self
+    }
+
+    /// Chooses the scheduling strategy (default: HEF).
+    #[must_use]
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Chooses the forecast policy (default: EWMA weight 2).
+    #[must_use]
+    pub fn forecast(mut self, policy: ForecastPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the reconfiguration-port bandwidth in bytes per second
+    /// (default: the prototype's SelectMAP/ICAP port).
+    #[must_use]
+    pub fn port_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.port_bandwidth = Some(bytes_per_sec);
+        self
+    }
+
+    /// Finalises the manager with an empty fabric at cycle 0.
+    #[must_use]
+    pub fn build(self) -> RunTimeManager<'a> {
+        let mut config = FabricConfig::prototype(self.containers);
+        if let Some(bw) = self.port_bandwidth {
+            config.port = rispp_fabric::ReconfigPortConfig::with_bandwidth(bw);
+        }
+        RunTimeManager {
+            library: self.library,
+            fabric: Fabric::new(config, self.library.universe()),
+            monitor: ExecutionMonitor::new(self.policy),
+            scheduler: self.scheduler.create(),
+            selector: GreedySelector,
+            current_hot_spot: None,
+            selected: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rispp_model::{AtomTypeInfo, AtomUniverse, SiLibraryBuilder};
+
+    fn library() -> SiLibrary {
+        let universe = AtomUniverse::from_types([
+            AtomTypeInfo::new("A1"),
+            AtomTypeInfo::new("A2"),
+        ])
+        .unwrap();
+        let mut b = SiLibraryBuilder::new(universe);
+        b.special_instruction("FAST", 1000)
+            .unwrap()
+            .molecule(Molecule::from_counts([1, 0]), 100)
+            .unwrap()
+            .molecule(Molecule::from_counts([2, 1]), 30)
+            .unwrap();
+        b.special_instruction("OTHER", 600)
+            .unwrap()
+            .molecule(Molecule::from_counts([0, 1]), 80)
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn si_executes_in_software_until_atoms_arrive() {
+        let lib = library();
+        let mut mgr = RunTimeManager::builder(&lib).containers(4).build();
+        mgr.enter_hot_spot(HotSpotId(0), &[(SiId(0), 100)], 0).unwrap();
+        let e0 = mgr.execute_si(SiId(0), 0);
+        assert_eq!(e0.latency, 1000);
+        assert!(!e0.is_hardware());
+        // After plenty of time all scheduled atoms are loaded.
+        let e1 = mgr.execute_si(SiId(0), 10_000_000);
+        assert_eq!(e1.latency, 30);
+        assert!(e1.is_hardware());
+    }
+
+    #[test]
+    fn gradual_upgrade_is_visible_between_loads() {
+        let lib = library();
+        let mut mgr = RunTimeManager::builder(&lib).containers(4).build();
+        mgr.enter_hot_spot(HotSpotId(0), &[(SiId(0), 100)], 0).unwrap();
+        // One atom (~88K cycles for the 60,488-byte default bitstream)
+        // upgrades the SI to the 1-atom molecule.
+        let e = mgr.execute_si(SiId(0), 90_000);
+        assert_eq!(e.latency, 100);
+        assert_eq!(e.variant_index, Some(0));
+    }
+
+    #[test]
+    fn monitor_learns_profile_across_iterations() {
+        let lib = library();
+        let mut mgr = RunTimeManager::builder(&lib).containers(4).build();
+        // First visit: hint says SI0 dominates, but actually SI1 executes.
+        mgr.enter_hot_spot(HotSpotId(0), &[(SiId(0), 1000), (SiId(1), 1)], 0)
+            .unwrap();
+        for i in 0..50 {
+            mgr.execute_si(SiId(1), i * 10);
+        }
+        mgr.exit_hot_spot(1_000);
+        assert_eq!(mgr.monitor().expected(HotSpotId(0), SiId(1)), 50);
+        // Second visit uses monitored values: SI1 must now be selected.
+        mgr.enter_hot_spot(HotSpotId(0), &[(SiId(0), 1000), (SiId(1), 1)], 2_000)
+            .unwrap();
+        assert!(mgr.selected().iter().any(|s| s.si == SiId(1)));
+        assert!(mgr.selected().iter().all(|s| s.si != SiId(0)));
+    }
+
+    #[test]
+    fn hot_spot_switch_replaces_pending_schedule() {
+        let lib = library();
+        let mut mgr = RunTimeManager::builder(&lib).containers(2).build();
+        mgr.enter_hot_spot(HotSpotId(0), &[(SiId(0), 100)], 0).unwrap();
+        mgr.exit_hot_spot(10);
+        mgr.enter_hot_spot(HotSpotId(1), &[(SiId(1), 100)], 20).unwrap();
+        // The new selection only contains OTHER; its single molecule needs
+        // atom type A2, so after the switch everything queued or streaming
+        // beyond the unabortable in-flight load targets A2.
+        assert!(mgr.selected().iter().all(|s| s.si == SiId(1)));
+        let e = mgr.execute_si(SiId(1), 10_000_000);
+        assert_eq!(e.latency, 80);
+        assert_eq!(mgr.available_atoms().count(1), 1);
+    }
+
+    #[test]
+    fn current_latency_tracks_available_atoms() {
+        let lib = library();
+        let mut mgr = RunTimeManager::builder(&lib).containers(4).build();
+        assert_eq!(mgr.current_latency(SiId(0)), 1000);
+        mgr.enter_hot_spot(HotSpotId(0), &[(SiId(0), 10)], 0).unwrap();
+        mgr.advance_to(50_000_000);
+        assert_eq!(mgr.current_latency(SiId(0)), 30);
+    }
+
+    #[test]
+    fn burst_execution_matches_single_stepping() {
+        let lib = library();
+        // Run the same workload through execute_si and execute_burst and
+        // compare the final cycle and per-latency execution counts.
+        let mut single = RunTimeManager::builder(&lib).containers(4).build();
+        single
+            .enter_hot_spot(HotSpotId(0), &[(SiId(0), 100)], 0)
+            .unwrap();
+        let overhead = 25u32;
+        let mut t_single = 0u64;
+        let mut lat_counts_single: std::collections::BTreeMap<u32, u64> = Default::default();
+        for _ in 0..400 {
+            let e = single.execute_si(SiId(0), t_single);
+            *lat_counts_single.entry(e.latency).or_default() += 1;
+            t_single += u64::from(e.latency) + u64::from(overhead);
+        }
+
+        let mut burst = RunTimeManager::builder(&lib).containers(4).build();
+        burst
+            .enter_hot_spot(HotSpotId(0), &[(SiId(0), 100)], 0)
+            .unwrap();
+        let segments = burst.execute_burst(SiId(0), 400, overhead, 0);
+        let mut lat_counts_burst: std::collections::BTreeMap<u32, u64> = Default::default();
+        let mut t_burst = 0u64;
+        for s in &segments {
+            *lat_counts_burst.entry(s.latency).or_default() += s.count;
+            t_burst = s.start + s.count * (u64::from(s.latency) + u64::from(overhead));
+        }
+        assert_eq!(lat_counts_single, lat_counts_burst);
+        assert_eq!(t_single, t_burst);
+        // Latencies must be monotone decreasing across segments.
+        for w in segments.windows(2) {
+            assert!(w[1].latency <= w[0].latency);
+        }
+    }
+
+    #[test]
+    fn burst_records_monitor_counts() {
+        let lib = library();
+        let mut mgr = RunTimeManager::builder(&lib).containers(4).build();
+        mgr.enter_hot_spot(HotSpotId(0), &[(SiId(0), 10)], 0).unwrap();
+        mgr.execute_burst(SiId(0), 123, 0, 0);
+        assert_eq!(mgr.monitor().live_count(HotSpotId(0), SiId(0)), 123);
+    }
+
+    #[test]
+    fn builder_configures_scheduler_kind() {
+        let lib = library();
+        for kind in SchedulerKind::ALL {
+            let mgr = RunTimeManager::builder(&lib)
+                .containers(6)
+                .scheduler(kind)
+                .forecast(ForecastPolicy::LastValue)
+                .build();
+            assert_eq!(mgr.fabric().container_count(), 6);
+        }
+    }
+}

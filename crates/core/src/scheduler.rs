@@ -1,0 +1,89 @@
+use std::fmt;
+
+use crate::types::{Schedule, ScheduleRequest};
+use crate::{AsfScheduler, FsfrScheduler, HefScheduler, SjfScheduler};
+
+/// An Atom scheduler: turns a set of selected Molecules, the available
+/// Atoms and expected SI execution counts into an Atom loading sequence
+/// (the scheduling function SF of paper eq. 1/2).
+///
+/// Every implementation must produce a schedule satisfying condition (2):
+/// the multiset of loaded Atoms equals `sup(M) ⊖ available`
+/// (see [`Schedule::validate`]).
+pub trait AtomScheduler: fmt::Debug + Send + Sync {
+    /// Human-readable name, e.g. `"HEF"`.
+    fn name(&self) -> &'static str;
+
+    /// Computes the Atom loading sequence for `request`.
+    fn schedule(&self, request: &ScheduleRequest<'_>) -> Schedule;
+}
+
+/// The four scheduling strategies evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// First Select First Reconfigure.
+    Fsfr,
+    /// Avoid Software First.
+    Asf,
+    /// Smallest Job First.
+    Sjf,
+    /// Highest Efficiency First (the paper's proposal).
+    Hef,
+}
+
+impl SchedulerKind {
+    /// All kinds, in the order the paper's Figure 7 legend lists them.
+    pub const ALL: [SchedulerKind; 4] = [
+        SchedulerKind::Asf,
+        SchedulerKind::Fsfr,
+        SchedulerKind::Sjf,
+        SchedulerKind::Hef,
+    ];
+
+    /// Instantiates the scheduler.
+    #[must_use]
+    pub fn create(self) -> Box<dyn AtomScheduler> {
+        match self {
+            SchedulerKind::Fsfr => Box::new(FsfrScheduler),
+            SchedulerKind::Asf => Box::new(AsfScheduler),
+            SchedulerKind::Sjf => Box::new(SjfScheduler),
+            SchedulerKind::Hef => Box::new(HefScheduler),
+        }
+    }
+
+    /// The paper's abbreviation.
+    #[must_use]
+    pub fn abbreviation(self) -> &'static str {
+        match self {
+            SchedulerKind::Fsfr => "FSFR",
+            SchedulerKind::Asf => "ASF",
+            SchedulerKind::Sjf => "SJF",
+            SchedulerKind::Hef => "HEF",
+        }
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbreviation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_create_matching_schedulers() {
+        for kind in SchedulerKind::ALL {
+            let s = kind.create();
+            assert_eq!(s.name(), kind.abbreviation());
+        }
+    }
+
+    #[test]
+    fn display_matches_abbreviation() {
+        assert_eq!(SchedulerKind::Hef.to_string(), "HEF");
+        assert_eq!(SchedulerKind::Fsfr.to_string(), "FSFR");
+    }
+}

@@ -1,0 +1,487 @@
+use rispp_model::{Molecule, SiId, SiLibrary};
+
+use crate::types::SelectedMolecule;
+
+/// Input to Molecule selection: which SIs the upcoming hot spot needs, how
+/// often each is expected to execute, and how many Atom Containers exist.
+#[derive(Debug, Clone)]
+pub struct SelectionRequest<'a> {
+    library: &'a SiLibrary,
+    demands: Vec<(SiId, u64)>,
+    containers: u16,
+}
+
+impl<'a> SelectionRequest<'a> {
+    /// Creates a selection request. SIs with zero expected executions are
+    /// ignored (they receive no hardware Molecule).
+    #[must_use]
+    pub fn new(library: &'a SiLibrary, demands: Vec<(SiId, u64)>, containers: u16) -> Self {
+        SelectionRequest {
+            library,
+            demands,
+            containers,
+        }
+    }
+
+    /// The SI library.
+    #[must_use]
+    pub fn library(&self) -> &'a SiLibrary {
+        self.library
+    }
+
+    /// The `(si, expected executions)` demands.
+    #[must_use]
+    pub fn demands(&self) -> &[(SiId, u64)] {
+        &self.demands
+    }
+
+    /// Available Atom Containers.
+    #[must_use]
+    pub fn containers(&self) -> u16 {
+        self.containers
+    }
+}
+
+/// Greedy profit-per-container Molecule selection.
+///
+/// The paper delegates selection details to its companion work and only
+/// requires the invariant `NA = |sup(M)| ≤ #ACs`. This selector:
+///
+/// 1. gives every demanded SI its smallest Molecule (most important first)
+///    as long as `sup` fits the containers, then
+/// 2. repeatedly applies the Molecule *upgrade* (replacing one SI's
+///    selection by a faster variant) with the best expected-cycles-saved
+///    per additional container, until nothing fits.
+///
+/// Atom sharing across SIs is accounted for exactly, because costs are
+/// evaluated on `sup(M)` rather than per-Molecule sums — the property that
+/// distinguishes RISPP from monolithic-accelerator systems like Molen.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedySelector;
+
+impl GreedySelector {
+    /// Runs the selection. The result satisfies
+    /// `|sup(selection)| ≤ request.containers()`.
+    #[must_use]
+    pub fn select(&self, request: &SelectionRequest<'_>) -> Vec<SelectedMolecule> {
+        let library = request.library();
+        let budget = u32::from(request.containers());
+
+        let mut demands: Vec<(SiId, u64)> = request
+            .demands()
+            .iter()
+            .copied()
+            .filter(|&(si, expected)| expected > 0 && library.si(si).is_some())
+            .collect();
+        // Most important first; ties by id for determinism.
+        demands.sort_by(|a, b| {
+            let wa = weight(library, *a);
+            let wb = weight(library, *b);
+            wb.cmp(&wa).then(a.0.cmp(&b.0))
+        });
+
+        let arity = library.arity();
+        let mut selection: Vec<SelectedMolecule> = Vec::new();
+        let mut sup = Molecule::zero(arity);
+
+        // Phase 1: smallest molecule per SI while it fits.
+        for &(si_id, _) in &demands {
+            let si = library.si(si_id).expect("filtered");
+            let (idx, variant) = si
+                .variants()
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, v)| (v.atoms.total_atoms(), v.latency))
+                .expect("validated library has variants");
+            let candidate_sup = sup.union(&variant.atoms);
+            if candidate_sup.total_atoms() <= budget {
+                selection.push(SelectedMolecule::new(si_id, idx));
+                sup = candidate_sup;
+            }
+        }
+
+        // Phase 2: best upgrade per additional container.
+        loop {
+            let mut best: Option<(usize, usize, u64, u32)> = None; // (sel idx, variant, gain, cost)
+            for (sel_idx, sel) in selection.iter().enumerate() {
+                let si = library.si(sel.si).expect("selected");
+                let expected = demands
+                    .iter()
+                    .find(|&&(id, _)| id == sel.si)
+                    .map(|&(_, e)| e)
+                    .unwrap_or(0);
+                let current_latency = si.variants()[sel.variant_index].latency;
+                for (v_idx, v) in si.variants().iter().enumerate() {
+                    if v.latency >= current_latency {
+                        continue;
+                    }
+                    let new_sup = sup_with(library, &selection, sel_idx, v_idx, arity);
+                    if new_sup.total_atoms() > budget {
+                        continue;
+                    }
+                    let gain = expected * u64::from(current_latency - v.latency);
+                    if gain == 0 {
+                        continue;
+                    }
+                    let cost = new_sup.total_atoms().saturating_sub(sup.total_atoms());
+                    let better = match best {
+                        None => true,
+                        Some((_, _, bg, bc)) => {
+                            // gain/cost > bg/bc with cost 0 treated as cost 1
+                            // for the ratio but always preferred outright.
+                            let c = u64::from(cost.max(1));
+                            let b = u64::from(bc.max(1));
+                            gain.saturating_mul(b) > bg.saturating_mul(c)
+                        }
+                    };
+                    if better {
+                        best = Some((sel_idx, v_idx, gain, cost));
+                    }
+                }
+            }
+            match best {
+                Some((sel_idx, v_idx, _, _)) => {
+                    selection[sel_idx].variant_index = v_idx;
+                    sup = Molecule::supremum(
+                        selection
+                            .iter()
+                            .map(|s| &library.si(s.si).expect("selected").variants()[s.variant_index].atoms),
+                    )
+                    .unwrap_or_else(|| Molecule::zero(arity));
+                }
+                None => break,
+            }
+        }
+
+        selection.sort_by_key(|s| s.si);
+        selection
+    }
+}
+
+/// Exhaustive Molecule selection: enumerates every combination of one
+/// Molecule (or none) per demanded SI and keeps the feasible combination
+/// with the highest expected benefit.
+///
+/// Exponential in the number of SIs × variants — intended as the
+/// ground-truth reference for evaluating [`GreedySelector`] on small
+/// instances (see the selection ablation), not for run-time use (the
+/// paper's run-time system must decide within a fraction of one Atom
+/// load).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExhaustiveSelector;
+
+impl ExhaustiveSelector {
+    /// Runs the exhaustive search. The result satisfies
+    /// `|sup(selection)| ≤ request.containers()` and maximises
+    /// `Σ expected·(software − molecule latency)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the search space exceeds 20 million combinations; use
+    /// [`GreedySelector`] for large instances.
+    #[must_use]
+    pub fn select(&self, request: &SelectionRequest<'_>) -> Vec<SelectedMolecule> {
+        let library = request.library();
+        let budget = u32::from(request.containers());
+        let demands: Vec<(SiId, u64)> = request
+            .demands()
+            .iter()
+            .copied()
+            .filter(|&(si, expected)| expected > 0 && library.si(si).is_some())
+            .collect();
+        let space: u64 = demands
+            .iter()
+            .map(|&(si, _)| library.si(si).expect("filtered").variants().len() as u64 + 1)
+            .product();
+        assert!(
+            space <= 20_000_000,
+            "search space of {space} combinations is too large for exhaustive selection"
+        );
+
+        let arity = library.arity();
+        let mut best: (u64, Vec<SelectedMolecule>) = (0, Vec::new());
+        let mut current: Vec<SelectedMolecule> = Vec::new();
+        self.recurse(
+            library,
+            &demands,
+            budget,
+            arity,
+            0,
+            &mut current,
+            &mut best,
+        );
+        let mut selection = best.1;
+        selection.sort_by_key(|s| s.si);
+        selection
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        &self,
+        library: &SiLibrary,
+        demands: &[(SiId, u64)],
+        budget: u32,
+        arity: usize,
+        index: usize,
+        current: &mut Vec<SelectedMolecule>,
+        best: &mut (u64, Vec<SelectedMolecule>),
+    ) {
+        if index == demands.len() {
+            let sup = Molecule::supremum(current.iter().map(|s| {
+                &library.si(s.si).expect("selected").variants()[s.variant_index].atoms
+            }))
+            .unwrap_or_else(|| Molecule::zero(arity));
+            if sup.total_atoms() > budget {
+                return;
+            }
+            let benefit: u64 = current
+                .iter()
+                .map(|s| {
+                    let (_, expected) = demands
+                        .iter()
+                        .find(|&&(id, _)| id == s.si)
+                        .copied()
+                        .expect("selected from demands");
+                    let si = library.si(s.si).expect("selected");
+                    let lat = si.variants()[s.variant_index].latency;
+                    expected * u64::from(si.software_latency().saturating_sub(lat))
+                })
+                .sum();
+            if benefit > best.0 || (benefit == best.0 && current.len() > best.1.len()) {
+                *best = (benefit, current.clone());
+            }
+            return;
+        }
+        let (si_id, _) = demands[index];
+        // Option: leave this SI in software.
+        self.recurse(library, demands, budget, arity, index + 1, current, best);
+        let variants = library.si(si_id).expect("filtered").variants().len();
+        for v in 0..variants {
+            current.push(SelectedMolecule::new(si_id, v));
+            self.recurse(library, demands, budget, arity, index + 1, current, best);
+            current.pop();
+        }
+    }
+}
+
+fn weight(library: &SiLibrary, (si_id, expected): (SiId, u64)) -> u64 {
+    let si = library.si(si_id).expect("filtered");
+    let best_hw = si
+        .variants()
+        .iter()
+        .map(|v| v.latency)
+        .min()
+        .unwrap_or(si.software_latency());
+    expected * u64::from(si.software_latency().saturating_sub(best_hw))
+}
+
+fn sup_with(
+    library: &SiLibrary,
+    selection: &[SelectedMolecule],
+    replace_idx: usize,
+    new_variant: usize,
+    arity: usize,
+) -> Molecule {
+    Molecule::supremum(selection.iter().enumerate().map(|(i, s)| {
+        let v = if i == replace_idx {
+            new_variant
+        } else {
+            s.variant_index
+        };
+        &library.si(s.si).expect("selected").variants()[v].atoms
+    }))
+    .unwrap_or_else(|| Molecule::zero(arity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rispp_model::{AtomTypeInfo, AtomUniverse, SiLibraryBuilder};
+
+    fn library() -> SiLibrary {
+        let universe = AtomUniverse::from_types([
+            AtomTypeInfo::new("A1"),
+            AtomTypeInfo::new("A2"),
+            AtomTypeInfo::new("A3"),
+        ])
+        .unwrap();
+        let mut b = SiLibraryBuilder::new(universe);
+        b.special_instruction("HOT", 2000)
+            .unwrap()
+            .molecule(Molecule::from_counts([1, 0, 0]), 200)
+            .unwrap()
+            .molecule(Molecule::from_counts([2, 1, 0]), 80)
+            .unwrap()
+            .molecule(Molecule::from_counts([4, 2, 0]), 30)
+            .unwrap();
+        b.special_instruction("WARM", 1000)
+            .unwrap()
+            .molecule(Molecule::from_counts([0, 1, 0]), 150)
+            .unwrap()
+            .molecule(Molecule::from_counts([0, 2, 1]), 60)
+            .unwrap();
+        b.special_instruction("COLD", 500)
+            .unwrap()
+            .molecule(Molecule::from_counts([0, 0, 1]), 100)
+            .unwrap()
+            .molecule(Molecule::from_counts([0, 0, 3]), 40)
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    fn sup_of(library: &SiLibrary, selection: &[SelectedMolecule]) -> Molecule {
+        Molecule::supremum(
+            selection
+                .iter()
+                .map(|s| &library.si(s.si).unwrap().variants()[s.variant_index].atoms),
+        )
+        .unwrap_or_else(|| Molecule::zero(library.arity()))
+    }
+
+    #[test]
+    fn selection_respects_container_budget() {
+        let lib = library();
+        for budget in 1..=12u16 {
+            let req = SelectionRequest::new(
+                &lib,
+                vec![(SiId(0), 1000), (SiId(1), 300), (SiId(2), 50)],
+                budget,
+            );
+            let sel = GreedySelector.select(&req);
+            let sup = sup_of(&lib, &sel);
+            assert!(
+                sup.total_atoms() <= u32::from(budget),
+                "budget {budget} violated: sup {sup}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_containers_select_bigger_molecules() {
+        let lib = library();
+        let demands = vec![(SiId(0), 1000), (SiId(1), 300), (SiId(2), 50)];
+        let small = GreedySelector.select(&SelectionRequest::new(&lib, demands.clone(), 3));
+        let big = GreedySelector.select(&SelectionRequest::new(&lib, demands, 12));
+        assert!(sup_of(&lib, &big).total_atoms() >= sup_of(&lib, &small).total_atoms());
+        // With 12 containers everything fits fully parallel.
+        assert_eq!(sup_of(&lib, &big), Molecule::from_counts([4, 2, 3]));
+    }
+
+    #[test]
+    fn important_si_gets_preference_under_pressure() {
+        let lib = library();
+        let req = SelectionRequest::new(&lib, vec![(SiId(0), 10_000), (SiId(2), 1)], 2);
+        let sel = GreedySelector.select(&req);
+        // HOT's smallest molecule (1 atom) and COLD's smallest (1 atom) both
+        // fit in 2; with budget 2 the upgrade goes to nothing else, but HOT
+        // must be present.
+        assert!(sel.iter().any(|s| s.si == SiId(0)));
+    }
+
+    #[test]
+    fn zero_expected_sis_are_skipped() {
+        let lib = library();
+        let req = SelectionRequest::new(&lib, vec![(SiId(0), 0), (SiId(1), 10)], 8);
+        let sel = GreedySelector.select(&req);
+        assert!(sel.iter().all(|s| s.si != SiId(0)));
+        assert!(sel.iter().any(|s| s.si == SiId(1)));
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let lib = library();
+        let req = SelectionRequest::new(
+            &lib,
+            vec![(SiId(0), 100), (SiId(1), 100), (SiId(2), 100)],
+            6,
+        );
+        assert_eq!(GreedySelector.select(&req), GreedySelector.select(&req));
+    }
+
+    #[test]
+    fn tiny_budget_selects_subset() {
+        let lib = library();
+        let req = SelectionRequest::new(
+            &lib,
+            vec![(SiId(0), 100), (SiId(1), 90), (SiId(2), 80)],
+            1,
+        );
+        let sel = GreedySelector.select(&req);
+        assert_eq!(sel.len(), 1);
+        assert!(sup_of(&lib, &sel).total_atoms() <= 1);
+    }
+
+    #[test]
+    fn exhaustive_matches_or_beats_greedy_on_small_instances() {
+        let lib = library();
+        for budget in [1u16, 2, 4, 6, 9, 12] {
+            let demands = vec![(SiId(0), 1_000), (SiId(1), 300), (SiId(2), 50)];
+            let req = SelectionRequest::new(&lib, demands.clone(), budget);
+            let greedy = GreedySelector.select(&req);
+            let exhaustive = ExhaustiveSelector.select(&req);
+            let benefit = |sel: &[SelectedMolecule]| -> u64 {
+                sel.iter()
+                    .map(|s| {
+                        let si = lib.si(s.si).unwrap();
+                        let e = demands.iter().find(|&&(id, _)| id == s.si).unwrap().1;
+                        e * u64::from(
+                            si.software_latency() - si.variants()[s.variant_index].latency,
+                        )
+                    })
+                    .sum()
+            };
+            assert!(
+                benefit(&exhaustive) >= benefit(&greedy),
+                "budget {budget}: exhaustive {exhaustive:?} vs greedy {greedy:?}"
+            );
+            assert!(sup_of(&lib, &exhaustive).total_atoms() <= u32::from(budget));
+        }
+    }
+
+    #[test]
+    fn greedy_is_close_to_optimal_on_the_test_library() {
+        let lib = library();
+        let demands = vec![(SiId(0), 1_000), (SiId(1), 300), (SiId(2), 50)];
+        for budget in 2..=12u16 {
+            let req = SelectionRequest::new(&lib, demands.clone(), budget);
+            let benefit = |sel: &[SelectedMolecule]| -> u64 {
+                sel.iter()
+                    .map(|s| {
+                        let si = lib.si(s.si).unwrap();
+                        let e = demands.iter().find(|&&(id, _)| id == s.si).unwrap().1;
+                        e * u64::from(
+                            si.software_latency() - si.variants()[s.variant_index].latency,
+                        )
+                    })
+                    .sum()
+            };
+            let g = benefit(&GreedySelector.select(&req)) as f64;
+            let o = benefit(&ExhaustiveSelector.select(&req)) as f64;
+            assert!(g >= o * 0.85, "budget {budget}: greedy {g} vs optimal {o}");
+        }
+    }
+
+    #[test]
+    fn shared_atoms_are_not_double_counted() {
+        // Two SIs sharing atom type A1: budget 2 should fit both smallest
+        // molecules (1×A1 shared + …) when their union needs only 2 atoms.
+        let universe = AtomUniverse::from_types([
+            AtomTypeInfo::new("A1"),
+            AtomTypeInfo::new("A2"),
+        ])
+        .unwrap();
+        let mut b = SiLibraryBuilder::new(universe);
+        b.special_instruction("X", 100)
+            .unwrap()
+            .molecule(Molecule::from_counts([1, 1]), 10)
+            .unwrap();
+        b.special_instruction("Y", 100)
+            .unwrap()
+            .molecule(Molecule::from_counts([1, 0]), 10)
+            .unwrap();
+        let lib = b.build().unwrap();
+        let req = SelectionRequest::new(&lib, vec![(SiId(0), 10), (SiId(1), 10)], 2);
+        let sel = GreedySelector.select(&req);
+        assert_eq!(sel.len(), 2, "shared atom must let both SIs fit: {sel:?}");
+    }
+}

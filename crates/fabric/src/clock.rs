@@ -1,0 +1,82 @@
+use std::fmt;
+
+/// A clock domain, converting between wall time and cycle counts.
+///
+/// The RISPP prototype runs the base processor and Atom Containers at
+/// 100 MHz; all simulator timing is expressed in cycles of this clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockDomain {
+    hz: u64,
+}
+
+impl ClockDomain {
+    /// The prototype's 100 MHz processor clock.
+    pub const PROTOTYPE: ClockDomain = ClockDomain { hz: 100_000_000 };
+
+    /// Creates a clock domain with the given frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    #[must_use]
+    pub fn from_hz(hz: u64) -> Self {
+        assert!(hz > 0, "clock frequency must be positive");
+        ClockDomain { hz }
+    }
+
+    /// The frequency in Hz.
+    #[must_use]
+    pub fn hz(self) -> u64 {
+        self.hz
+    }
+
+    /// Number of cycles elapsing in `us` microseconds (rounded up).
+    #[must_use]
+    pub fn cycles_for_us(self, us: f64) -> u64 {
+        (us * self.hz as f64 / 1e6).ceil() as u64
+    }
+
+    /// Duration in microseconds of `cycles` cycles.
+    #[must_use]
+    pub fn us_for_cycles(self, cycles: u64) -> f64 {
+        cycles as f64 * 1e6 / self.hz as f64
+    }
+}
+
+impl Default for ClockDomain {
+    fn default() -> Self {
+        ClockDomain::PROTOTYPE
+    }
+}
+
+impl fmt::Display for ClockDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} MHz", self.hz / 1_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_is_100mhz() {
+        assert_eq!(ClockDomain::PROTOTYPE.hz(), 100_000_000);
+        assert_eq!(ClockDomain::default(), ClockDomain::PROTOTYPE);
+        assert_eq!(ClockDomain::PROTOTYPE.to_string(), "100 MHz");
+    }
+
+    #[test]
+    fn us_cycle_roundtrip() {
+        let clk = ClockDomain::PROTOTYPE;
+        assert_eq!(clk.cycles_for_us(874.03), 87_403);
+        let us = clk.us_for_cycles(87_403);
+        assert!((us - 874.03).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_panics() {
+        let _ = ClockDomain::from_hz(0);
+    }
+}

@@ -1,0 +1,316 @@
+use std::collections::VecDeque;
+
+use rispp_model::{AtomTypeId, AtomUniverse, Molecule};
+
+use crate::container::{AtomContainer, ContainerId, ContainerState};
+use crate::port::ReconfigPortConfig;
+
+/// Static configuration of a [`Fabric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// Number of Atom Containers (the paper sweeps 5–24).
+    pub containers: u16,
+    /// Reconfiguration-port parameters.
+    pub port: ReconfigPortConfig,
+}
+
+impl FabricConfig {
+    /// The prototype fabric with the given number of Atom Containers.
+    #[must_use]
+    pub fn prototype(containers: u16) -> Self {
+        FabricConfig {
+            containers,
+            port: ReconfigPortConfig::prototype(),
+        }
+    }
+}
+
+/// Completion event: `atom` became usable at cycle `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadCompleted {
+    /// The atom type that finished reconfiguring.
+    pub atom: AtomTypeId,
+    /// Container that now holds the atom.
+    pub container: ContainerId,
+    /// Absolute completion cycle.
+    pub at: u64,
+}
+
+/// Aggregate fabric statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FabricStats {
+    /// Atom loads requested via [`Fabric::enqueue_load`].
+    pub loads_enqueued: u64,
+    /// Atom loads completed.
+    pub loads_completed: u64,
+    /// Loaded atoms overwritten to make room for new ones.
+    pub evictions: u64,
+    /// Cycles the reconfiguration port spent streaming bitstreams.
+    pub port_busy_cycles: u64,
+    /// Pending loads dropped by [`Fabric::clear_pending`].
+    pub loads_cancelled: u64,
+}
+
+/// The reconfigurable fabric: Atom Containers plus the reconfiguration port.
+///
+/// Loads are serialised through the single port in FIFO order. Eviction
+/// (overwriting a loaded atom) prefers atoms with instances in excess of the
+/// *protected* set (normally `sup(M)` of the currently selected Molecules),
+/// breaking ties by least-recent use.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    config: FabricConfig,
+    bitstream_bytes: Vec<u32>,
+    containers: Vec<AtomContainer>,
+    queue: VecDeque<AtomTypeId>,
+    in_flight: Option<(AtomTypeId, ContainerId, u64)>,
+    available: Molecule,
+    protected: Molecule,
+    now: u64,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// Creates a fabric with all containers empty at cycle 0.
+    #[must_use]
+    pub fn new(config: FabricConfig, universe: &AtomUniverse) -> Self {
+        let arity = universe.arity();
+        Fabric {
+            config,
+            bitstream_bytes: universe.iter().map(|(_, t)| t.bitstream_bytes).collect(),
+            containers: (0..config.containers)
+                .map(|i| AtomContainer::new(ContainerId(i)))
+                .collect(),
+            queue: VecDeque::new(),
+            in_flight: None,
+            available: Molecule::zero(arity),
+            protected: Molecule::zero(arity),
+            now: 0,
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// Number of Atom Containers.
+    #[must_use]
+    pub fn container_count(&self) -> u16 {
+        self.config.containers
+    }
+
+    /// The fabric configuration.
+    #[must_use]
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Current simulated cycle (last `advance_to` target).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Atoms currently usable, as a Molecule over the atom universe.
+    #[must_use]
+    pub fn available(&self) -> &Molecule {
+        &self.available
+    }
+
+    /// Snapshot of all containers.
+    #[must_use]
+    pub fn containers(&self) -> &[AtomContainer] {
+        &self.containers
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// Load currently streaming through the port, if any:
+    /// `(atom, container, finish)`.
+    #[must_use]
+    pub fn in_flight(&self) -> Option<(AtomTypeId, ContainerId, u64)> {
+        self.in_flight
+    }
+
+    /// Number of queued (not yet started) loads.
+    #[must_use]
+    pub fn pending_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the port is idle and no loads are queued.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_none() && self.queue.is_empty()
+    }
+
+    /// Marks the given atom set as protected from eviction (normally
+    /// `sup(M)` of the Molecules selected for the upcoming hot spot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Molecule arity does not match the universe.
+    pub fn set_protected(&mut self, protected: Molecule) {
+        assert_eq!(
+            protected.arity(),
+            self.available.arity(),
+            "protected set arity must match universe"
+        );
+        self.protected = protected;
+    }
+
+    /// Appends an atom-load request to the port queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the atom type is outside the universe.
+    pub fn enqueue_load(&mut self, atom: AtomTypeId) {
+        assert!(
+            atom.index() < self.bitstream_bytes.len(),
+            "atom type {atom} outside universe"
+        );
+        self.stats.loads_enqueued += 1;
+        self.queue.push_back(atom);
+        self.try_start_next(self.now);
+    }
+
+    /// Appends a full schedule (sequence of atom loads) to the queue.
+    pub fn enqueue_schedule<I: IntoIterator<Item = AtomTypeId>>(&mut self, atoms: I) {
+        for atom in atoms {
+            self.enqueue_load(atom);
+        }
+    }
+
+    /// Drops all queued loads (the in-flight bitstream, if any, completes).
+    ///
+    /// Called on a hot-spot switch when a fresh schedule supersedes the old
+    /// one.
+    pub fn clear_pending(&mut self) {
+        self.stats.loads_cancelled += self.queue.len() as u64;
+        self.queue.clear();
+    }
+
+    /// Records that atoms of the executing Molecule were used at `now`;
+    /// feeds the least-recently-used eviction tie-breaker.
+    pub fn mark_used(&mut self, atoms: &Molecule, now: u64) {
+        for c in &mut self.containers {
+            if let Some(atom) = c.loaded_atom() {
+                if atoms.count(atom.index()) > 0 {
+                    c.mark_used(now);
+                }
+            }
+        }
+    }
+
+    /// Advances simulated time to `now`, completing every load that
+    /// finishes by then and starting queued loads as the port frees up.
+    /// Returns the completion events in chronological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` moves backwards.
+    pub fn advance_to(&mut self, now: u64) -> Vec<LoadCompleted> {
+        assert!(now >= self.now, "time must be monotone");
+        let mut events = Vec::new();
+        while let Some((atom, container, finish)) = self.in_flight {
+            if finish > now {
+                break;
+            }
+            self.in_flight = None;
+            let c = &mut self.containers[container.index()];
+            c.finish_load();
+            c.mark_used(finish);
+            self.available = self
+                .available
+                .saturating_add(&Molecule::unit(self.available.arity(), atom.index()));
+            self.stats.loads_completed += 1;
+            events.push(LoadCompleted {
+                atom,
+                container,
+                at: finish,
+            });
+            // The port frees at `finish`; the next queued load starts there.
+            self.try_start_next(finish);
+        }
+        self.now = now;
+        events
+    }
+
+    /// Earliest cycle at which the next completion event occurs, if any.
+    #[must_use]
+    pub fn next_event_at(&self) -> Option<u64> {
+        self.in_flight.map(|(_, _, finish)| finish)
+    }
+
+    fn try_start_next(&mut self, at: u64) {
+        if self.in_flight.is_some() {
+            return;
+        }
+        let Some(atom) = self.queue.pop_front() else {
+            return;
+        };
+        let Some(victim) = self.pick_container() else {
+            // No container can accept a load (single container mid-flight);
+            // put the request back and wait.
+            self.queue.push_front(atom);
+            return;
+        };
+        let c = &mut self.containers[victim.index()];
+        if let Some(old) = c.loaded_atom() {
+            // Partial reconfiguration overwrites the old atom immediately:
+            // one instance of the evicted type leaves the available set.
+            let mut counts: Vec<u16> = self.available.counts().to_vec();
+            counts[old.index()] -= 1;
+            self.available = Molecule::from_counts(counts);
+            self.stats.evictions += 1;
+        }
+        let cycles = self.config.port.load_cycles(self.bitstream_bytes[atom.index()]);
+        let finish = at + cycles;
+        self.stats.port_busy_cycles += cycles;
+        self.containers[victim.index()].begin_load(atom, finish);
+        self.in_flight = Some((atom, victim, finish));
+    }
+
+    /// Chooses the container for the next load: an empty one if available,
+    /// otherwise a loaded container holding an atom in excess of the
+    /// protected set (least recently used first), otherwise the globally
+    /// least recently used loaded container.
+    fn pick_container(&self) -> Option<ContainerId> {
+        if let Some(c) = self
+            .containers
+            .iter()
+            .find(|c| matches!(c.state(), ContainerState::Empty))
+        {
+            return Some(c.id());
+        }
+        // Count loaded instances per type to find excess over protected.
+        let loaded: Vec<u16> = {
+            let mut v = vec![0u16; self.available.arity()];
+            for c in &self.containers {
+                if let Some(a) = c.loaded_atom() {
+                    v[a.index()] += 1;
+                }
+            }
+            v
+        };
+        let evictable = |c: &&AtomContainer| {
+            c.loaded_atom()
+                .map(|a| loaded[a.index()] > self.protected.count(a.index()))
+                .unwrap_or(false)
+        };
+        if let Some(c) = self
+            .containers
+            .iter()
+            .filter(evictable)
+            .min_by_key(|c| c.last_used())
+        {
+            return Some(c.id());
+        }
+        self.containers
+            .iter()
+            .filter(|c| c.loaded_atom().is_some())
+            .min_by_key(|c| c.last_used())
+            .map(AtomContainer::id)
+    }
+}

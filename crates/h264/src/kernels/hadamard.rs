@@ -1,0 +1,81 @@
+//! Secondary Hadamard transforms of the DC coefficients — the `(I)HT 4×4`
+//! (luma DC, intra 16×16 mode) and `(I)HT 2×2` (chroma DC) Special
+//! Instructions (Table 1: 7 and 2 Molecules).
+
+use super::satd::hadamard_4x4;
+
+/// Forward 4×4 Hadamard of the 16 luma DC coefficients, with the
+/// standard's `(x)/2` scaling.
+#[must_use]
+pub fn forward_ht4x4(dc: &[i32; 16]) -> [i32; 16] {
+    let mut b = *dc;
+    hadamard_4x4(&mut b);
+    for v in &mut b {
+        *v = (*v + 1) >> 1;
+    }
+    b
+}
+
+/// Inverse 4×4 Hadamard of the luma DC coefficients (unscaled butterfly;
+/// rescaling happens in the dequantisation step of the caller).
+#[must_use]
+pub fn inverse_ht4x4(dc: &[i32; 16]) -> [i32; 16] {
+    let mut b = *dc;
+    hadamard_4x4(&mut b);
+    b
+}
+
+/// Forward 2×2 Hadamard of the 4 chroma DC coefficients
+/// `[dc00, dc01, dc10, dc11]`.
+#[must_use]
+pub fn forward_ht2x2(dc: &[i32; 4]) -> [i32; 4] {
+    [
+        dc[0] + dc[1] + dc[2] + dc[3],
+        dc[0] - dc[1] + dc[2] - dc[3],
+        dc[0] + dc[1] - dc[2] - dc[3],
+        dc[0] - dc[1] - dc[2] + dc[3],
+    ]
+}
+
+/// Inverse 2×2 Hadamard (self-inverse up to the factor 4).
+#[must_use]
+pub fn inverse_ht2x2(dc: &[i32; 4]) -> [i32; 4] {
+    forward_ht2x2(dc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ht2x2_roundtrip_scales_by_four() {
+        let x = [7i32, -3, 12, 0];
+        let y = inverse_ht2x2(&forward_ht2x2(&x));
+        for (a, b) in x.iter().zip(&y) {
+            assert_eq!(*b, a * 4);
+        }
+    }
+
+    #[test]
+    fn ht2x2_of_constant_is_pure_dc() {
+        let y = forward_ht2x2(&[5, 5, 5, 5]);
+        assert_eq!(y, [20, 0, 0, 0]);
+    }
+
+    #[test]
+    fn ht4x4_constant_input_concentrates_energy() {
+        let y = forward_ht4x4(&[3i32; 16]);
+        assert_eq!(y[0], 24); // 16·3 = 48, halved with rounding.
+        assert!(y[1..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn ht4x4_forward_then_inverse_scales_linearly() {
+        let x: [i32; 16] = core::array::from_fn(|i| i as i32 * 2 - 16);
+        // fwd (with /2) then inverse = 8× the input (16/2).
+        let y = inverse_ht4x4(&forward_ht4x4(&x));
+        for (a, b) in x.iter().zip(&y) {
+            assert!((b - a * 8).abs() <= 8, "{a} -> {b}");
+        }
+    }
+}

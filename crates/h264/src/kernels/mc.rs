@@ -1,0 +1,195 @@
+//! Quarter-pel luma motion compensation — the `MC` Special Instruction
+//! (Table 1: 3 Atom types `PointFilter`, `BytePack`, `Clip3`; 11
+//! Molecules; composition shown in paper Figure 3).
+//!
+//! Half-pel samples come from the standard 6-tap filter
+//! `(1, −5, 20, 20, −5, 1)` (the `PointFilter` Atom); results are clipped
+//! to 8 bits (`Clip3`) and packed back to bytes (`BytePack`); quarter-pel
+//! samples average the neighbouring integer/half-pel samples.
+
+use crate::frame::Plane;
+
+/// The H.264 6-tap half-pel interpolation kernel — one application of the
+/// `PointFilter` Atom of Figure 3.
+#[must_use]
+pub fn point_filter(a: i32, b: i32, c: i32, d: i32, e: i32, f: i32) -> i32 {
+    a - 5 * b + 20 * c + 20 * d - 5 * e + f
+}
+
+/// The `Clip3` Atom: clamps `x` into `[lo, hi]`.
+#[must_use]
+pub fn clip3(lo: i32, hi: i32, x: i32) -> i32 {
+    x.clamp(lo, hi)
+}
+
+/// Rounds and clips a 6-tap filter output to an 8-bit sample — the
+/// `Clip3` + `BytePack` tail of the Figure 3 data path.
+#[must_use]
+pub fn pack_half_pel(filtered: i32) -> u8 {
+    clip3(0, 255, (filtered + 16) >> 5) as u8
+}
+
+/// Horizontal half-pel sample at integer position `(x, y)` (between
+/// `(x, y)` and `(x+1, y)`).
+#[must_use]
+pub fn half_pel_h(plane: &Plane, x: isize, y: isize) -> u8 {
+    let s = |dx: isize| i32::from(plane.sample_clamped(x + dx, y));
+    pack_half_pel(point_filter(s(-2), s(-1), s(0), s(1), s(2), s(3)))
+}
+
+/// Vertical half-pel sample at integer position `(x, y)`.
+#[must_use]
+pub fn half_pel_v(plane: &Plane, x: isize, y: isize) -> u8 {
+    let s = |dy: isize| i32::from(plane.sample_clamped(x, y + dy));
+    pack_half_pel(point_filter(s(-2), s(-1), s(0), s(1), s(2), s(3)))
+}
+
+/// Diagonal half-pel sample: vertical 6-tap over horizontal 6-tap
+/// intermediates (20-bit intermediate precision as in the standard).
+#[must_use]
+pub fn half_pel_hv(plane: &Plane, x: isize, y: isize) -> u8 {
+    let h = |dy: isize| {
+        let s = |dx: isize| i32::from(plane.sample_clamped(x + dx, y + dy));
+        point_filter(s(-2), s(-1), s(0), s(1), s(2), s(3))
+    };
+    let v = point_filter(h(-2), h(-1), h(0), h(1), h(2), h(3));
+    clip3(0, 255, (v + 512) >> 10) as u8
+}
+
+/// Samples the luma plane at quarter-pel position
+/// `(4·x_int + frac_x, 4·y_int + frac_y)` with `frac ∈ [0, 3]`.
+#[must_use]
+pub fn sample_quarter_pel(plane: &Plane, x4: isize, y4: isize) -> u8 {
+    let xi = x4.div_euclid(4);
+    let yi = y4.div_euclid(4);
+    let fx = x4.rem_euclid(4);
+    let fy = y4.rem_euclid(4);
+    let full = |dx: isize, dy: isize| plane.sample_clamped(xi + dx, yi + dy);
+    let avg = |a: u8, b: u8| ((u16::from(a) + u16::from(b) + 1) >> 1) as u8;
+    match (fx, fy) {
+        (0, 0) => full(0, 0),
+        (2, 0) => half_pel_h(plane, xi, yi),
+        (0, 2) => half_pel_v(plane, xi, yi),
+        (2, 2) => half_pel_hv(plane, xi, yi),
+        (1, 0) => avg(full(0, 0), half_pel_h(plane, xi, yi)),
+        (3, 0) => avg(half_pel_h(plane, xi, yi), full(1, 0)),
+        (0, 1) => avg(full(0, 0), half_pel_v(plane, xi, yi)),
+        (0, 3) => avg(half_pel_v(plane, xi, yi), full(0, 1)),
+        (1, 2) => avg(half_pel_v(plane, xi, yi), half_pel_hv(plane, xi, yi)),
+        (3, 2) => avg(half_pel_hv(plane, xi, yi), half_pel_v(plane, xi + 1, yi)),
+        (2, 1) => avg(half_pel_h(plane, xi, yi), half_pel_hv(plane, xi, yi)),
+        (2, 3) => avg(half_pel_hv(plane, xi, yi), half_pel_h(plane, xi, yi + 1)),
+        (1, 1) => avg(half_pel_h(plane, xi, yi), half_pel_v(plane, xi, yi)),
+        (3, 1) => avg(half_pel_h(plane, xi, yi), half_pel_v(plane, xi + 1, yi)),
+        (1, 3) => avg(half_pel_h(plane, xi, yi + 1), half_pel_v(plane, xi, yi)),
+        (3, 3) => avg(half_pel_h(plane, xi, yi + 1), half_pel_v(plane, xi + 1, yi)),
+        _ => unreachable!("fractions are in [0,3]"),
+    }
+}
+
+/// Motion-compensates a 16×16 luma block: reads `reference` at the
+/// quarter-pel motion vector `(mvx4, mvy4)` (quarter-pel units) for the
+/// macroblock at `(mb_x, mb_y)` and writes the prediction into `out`.
+pub fn compensate_16x16(
+    reference: &Plane,
+    mb_x: usize,
+    mb_y: usize,
+    mvx4: isize,
+    mvy4: isize,
+    out: &mut [u8; 256],
+) {
+    for row in 0..16 {
+        for col in 0..16 {
+            let x4 = 4 * (mb_x as isize + col as isize) + mvx4;
+            let y4 = 4 * (mb_y as isize + row as isize) + mvy4;
+            out[row * 16 + col] = sample_quarter_pel(reference, x4, y4);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_filter_matches_reference_taps() {
+        assert_eq!(point_filter(1, 1, 1, 1, 1, 1), 32);
+        assert_eq!(point_filter(0, 0, 1, 0, 0, 0), 20);
+        assert_eq!(point_filter(0, 1, 0, 0, 0, 0), -5);
+    }
+
+    #[test]
+    fn constant_plane_interpolates_to_constant() {
+        let p = Plane::filled(32, 32, 77);
+        assert_eq!(half_pel_h(&p, 10, 10), 77);
+        assert_eq!(half_pel_v(&p, 10, 10), 77);
+        assert_eq!(half_pel_hv(&p, 10, 10), 77);
+        for fx in 0..4 {
+            for fy in 0..4 {
+                assert_eq!(sample_quarter_pel(&p, 40 + fx, 40 + fy), 77);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_mv_compensation_copies_block() {
+        let mut p = Plane::filled(32, 32, 0);
+        for y in 0..16 {
+            for x in 0..16 {
+                p.set_sample(x, y, (x * 16 + y) as u8);
+            }
+        }
+        let mut out = [0u8; 256];
+        compensate_16x16(&p, 0, 0, 0, 0, &mut out);
+        for y in 0..16 {
+            for x in 0..16 {
+                assert_eq!(out[y * 16 + x], p.sample(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn half_pel_between_step_edge_is_smoothed() {
+        // Step edge 0|255: the half-pel sample between them must be strictly
+        // between the extremes.
+        let mut p = Plane::filled(16, 4, 0);
+        for y in 0..4 {
+            for x in 8..16 {
+                p.set_sample(x, y, 255);
+            }
+        }
+        let h = half_pel_h(&p, 7, 1);
+        assert!(h > 0 && h < 255, "got {h}");
+    }
+
+    #[test]
+    fn clip3_bounds() {
+        assert_eq!(clip3(0, 255, -7), 0);
+        assert_eq!(clip3(0, 255, 300), 255);
+        assert_eq!(clip3(0, 255, 128), 128);
+    }
+
+    #[test]
+    fn quarter_pel_average_is_monotone() {
+        let mut p = Plane::filled(32, 4, 0);
+        for y in 0..4 {
+            for x in 0..32 {
+                p.set_sample(x, y, (x * 8).min(255) as u8);
+            }
+        }
+        // Along an increasing ramp, quarter positions are non-decreasing.
+        let s0 = sample_quarter_pel(&p, 40, 8);
+        let s1 = sample_quarter_pel(&p, 41, 8);
+        let s2 = sample_quarter_pel(&p, 42, 8);
+        let s3 = sample_quarter_pel(&p, 43, 8);
+        let s4 = sample_quarter_pel(&p, 44, 8);
+        assert!(s0 <= s1 && s1 <= s2 && s2 <= s3 && s3 <= s4, "{s0} {s1} {s2} {s3} {s4}");
+    }
+
+    #[test]
+    fn negative_mv_uses_euclidean_fractions() {
+        let p = Plane::filled(8, 8, 50);
+        // x4 = -3 -> xi = -1, fx = 1: clamped constant plane stays 50.
+        assert_eq!(sample_quarter_pel(&p, -3, -3), 50);
+    }
+}

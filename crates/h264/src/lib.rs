@@ -1,0 +1,53 @@
+//! H.264 encoder substrate for the RISPP benchmarks.
+//!
+//! The paper evaluates its run-time system with an ITU-T H.264 video
+//! encoder (CIF, 140 frames) whose processing migrates between three
+//! computational hot spots per frame: **Motion Estimation** (ME),
+//! **Encoding Engine** (EE) and **Loop Filter** (LF). This crate provides
+//! everything needed to regenerate that workload without the authors'
+//! encoder or input sequence:
+//!
+//! * [`kernels`] — real implementations of the accelerated kernels:
+//!   SAD, SATD (Hadamard), the 4×4 integer (I)DCT with quantisation, the
+//!   2×2/4×4 Hadamard DC transforms, 6-tap half-pel + quarter-pel motion
+//!   compensation, intra DC/H/V prediction and the BS4 strong deblocking
+//!   filter.
+//! * [`SyntheticVideo`] — a seeded CIF sequence generator (moving objects,
+//!   global pan, sensor noise) standing in for the paper's real video.
+//! * [`Encoder`] — a macroblock pipeline (ME → mode decision → transform/
+//!   quantisation → reconstruction → deblocking) that counts every Special
+//!   Instruction invocation while actually encoding.
+//! * [`h264_si_library`] — the Table-1 SI library: 9 SIs over 9 Atom
+//!   types with exactly the paper's Molecule counts per SI.
+//! * [`EncoderWorkload`] — conversion of an encoder run into a
+//!   [`rispp_sim::Trace`] for the execution engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use rispp_h264::{h264_si_library, EncoderConfig, EncoderWorkload};
+//!
+//! let library = h264_si_library();
+//! assert_eq!(library.len(), 9);
+//! // A tiny 4-frame QCIF run (the benchmarks use 140 CIF frames).
+//! let workload = EncoderWorkload::generate(&EncoderConfig::tiny(4));
+//! assert_eq!(workload.trace().len(), 4 * 3); // ME, EE, LF per frame
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod encoder;
+mod frame;
+pub mod kernels;
+mod me;
+mod si_library;
+mod video;
+mod workload;
+
+pub use encoder::{Encoder, EncoderConfig, FrameReport, MbMode};
+pub use frame::{Frame, Plane, MB_SIZE};
+pub use me::{MotionEstimator, MotionVector, SearchOutcome};
+pub use si_library::{h264_si_library, AtomKind, SiKind};
+pub use video::SyntheticVideo;
+pub use workload::{EncoderWorkload, HotSpot, WorkloadSummary};

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while constructing or validating model data structures.
+///
+/// Returned by fallible constructors such as
+/// [`SiLibraryBuilder::build`](crate::SiLibraryBuilder::build) and the
+/// `checked_*` Molecule operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// Two Molecules of different arity (number of atom types) were combined.
+    ArityMismatch {
+        /// Arity of the left-hand operand.
+        left: usize,
+        /// Arity of the right-hand operand.
+        right: usize,
+    },
+    /// An SI definition is invalid (empty variant list, arity mismatch, …).
+    InvalidSi {
+        /// Name of the offending SI.
+        si: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A name (atom type or SI) occurs more than once in a library.
+    DuplicateName(String),
+    /// The library references an atom type index outside its universe.
+    UnknownAtomType(usize),
+    /// A latency of zero was supplied where a positive cycle count is needed.
+    ZeroLatency {
+        /// Name of the offending SI or variant.
+        name: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ArityMismatch { left, right } => {
+                write!(f, "molecule arity mismatch: {left} vs {right}")
+            }
+            ModelError::InvalidSi { si, reason } => {
+                write!(f, "invalid special instruction `{si}`: {reason}")
+            }
+            ModelError::DuplicateName(name) => write!(f, "duplicate name `{name}`"),
+            ModelError::UnknownAtomType(idx) => write!(f, "unknown atom type index {idx}"),
+            ModelError::ZeroLatency { name } => {
+                write!(f, "latency of `{name}` must be at least one cycle")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = ModelError::ArityMismatch { left: 3, right: 4 };
+        let s = e.to_string();
+        assert!(s.starts_with("molecule arity mismatch"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

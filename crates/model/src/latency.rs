@@ -1,0 +1,153 @@
+//! Stage-based latency micro-model for Molecule implementations.
+//!
+//! The paper's Molecules are hand-developed data paths; their latencies come
+//! from RTL. For the reproduction we derive per-Molecule latencies from a
+//! simple but physically grounded model: one execution of an SI issues
+//! `ops[t]` operations onto functional stage `t`; a Molecule providing
+//! `k_t` parallel instances of atom type `t` serialises those into
+//! `ceil(ops[t] / k_t)` issue slots of `ii[t]` cycles each, plus a fixed
+//! pipeline fill `depth`. More instances therefore reduce latency with
+//! diminishing returns, and "wrong-mix" Molecules (many instances of a
+//! cheap stage, few of the bottleneck stage) are naturally slower — exactly
+//! the `m₄`-style candidates discussed in Section 4.3 of the paper.
+
+use crate::Molecule;
+
+/// Per-SI stage description from which Molecule latencies are computed.
+///
+/// # Examples
+///
+/// ```
+/// use rispp_model::latency::StageModel;
+/// use rispp_model::Molecule;
+///
+/// // An SI using 16 ops of stage 0, one cycle each, 4 cycles fill.
+/// let model = StageModel::new(Molecule::from_counts([16]), vec![1], 4);
+/// assert_eq!(model.latency(&Molecule::from_counts([1])), 20);
+/// assert_eq!(model.latency(&Molecule::from_counts([4])), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageModel {
+    ops: Molecule,
+    issue_interval: Vec<u32>,
+    depth: u32,
+}
+
+impl StageModel {
+    /// Creates a stage model.
+    ///
+    /// `ops[t]` is the number of operations stage `t` performs per SI
+    /// execution, `issue_interval[t]` the cycles per issue slot of that
+    /// stage, and `depth` the pipeline fill overhead added once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issue_interval.len() != ops.arity()`.
+    #[must_use]
+    pub fn new(ops: Molecule, issue_interval: Vec<u32>, depth: u32) -> Self {
+        assert_eq!(
+            issue_interval.len(),
+            ops.arity(),
+            "issue interval per stage required"
+        );
+        StageModel {
+            ops,
+            issue_interval,
+            depth,
+        }
+    }
+
+    /// The per-stage operation counts.
+    #[must_use]
+    pub fn ops(&self) -> &Molecule {
+        &self.ops
+    }
+
+    /// Latency in cycles of one SI execution on a Molecule providing
+    /// `instances[t]` copies of stage `t`.
+    ///
+    /// Stages whose instance count is zero while `ops > 0` are treated as a
+    /// single shared instance provided elsewhere (latency as if `k = 1`);
+    /// callers normally only evaluate Molecules that cover all used stages.
+    #[must_use]
+    pub fn latency(&self, instances: &Molecule) -> u32 {
+        let mut cycles = self.depth;
+        for t in 0..self.ops.arity() {
+            let ops = u32::from(self.ops.count(t));
+            if ops == 0 {
+                continue;
+            }
+            let k = u32::from(instances.count(t)).max(1);
+            cycles += ops.div_ceil(k) * self.issue_interval[t];
+        }
+        cycles
+    }
+
+    /// Latency of the fully parallel Molecule (one instance per op).
+    #[must_use]
+    pub fn min_latency(&self) -> u32 {
+        let full = self.ops.clone();
+        self.latency(&full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> StageModel {
+        // Two stages: 8 ops @1 cycle, 4 ops @2 cycles, depth 6.
+        StageModel::new(Molecule::from_counts([8, 4]), vec![1, 2], 6)
+    }
+
+    #[test]
+    fn single_instance_serialises_everything() {
+        let m = model();
+        // 8*1 + 4*2 + 6 = 22
+        assert_eq!(m.latency(&Molecule::from_counts([1, 1])), 22);
+    }
+
+    #[test]
+    fn more_instances_never_slower() {
+        let m = model();
+        let mut prev = u32::MAX;
+        for k in 1..=8u16 {
+            let lat = m.latency(&Molecule::from_counts([k, k]));
+            assert!(lat <= prev, "latency must be monotone in instances");
+            prev = lat;
+        }
+    }
+
+    #[test]
+    fn diminishing_returns() {
+        let m = model();
+        let l1 = m.latency(&Molecule::from_counts([1, 1]));
+        let l2 = m.latency(&Molecule::from_counts([2, 2]));
+        let l4 = m.latency(&Molecule::from_counts([4, 4]));
+        assert!(l1 - l2 >= l2 - l4);
+    }
+
+    #[test]
+    fn wrong_mix_molecule_is_slower_despite_more_atoms() {
+        let m = model();
+        // (1,3): 4 atoms, but stage 0 is the bottleneck -> 8 + 2*2 + 6 = 18
+        // (2,2): 4 atoms, balanced -> 4 + 2*2 + 6 = 14
+        let unbalanced = m.latency(&Molecule::from_counts([1, 3]));
+        let balanced = m.latency(&Molecule::from_counts([2, 2]));
+        assert!(unbalanced > balanced);
+    }
+
+    #[test]
+    fn min_latency_is_floor() {
+        let m = model();
+        // 1 + 2 + 6 = 9
+        assert_eq!(m.min_latency(), 9);
+        assert!(m.latency(&Molecule::from_counts([100, 100])) >= m.min_latency());
+    }
+
+    #[test]
+    fn unused_stage_costs_nothing() {
+        let m = StageModel::new(Molecule::from_counts([4, 0]), vec![1, 5], 2);
+        assert_eq!(m.latency(&Molecule::from_counts([1, 0])), 6);
+    }
+}

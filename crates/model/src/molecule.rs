@@ -1,0 +1,422 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::Index;
+
+use crate::ModelError;
+
+/// A Molecule: a vector in `ℕⁿ` giving the desired number of instances of
+/// each Atom type (paper Section 4.1).
+///
+/// Molecules form a complete lattice under the component-wise partial order
+/// `≤` with join [`Molecule::union`] (component-wise `max`) and meet
+/// [`Molecule::intersect`] (component-wise `min`). The *determinant* `|m|`
+/// (total number of atoms) is exposed as [`Molecule::total_atoms`], and the
+/// residual operator `⊖` — the minimum set of atoms that additionally have
+/// to be offered — as [`Molecule::residual`].
+///
+/// # Examples
+///
+/// ```
+/// use rispp_model::Molecule;
+///
+/// let available = Molecule::from_counts([0, 3]);
+/// let wanted = Molecule::from_counts([1, 3]);
+/// assert_eq!(available.residual(&wanted).total_atoms(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Molecule {
+    counts: Vec<u16>,
+}
+
+impl Molecule {
+    /// Creates the zero Molecule (the neutral element of `∪`) of the given
+    /// arity.
+    #[must_use]
+    pub fn zero(arity: usize) -> Self {
+        Molecule {
+            counts: vec![0; arity],
+        }
+    }
+
+    /// Creates a Unit-Molecule `uᵢ`: a single instance of atom type `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= arity`.
+    #[must_use]
+    pub fn unit(arity: usize, index: usize) -> Self {
+        assert!(index < arity, "unit index {index} out of arity {arity}");
+        let mut counts = vec![0; arity];
+        counts[index] = 1;
+        Molecule { counts }
+    }
+
+    /// Creates a Molecule from explicit per-type instance counts.
+    #[must_use]
+    pub fn from_counts<I: IntoIterator<Item = u16>>(counts: I) -> Self {
+        Molecule {
+            counts: counts.into_iter().collect(),
+        }
+    }
+
+    /// Number of distinct atom types this Molecule is defined over.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The raw per-type instance counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u16] {
+        &self.counts
+    }
+
+    /// Instance count of atom type `index`, or 0 when out of range.
+    #[must_use]
+    pub fn count(&self, index: usize) -> u16 {
+        self.counts.get(index).copied().unwrap_or(0)
+    }
+
+    /// The determinant `|m|`: the total number of atoms required to
+    /// implement this Molecule.
+    #[must_use]
+    pub fn total_atoms(&self) -> u32 {
+        self.counts.iter().map(|&c| u32::from(c)).sum()
+    }
+
+    /// Number of distinct atom *types* used (non-zero components).
+    #[must_use]
+    pub fn atom_type_count(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Whether no atoms at all are required.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// The Meta-Molecule `m ∪ o` (component-wise maximum): atoms required to
+    /// implement *both* operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ; use [`Molecule::checked_union`] for a
+    /// fallible variant.
+    #[must_use]
+    pub fn union(&self, other: &Molecule) -> Molecule {
+        self.checked_union(other).expect("molecule arity mismatch")
+    }
+
+    /// Fallible variant of [`Molecule::union`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ArityMismatch`] when the arities differ.
+    pub fn checked_union(&self, other: &Molecule) -> Result<Molecule, ModelError> {
+        self.zip_with(other, |a, b| a.max(b))
+    }
+
+    /// The Meta-Molecule `m ∩ o` (component-wise minimum): atoms that are
+    /// collectively needed for both operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ; use [`Molecule::checked_intersect`] for
+    /// a fallible variant.
+    #[must_use]
+    pub fn intersect(&self, other: &Molecule) -> Molecule {
+        self.checked_intersect(other)
+            .expect("molecule arity mismatch")
+    }
+
+    /// Fallible variant of [`Molecule::intersect`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ArityMismatch`] when the arities differ.
+    pub fn checked_intersect(&self, other: &Molecule) -> Result<Molecule, ModelError> {
+        self.zip_with(other, |a, b| a.min(b))
+    }
+
+    /// The residual `self ⊖ other`: the minimum set of atoms that
+    /// additionally have to be offered to implement `other`, assuming the
+    /// atoms in `self` are already available (saturating component-wise
+    /// subtraction `other - self`).
+    ///
+    /// Note the operand order follows the paper: `a ⊖ m` is "what `m` still
+    /// needs on top of `a`".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ; use [`Molecule::checked_residual`] for
+    /// a fallible variant.
+    #[must_use]
+    pub fn residual(&self, other: &Molecule) -> Molecule {
+        self.checked_residual(other)
+            .expect("molecule arity mismatch")
+    }
+
+    /// Fallible variant of [`Molecule::residual`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ArityMismatch`] when the arities differ.
+    pub fn checked_residual(&self, other: &Molecule) -> Result<Molecule, ModelError> {
+        self.zip_with(other, |a, o| o.saturating_sub(a))
+    }
+
+    /// Component-wise saturating addition; used to track loaded atoms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    #[must_use]
+    pub fn saturating_add(&self, other: &Molecule) -> Molecule {
+        self.zip_with(other, |a, b| a.saturating_add(b))
+            .expect("molecule arity mismatch")
+    }
+
+    /// The supremum of a set of Molecules: the Meta-Molecule declaring all
+    /// atoms needed to implement *any* Molecule of the set.
+    ///
+    /// Returns `None` for an empty iterator (the paper defines `sup ∅` only
+    /// over non-empty subsets for the purposes of scheduling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Molecules have differing arities.
+    pub fn supremum<'a, I: IntoIterator<Item = &'a Molecule>>(set: I) -> Option<Molecule> {
+        set.into_iter().fold(None, |acc, m| match acc {
+            None => Some(m.clone()),
+            Some(a) => Some(a.union(m)),
+        })
+    }
+
+    /// The infimum of a set of Molecules: atoms collectively needed by *all*
+    /// Molecules of the set. Returns `None` for an empty iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Molecules have differing arities.
+    pub fn infimum<'a, I: IntoIterator<Item = &'a Molecule>>(set: I) -> Option<Molecule> {
+        set.into_iter().fold(None, |acc, m| match acc {
+            None => Some(m.clone()),
+            Some(a) => Some(a.intersect(m)),
+        })
+    }
+
+    /// Decomposes this Molecule into a sequence of Unit-Molecule indices:
+    /// atom type `i` appears `counts[i]` times, in ascending type order.
+    ///
+    /// The scheduling function SF of the paper (eq. 1/2) is a permutation of
+    /// exactly this multiset.
+    #[must_use]
+    pub fn to_unit_indices(&self) -> Vec<usize> {
+        let mut units = Vec::with_capacity(self.total_atoms() as usize);
+        for (i, &c) in self.counts.iter().enumerate() {
+            for _ in 0..c {
+                units.push(i);
+            }
+        }
+        units
+    }
+
+    fn zip_with(
+        &self,
+        other: &Molecule,
+        f: impl Fn(u16, u16) -> u16,
+    ) -> Result<Molecule, ModelError> {
+        if self.arity() != other.arity() {
+            return Err(ModelError::ArityMismatch {
+                left: self.arity(),
+                right: other.arity(),
+            });
+        }
+        Ok(Molecule {
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+}
+
+/// Component-wise partial order: `m ≤ o` iff `∀i: mᵢ ≤ oᵢ`.
+///
+/// Molecules of different arity, and Molecules where neither dominates the
+/// other, are incomparable (`partial_cmp` returns `None`).
+impl PartialOrd for Molecule {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if self.arity() != other.arity() {
+            return None;
+        }
+        let mut le = true;
+        let mut ge = true;
+        for (&a, &b) in self.counts.iter().zip(&other.counts) {
+            le &= a <= b;
+            ge &= a >= b;
+            if !le && !ge {
+                return None;
+            }
+        }
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+}
+
+impl Index<usize> for Molecule {
+    type Output = u16;
+
+    fn index(&self, index: usize) -> &u16 {
+        &self.counts[index]
+    }
+}
+
+impl FromIterator<u16> for Molecule {
+    fn from_iter<I: IntoIterator<Item = u16>>(iter: I) -> Self {
+        Molecule::from_counts(iter)
+    }
+}
+
+impl fmt::Display for Molecule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(counts: &[u16]) -> Molecule {
+        Molecule::from_counts(counts.iter().copied())
+    }
+
+    #[test]
+    fn zero_is_neutral_for_union() {
+        let a = m(&[2, 0, 5]);
+        assert_eq!(a.union(&Molecule::zero(3)), a);
+    }
+
+    #[test]
+    fn union_is_componentwise_max() {
+        assert_eq!(m(&[2, 1]).union(&m(&[1, 3])), m(&[2, 3]));
+    }
+
+    #[test]
+    fn intersect_is_componentwise_min() {
+        assert_eq!(m(&[2, 1]).intersect(&m(&[1, 3])), m(&[1, 1]));
+    }
+
+    #[test]
+    fn paper_residual_example() {
+        // a = (0,3), m4 = (1,3): a ⊖ m4 = (1,0), so |a ⊖ m4| = 1.
+        let a = m(&[0, 3]);
+        let m4 = m(&[1, 3]);
+        let m2 = m(&[2, 2]);
+        assert_eq!(a.residual(&m4), m(&[1, 0]));
+        assert_eq!(a.residual(&m2), m(&[2, 0]));
+        // With these initially available atoms, m4 is the cheaper upgrade,
+        // exactly the situation of Section 4.3.
+        assert!(a.residual(&m4).total_atoms() < a.residual(&m2).total_atoms());
+    }
+
+    #[test]
+    fn partial_order_basics() {
+        assert!(m(&[1, 2]) <= m(&[1, 3]));
+        assert!(m(&[1, 2]) < m(&[2, 2]));
+        assert_eq!(m(&[1, 2]).partial_cmp(&m(&[2, 1])), None);
+        assert_eq!(m(&[1, 2]).partial_cmp(&m(&[1, 2])), Some(Ordering::Equal));
+        assert_eq!(m(&[1]).partial_cmp(&m(&[1, 0])), None);
+    }
+
+    #[test]
+    fn supremum_dominates_all_members() {
+        let set = [m(&[1, 0, 2]), m(&[0, 4, 1]), m(&[2, 2, 0])];
+        let sup = Molecule::supremum(set.iter()).expect("non-empty");
+        assert_eq!(sup, m(&[2, 4, 2]));
+        for x in &set {
+            assert!(x <= &sup);
+        }
+    }
+
+    #[test]
+    fn infimum_is_dominated_by_all_members() {
+        let set = [m(&[1, 3]), m(&[2, 1])];
+        let inf = Molecule::infimum(set.iter()).expect("non-empty");
+        assert_eq!(inf, m(&[1, 1]));
+        for x in &set {
+            assert!(&inf <= x);
+        }
+    }
+
+    #[test]
+    fn empty_set_has_no_supremum() {
+        assert_eq!(Molecule::supremum(std::iter::empty()), None);
+        assert_eq!(Molecule::infimum(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn determinant_counts_all_instances() {
+        assert_eq!(m(&[2, 0, 3]).total_atoms(), 5);
+        assert_eq!(Molecule::zero(4).total_atoms(), 0);
+    }
+
+    #[test]
+    fn unit_molecule_has_single_atom() {
+        let u = Molecule::unit(4, 2);
+        assert_eq!(u.total_atoms(), 1);
+        assert_eq!(u.count(2), 1);
+        assert_eq!(u.atom_type_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of arity")]
+    fn unit_out_of_range_panics() {
+        let _ = Molecule::unit(2, 2);
+    }
+
+    #[test]
+    fn checked_ops_report_arity_mismatch() {
+        let e = m(&[1]).checked_union(&m(&[1, 2])).unwrap_err();
+        assert_eq!(e, ModelError::ArityMismatch { left: 1, right: 2 });
+    }
+
+    #[test]
+    fn unit_indices_expand_multiplicities() {
+        assert_eq!(m(&[2, 0, 1]).to_unit_indices(), vec![0, 0, 2]);
+        assert!(Molecule::zero(3).to_unit_indices().is_empty());
+    }
+
+    #[test]
+    fn display_formats_as_tuple() {
+        assert_eq!(m(&[1, 0, 3]).to_string(), "(1, 0, 3)");
+        assert_eq!(Molecule::zero(0).to_string(), "()");
+    }
+
+    #[test]
+    fn saturating_add_tracks_inventory() {
+        assert_eq!(m(&[1, 2]).saturating_add(&m(&[3, 0])), m(&[4, 2]));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let x: Molecule = [1u16, 2, 3].into_iter().collect();
+        assert_eq!(x, m(&[1, 2, 3]));
+    }
+}

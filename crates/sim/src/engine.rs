@@ -1,0 +1,397 @@
+use rispp_core::{BurstSegment, RunTimeManager, SchedulerKind};
+use rispp_model::{SiId, SiLibrary};
+use rispp_monitor::{ForecastPolicy, HotSpotId};
+
+use crate::baseline::MolenSystem;
+use crate::stats::{RunStats, DEFAULT_BUCKET_CYCLES};
+use crate::trace::Trace;
+
+/// Which execution system replays the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// The RISPP run-time system with the given scheduler.
+    Rispp(SchedulerKind),
+    /// Molen-like baseline: one fixed implementation per SI, resident
+    /// across hot-spot switches when space allows.
+    Molen,
+    /// OneChip-like baseline: one fixed implementation per SI in a single
+    /// configuration context that is flushed on every hot-spot switch.
+    OneChip,
+    /// Pure base-processor execution (every SI traps): the paper's 0-AC
+    /// reference point of 7,403 M cycles.
+    SoftwareOnly,
+}
+
+impl SystemKind {
+    /// Display label used in reports.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            SystemKind::Rispp(kind) => kind.abbreviation().to_string(),
+            SystemKind::Molen => "Molen".to_string(),
+            SystemKind::OneChip => "OneChip".to_string(),
+            SystemKind::SoftwareOnly => "Software".to_string(),
+        }
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of Atom Containers (RISPP) or container slots (Molen).
+    pub containers: u16,
+    /// The execution system.
+    pub system: SystemKind,
+    /// Forecast policy of the online monitor (RISPP only).
+    pub forecast: ForecastPolicy,
+    /// Collect per-bucket execution counts and latency timelines.
+    pub detail: bool,
+    /// Statistics bucket width in cycles.
+    pub bucket_cycles: u64,
+    /// Feed the *measured* per-invocation execution profile to the
+    /// run-time system instead of the online forecast (perfect future
+    /// knowledge — the upper bound of paper Section 4.2).
+    pub oracle: bool,
+    /// Reconfiguration-port bandwidth override in bytes per second
+    /// (`None`: the prototype's SelectMAP/ICAP port).
+    pub port_bandwidth: Option<u64>,
+}
+
+impl SimConfig {
+    /// RISPP configuration with the given scheduler.
+    #[must_use]
+    pub fn rispp(containers: u16, scheduler: SchedulerKind) -> Self {
+        SimConfig {
+            containers,
+            system: SystemKind::Rispp(scheduler),
+            forecast: ForecastPolicy::default(),
+            detail: false,
+            bucket_cycles: DEFAULT_BUCKET_CYCLES,
+            oracle: false,
+            port_bandwidth: None,
+        }
+    }
+
+    /// Molen-baseline configuration.
+    #[must_use]
+    pub fn molen(containers: u16) -> Self {
+        SimConfig {
+            containers,
+            system: SystemKind::Molen,
+            forecast: ForecastPolicy::default(),
+            detail: false,
+            bucket_cycles: DEFAULT_BUCKET_CYCLES,
+            oracle: false,
+            port_bandwidth: None,
+        }
+    }
+
+    /// Pure-software configuration (0 Atom Containers).
+    #[must_use]
+    pub fn software_only() -> Self {
+        SimConfig {
+            containers: 0,
+            system: SystemKind::SoftwareOnly,
+            forecast: ForecastPolicy::default(),
+            detail: false,
+            bucket_cycles: DEFAULT_BUCKET_CYCLES,
+            oracle: false,
+            port_bandwidth: None,
+        }
+    }
+
+    /// Enables detailed statistics (builder style).
+    #[must_use]
+    pub fn with_detail(mut self, detail: bool) -> Self {
+        self.detail = detail;
+        self
+    }
+
+    /// Overrides the forecast policy (builder style).
+    #[must_use]
+    pub fn with_forecast(mut self, policy: ForecastPolicy) -> Self {
+        self.forecast = policy;
+        self
+    }
+
+    /// Enables oracle (perfect-future-knowledge) profiles (builder style).
+    #[must_use]
+    pub fn with_oracle(mut self, oracle: bool) -> Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Overrides the reconfiguration-port bandwidth (builder style).
+    #[must_use]
+    pub fn with_port_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.port_bandwidth = Some(bytes_per_sec);
+        self
+    }
+}
+
+enum System<'a> {
+    Rispp(RunTimeManager<'a>),
+    RisppOracle(RunTimeManager<'a>),
+    Molen(MolenSystem<'a>),
+    Software(&'a SiLibrary),
+}
+
+impl<'a> System<'a> {
+    fn enter(&mut self, hot_spot: HotSpotId, hints: &[(SiId, u64)], now: u64) {
+        match self {
+            System::Rispp(mgr) => mgr
+                .enter_hot_spot(hot_spot, hints, now)
+                .expect("trace and library are consistent"),
+            System::RisppOracle(mgr) => mgr
+                .enter_hot_spot_with_profile(hot_spot, hints, now)
+                .expect("trace and library are consistent"),
+            System::Molen(m) => m.enter_hot_spot(hot_spot, hints, now),
+            System::Software(_) => {}
+        }
+    }
+
+    fn burst(&mut self, si: SiId, count: u32, overhead: u32, start: u64) -> Vec<BurstSegment> {
+        match self {
+            System::Rispp(mgr) | System::RisppOracle(mgr) => {
+                mgr.execute_burst(si, count, overhead, start)
+            }
+            System::Molen(m) => m.execute_burst(si, count, overhead, start),
+            System::Software(lib) => vec![BurstSegment {
+                start,
+                count: u64::from(count),
+                latency: lib.si(si).expect("si within library").software_latency(),
+                variant_index: None,
+            }],
+        }
+    }
+
+    fn exit(&mut self, now: u64) {
+        match self {
+            System::Rispp(mgr) | System::RisppOracle(mgr) => mgr.exit_hot_spot(now),
+            System::Molen(m) => m.exit_hot_spot(now),
+            System::Software(_) => {}
+        }
+    }
+
+    fn reconfiguration_stats(&self) -> (u64, u64) {
+        match self {
+            System::Rispp(mgr) | System::RisppOracle(mgr) => {
+                let s = mgr.fabric().stats();
+                (s.loads_completed, s.port_busy_cycles)
+            }
+            System::Molen(m) => m.reconfiguration_stats(),
+            System::Software(_) => (0, 0),
+        }
+    }
+}
+
+/// Replays `trace` on the configured system and returns the run statistics.
+///
+/// Time starts at cycle 0 with a cold (empty) fabric, exactly like the
+/// paper's measurements.
+///
+/// # Panics
+///
+/// Panics if the trace references SIs outside `library`.
+#[must_use]
+pub fn simulate(library: &SiLibrary, trace: &Trace, config: &SimConfig) -> RunStats {
+    let mut system = match config.system {
+        SystemKind::Rispp(kind) => {
+            let mut builder = RunTimeManager::builder(library)
+                .containers(config.containers)
+                .scheduler(kind)
+                .forecast(config.forecast);
+            if let Some(bw) = config.port_bandwidth {
+                builder = builder.port_bandwidth(bw);
+            }
+            let mgr = builder.build();
+            if config.oracle {
+                System::RisppOracle(mgr)
+            } else {
+                System::Rispp(mgr)
+            }
+        }
+        SystemKind::Molen => System::Molen(MolenSystem::new(library, config.containers)),
+        SystemKind::OneChip => System::Molen(MolenSystem::one_chip(library, config.containers)),
+        SystemKind::SoftwareOnly => System::Software(library),
+    };
+
+    let mut stats = RunStats::new(
+        config.system.label(),
+        library.len(),
+        config.bucket_cycles,
+        config.detail,
+    );
+    let mut now = 0u64;
+    for inv in trace.invocations() {
+        if config.oracle {
+            let profile = inv.execution_profile();
+            system.enter(inv.hot_spot, &profile, now);
+        } else {
+            system.enter(inv.hot_spot, &inv.hints, now);
+        }
+        now += inv.prologue_cycles;
+        for b in &inv.bursts {
+            if b.count == 0 {
+                continue;
+            }
+            let segments = system.burst(b.si, b.count, b.overhead, now);
+            for seg in &segments {
+                let per = u64::from(seg.latency) + u64::from(b.overhead);
+                stats.record_segment(b.si, seg.start, seg.count, per, seg.latency, seg.is_hardware());
+                now = seg.start + seg.count * per;
+            }
+        }
+        system.exit(now);
+    }
+    stats.total_cycles = now;
+    let (loads, cycles) = system.reconfiguration_stats();
+    stats.reconfigurations = loads;
+    stats.reconfiguration_cycles = cycles;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Burst, Invocation};
+    use rispp_model::{AtomTypeInfo, AtomUniverse, Molecule, SiLibraryBuilder};
+
+    fn library() -> SiLibrary {
+        let universe = AtomUniverse::from_types([
+            AtomTypeInfo::new("A1"),
+            AtomTypeInfo::new("A2"),
+        ])
+        .unwrap();
+        let mut b = SiLibraryBuilder::new(universe);
+        b.special_instruction("X", 1_000)
+            .unwrap()
+            .molecule(Molecule::from_counts([1, 0]), 100)
+            .unwrap()
+            .molecule(Molecule::from_counts([2, 1]), 30)
+            .unwrap();
+        b.special_instruction("Y", 800)
+            .unwrap()
+            .molecule(Molecule::from_counts([0, 1]), 90)
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    fn trace(frames: usize) -> Trace {
+        (0..frames)
+            .map(|_| Invocation {
+                hot_spot: HotSpotId(0),
+                prologue_cycles: 1_000,
+                bursts: vec![
+                    Burst {
+                        si: SiId(0),
+                        count: 500,
+                        overhead: 20,
+                    },
+                    Burst {
+                        si: SiId(1),
+                        count: 200,
+                        overhead: 20,
+                    },
+                ],
+                hints: vec![(SiId(0), 500), (SiId(1), 200)],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn software_only_time_is_exact() {
+        let lib = library();
+        let t = trace(2);
+        let stats = simulate(&lib, &t, &SimConfig::software_only());
+        // 2 × (1000 + 500·1020 + 200·820) cycles.
+        assert_eq!(stats.total_cycles, 2 * (1_000 + 500 * 1_020 + 200 * 820));
+        assert_eq!(stats.total_executions(), 1_400);
+        assert!((stats.hardware_fraction() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn rispp_beats_software_and_molen_on_repetitive_workload() {
+        let lib = library();
+        let t = trace(8);
+        let sw = simulate(&lib, &t, &SimConfig::software_only());
+        let molen = simulate(&lib, &t, &SimConfig::molen(4));
+        let hef = simulate(&lib, &t, &SimConfig::rispp(4, SchedulerKind::Hef));
+        assert!(hef.total_cycles < sw.total_cycles);
+        assert!(molen.total_cycles < sw.total_cycles);
+        assert!(
+            hef.total_cycles <= molen.total_cycles,
+            "HEF {} vs Molen {}",
+            hef.total_cycles,
+            molen.total_cycles
+        );
+        assert!(hef.hardware_fraction() > 0.5);
+    }
+
+    #[test]
+    fn all_schedulers_complete_with_identical_execution_counts() {
+        let lib = library();
+        let t = trace(3);
+        let want = t.total_si_executions();
+        for kind in SchedulerKind::ALL {
+            let stats = simulate(&lib, &t, &SimConfig::rispp(3, kind));
+            assert_eq!(stats.total_executions(), want, "{kind}");
+            assert_eq!(stats.system, kind.abbreviation());
+        }
+    }
+
+    #[test]
+    fn detail_mode_collects_buckets_and_timeline() {
+        let lib = library();
+        let t = trace(2);
+        let stats = simulate(
+            &lib,
+            &t,
+            &SimConfig::rispp(4, SchedulerKind::Hef).with_detail(true),
+        );
+        assert!(stats.has_detail());
+        let combined: u64 = stats.combined_buckets().iter().map(|&c| u64::from(c)).sum();
+        assert_eq!(combined, stats.total_executions());
+        // Latency of X must step down over time.
+        let tl = &stats.latency_timeline[0];
+        assert!(tl.len() >= 2);
+        assert!(tl.windows(2).all(|w| w[1].latency < w[0].latency));
+    }
+
+    #[test]
+    fn one_chip_is_never_faster_than_molen() {
+        let lib = library();
+        let t = trace(6);
+        let molen = simulate(&lib, &t, &SimConfig::molen(4));
+        let one_chip = simulate(
+            &lib,
+            &t,
+            &SimConfig {
+                system: SystemKind::OneChip,
+                ..SimConfig::molen(4)
+            },
+        );
+        assert!(one_chip.total_cycles >= molen.total_cycles);
+        assert_eq!(one_chip.system, "OneChip");
+    }
+
+    #[test]
+    fn reconfiguration_stats_reported() {
+        let lib = library();
+        let t = trace(2);
+        let stats = simulate(&lib, &t, &SimConfig::rispp(4, SchedulerKind::Hef));
+        assert!(stats.reconfigurations > 0);
+        assert!(stats.reconfiguration_cycles > 0);
+        let sw = simulate(&lib, &t, &SimConfig::software_only());
+        assert_eq!(sw.reconfigurations, 0);
+    }
+
+    #[test]
+    fn more_containers_never_hurt_hef_on_stable_workload() {
+        let lib = library();
+        let t = trace(6);
+        let c3 = simulate(&lib, &t, &SimConfig::rispp(3, SchedulerKind::Hef));
+        let c4 = simulate(&lib, &t, &SimConfig::rispp(4, SchedulerKind::Hef));
+        assert!(c4.total_cycles <= c3.total_cycles);
+    }
+}

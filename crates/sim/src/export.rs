@@ -1,0 +1,160 @@
+//! CSV export of simulation results, for plotting the regenerated figures
+//! with external tools.
+
+use std::fmt::Write as _;
+
+use rispp_model::SiLibrary;
+
+use crate::stats::RunStats;
+
+/// One-line CSV summary of a run:
+/// `system,total_cycles,executions,hardware_fraction,reconfigurations,reconfiguration_cycles`.
+#[must_use]
+pub fn summary_csv_row(stats: &RunStats) -> String {
+    format!(
+        "{},{},{},{:.4},{},{}",
+        stats.system,
+        stats.total_cycles,
+        stats.total_executions(),
+        stats.hardware_fraction(),
+        stats.reconfigurations,
+        stats.reconfiguration_cycles
+    )
+}
+
+/// CSV header matching [`summary_csv_row`].
+#[must_use]
+pub fn summary_csv_header() -> &'static str {
+    "system,total_cycles,executions,hardware_fraction,reconfigurations,reconfiguration_cycles"
+}
+
+/// Per-bucket execution counts as CSV: one row per bucket, one column per
+/// SI (named from the library), plus a combined column — the data behind
+/// the bars of paper Figures 2 and 8.
+///
+/// Returns an empty string when the run did not collect detail.
+#[must_use]
+pub fn buckets_csv(stats: &RunStats, library: &SiLibrary) -> String {
+    if !stats.has_detail() {
+        return String::new();
+    }
+    let mut out = String::from("bucket");
+    for si in library.iter() {
+        let _ = write!(out, ",{}", si.name().replace(',', ";"));
+    }
+    out.push_str(",combined\n");
+    let combined = stats.combined_buckets();
+    for (b, &total) in combined.iter().enumerate() {
+        let _ = write!(out, "{b}");
+        for si in library.iter() {
+            let _ = write!(out, ",{}", stats.executions_in_bucket(si.id(), b));
+        }
+        let _ = writeln!(out, ",{total}");
+    }
+    out
+}
+
+/// Per-SI latency timelines as CSV rows `si,cycle,latency` — the data
+/// behind the step-down lines of paper Figure 8.
+///
+/// Returns an empty string when the run did not collect detail.
+#[must_use]
+pub fn latency_timeline_csv(stats: &RunStats, library: &SiLibrary) -> String {
+    if !stats.has_detail() {
+        return String::new();
+    }
+    let mut out = String::from("si,cycle,latency\n");
+    for si in library.iter() {
+        if let Some(timeline) = stats.latency_timeline.get(si.id().index()) {
+            for event in timeline {
+                let _ = writeln!(
+                    out,
+                    "{},{},{}",
+                    si.name().replace(',', ";"),
+                    event.at,
+                    event.latency
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimConfig};
+    use crate::trace::{Burst, Invocation, Trace};
+    use rispp_core::SchedulerKind;
+    use rispp_model::{AtomTypeInfo, AtomUniverse, Molecule, SiId, SiLibraryBuilder};
+    use rispp_monitor::HotSpotId;
+
+    fn library() -> SiLibrary {
+        let universe = AtomUniverse::from_types([AtomTypeInfo::new("A1")]).unwrap();
+        let mut b = SiLibraryBuilder::new(universe);
+        b.special_instruction("X", 1_000)
+            .unwrap()
+            .molecule(Molecule::from_counts([1]), 50)
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    fn run(detail: bool) -> RunStats {
+        let lib = library();
+        let trace = Trace::from_invocations(vec![Invocation {
+            hot_spot: HotSpotId(0),
+            prologue_cycles: 100,
+            bursts: vec![Burst {
+                si: SiId(0),
+                count: 2_000,
+                overhead: 10,
+            }],
+            hints: vec![(SiId(0), 2_000)],
+        }]);
+        simulate(
+            &lib,
+            &trace,
+            &SimConfig::rispp(2, SchedulerKind::Hef).with_detail(detail),
+        )
+    }
+
+    #[test]
+    fn summary_row_has_all_fields() {
+        let stats = run(false);
+        let row = summary_csv_row(&stats);
+        assert_eq!(row.split(',').count(), summary_csv_header().split(',').count());
+        assert!(row.starts_with("HEF,"));
+    }
+
+    #[test]
+    fn buckets_csv_sums_match() {
+        let lib = library();
+        let stats = run(true);
+        let csv = buckets_csv(&stats, &lib);
+        let mut total = 0u64;
+        for line in csv.lines().skip(1) {
+            let last = line.rsplit(',').next().unwrap();
+            total += last.parse::<u64>().unwrap();
+        }
+        assert_eq!(total, stats.total_executions());
+    }
+
+    #[test]
+    fn timeline_csv_contains_the_upgrade() {
+        let lib = library();
+        let stats = run(true);
+        let csv = latency_timeline_csv(&stats, &lib);
+        // First segment starts after the 100-cycle prologue at software
+        // latency; a later one records the upgraded 50-cycle molecule.
+        assert!(csv.lines().any(|l| l.starts_with("X,") && l.ends_with(",1000")));
+        assert!(csv.lines().any(|l| l.starts_with("X,") && l.ends_with(",50")));
+    }
+
+    #[test]
+    fn no_detail_yields_empty_exports() {
+        let lib = library();
+        let stats = run(false);
+        assert!(buckets_csv(&stats, &lib).is_empty());
+        assert!(latency_timeline_csv(&stats, &lib).is_empty());
+    }
+}

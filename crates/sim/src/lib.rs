@@ -1,0 +1,57 @@
+//! Cycle-level trace-driven execution engine for RISPP and its baselines.
+//!
+//! The engine replays a [`Trace`] — a sequence of hot-spot invocations,
+//! each consisting of bursts of Special Instruction executions interleaved
+//! with base-processor overhead — against an *execution system*:
+//!
+//! * [`SystemKind::Rispp`] — the full RISPP run-time system
+//!   ([`rispp_core::RunTimeManager`]) with one of the four schedulers,
+//!   gradual Molecule upgrades and cross-SI Atom sharing.
+//! * [`SystemKind::Molen`] — a Molen/OneChip-like state-of-the-art
+//!   reconfigurable system (paper Section 5, Table 2): a single monolithic
+//!   implementation per SI, no partial upgrades and no Atom sharing, with
+//!   reconfiguration on hot-spot switches.
+//!
+//! The result is a [`RunStats`]: total cycles, per-SI execution counts,
+//! per-100K-cycle execution-frequency buckets (the bars of paper Figures 2
+//! and 8) and per-SI latency timelines (the lines of Figure 8).
+//!
+//! # Examples
+//!
+//! ```
+//! use rispp_sim::{simulate, Burst, Invocation, SimConfig, SystemKind, Trace};
+//! use rispp_core::SchedulerKind;
+//! use rispp_model::{AtomTypeInfo, AtomUniverse, Molecule, SiId, SiLibraryBuilder};
+//! use rispp_monitor::HotSpotId;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let universe = AtomUniverse::from_types([AtomTypeInfo::new("SAV")])?;
+//! let mut b = SiLibraryBuilder::new(universe);
+//! b.special_instruction("SAD", 680)?.molecule(Molecule::from_counts([1]), 20)?;
+//! let library = b.build()?;
+//!
+//! let trace = Trace::from_invocations(vec![Invocation {
+//!     hot_spot: HotSpotId(0),
+//!     prologue_cycles: 100,
+//!     bursts: vec![Burst { si: SiId(0), count: 1_000, overhead: 20 }],
+//!     hints: vec![(SiId(0), 1_000)],
+//! }]);
+//! let stats = simulate(&library, &trace, &SimConfig::rispp(4, SchedulerKind::Hef));
+//! assert!(stats.total_cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod engine;
+pub mod export;
+mod stats;
+mod trace;
+
+pub use baseline::{molen_select, MolenSystem};
+pub use engine::{simulate, SimConfig, SystemKind};
+pub use stats::{LatencyEvent, RunStats, DEFAULT_BUCKET_CYCLES};
+pub use trace::{Burst, Invocation, Trace};

@@ -1,0 +1,79 @@
+//! End-to-end H.264 encoding session: encode synthetic CIF video with the
+//! real kernels, extract the SI workload, and replay it on the RISPP
+//! run-time system vs. the baselines.
+//!
+//! Run with: `cargo run --release --example h264_encoding_session [frames]`
+
+use rispp::core::SchedulerKind;
+use rispp::h264::{h264_si_library, EncoderConfig, EncoderWorkload, SiKind};
+use rispp::sim::{simulate, SimConfig};
+
+fn main() {
+    let frames: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let mut config = EncoderConfig::paper_cif();
+    config.frames = frames;
+
+    println!("encoding {frames} CIF frames of synthetic video...");
+    let workload = EncoderWorkload::generate(&config);
+    let summary = workload.summary();
+    println!(
+        "  {} macroblocks/frame, mean luma PSNR {:.1} dB, {:.1}% intra MBs",
+        summary.mb_per_frame,
+        summary.mean_psnr_y,
+        summary.intra_mb_fraction * 100.0
+    );
+    println!(
+        "  {:.0} ME SI executions per inter frame (paper: ~31,977)",
+        summary.me_executions_per_frame
+    );
+    println!("  per-SI execution totals:");
+    for (kind, count) in &summary.per_si {
+        println!("    {:<10} {count:>9}", kind.name());
+    }
+
+    let library = h264_si_library();
+    println!("\nreplaying on the execution systems (15 Atom Containers):");
+    let software = simulate(&library, workload.trace(), &SimConfig::software_only());
+    println!(
+        "  pure software     {:>7.1} M cycles",
+        software.total_cycles as f64 / 1e6
+    );
+    let molen = simulate(&library, workload.trace(), &SimConfig::molen(15));
+    println!(
+        "  Molen-like        {:>7.1} M cycles ({:.2}x vs software)",
+        molen.total_cycles as f64 / 1e6,
+        software.total_cycles as f64 / molen.total_cycles as f64
+    );
+    for kind in SchedulerKind::ALL {
+        let stats = simulate(&library, workload.trace(), &SimConfig::rispp(15, kind));
+        println!(
+            "  RISPP {:<10}  {:>7.1} M cycles ({:.2}x vs software, {:.2}x vs Molen, {:.0}% hw executions)",
+            kind.abbreviation(),
+            stats.total_cycles as f64 / 1e6,
+            software.total_cycles as f64 / stats.total_cycles as f64,
+            molen.total_cycles as f64 / stats.total_cycles as f64,
+            stats.hardware_fraction() * 100.0
+        );
+    }
+
+    // Where did the dynamic SI upgrades matter most? Look at SATD.
+    let detail = simulate(
+        &library,
+        workload.trace(),
+        &SimConfig::rispp(15, SchedulerKind::Hef).with_detail(true),
+    );
+    let satd = SiKind::Satd.id();
+    if let Some(timeline) = detail.latency_timeline.get(satd.index()) {
+        let first = timeline.first().map(|e| e.latency).unwrap_or(0);
+        let last = timeline.last().map(|e| e.latency).unwrap_or(0);
+        println!(
+            "\nSATD latency ladder: {} steps, {} -> {} cycles per execution",
+            timeline.len(),
+            first,
+            last
+        );
+    }
+}
