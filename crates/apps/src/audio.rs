@@ -269,7 +269,7 @@ mod tests {
         // Tap sum = 226; a constant input maps to ~constant·226/256.
         let input = vec![1_000i16; 64];
         let out = fir_filter(&input);
-        let expected = 1_000i64 * FIR_TAPS.iter().map(|&t| i64::from(t)).sum::<i64>() >> 8;
+        let expected = (1_000i64 * FIR_TAPS.iter().map(|&t| i64::from(t)).sum::<i64>()) >> 8;
         assert_eq!(i64::from(out[32]), expected);
     }
 

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rispp_core::{
-    AtomScheduler, GreedySelector, ScheduleRequest, SchedulerKind, SelectionRequest,
+    GreedySelector, ScheduleRequest, SchedulerKind, SelectionRequest,
 };
 use rispp_h264::{h264_si_library, SiKind};
 use rispp_hw::HefFsm;
@@ -21,7 +21,7 @@ fn ee_request(library: &rispp_model::SiLibrary) -> ScheduleRequest<'_> {
         (SiKind::IPredHdc.id(), 16),
         (SiKind::IPredVdc.id(), 20),
     ];
-    let selection = GreedySelector.select(&SelectionRequest::new(library, demands.clone(), 20));
+    let selection = GreedySelector.select(&SelectionRequest::new(library, &demands, 20));
     let mut expected = vec![0u64; library.len()];
     for (si, e) in demands {
         expected[si.index()] = e;
@@ -52,7 +52,7 @@ fn bench_selection(c: &mut Criterion) {
     ];
     c.bench_function("greedy_selection_20ac", |b| {
         b.iter_batched(
-            || SelectionRequest::new(&library, demands.clone(), 20),
+            || SelectionRequest::new(&library, &demands, 20),
             |req| GreedySelector.select(&req),
             BatchSize::SmallInput,
         )

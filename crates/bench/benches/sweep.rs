@@ -1,0 +1,28 @@
+//! Thread-scaling benchmark of the parallel sweep engine: the Figure 7
+//! scheduler sweep on a reduced workload at 1/2/4/8 worker threads.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rispp_bench::experiments::{quick_workload, scheduler_sweep_on};
+use rispp_core::SchedulerKind;
+use rispp_sim::SweepRunner;
+
+fn bench_sweep_threads(c: &mut Criterion) {
+    let workload = quick_workload(8);
+    let trace = workload.trace();
+    let acs = 5u16..=14;
+    let jobs = 1 + acs.clone().count() * (SchedulerKind::ALL.len() + 1);
+
+    let mut group = c.benchmark_group("scheduler_sweep");
+    group.throughput(Throughput::Elements(jobs as u64));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let runner = SweepRunner::with_threads(threads);
+        group.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| scheduler_sweep_on(&runner, trace, acs.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_threads);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 
 use rispp_core::SchedulerKind;
 use rispp_h264::{EncoderConfig, EncoderWorkload, HotSpot};
-use rispp_sim::{simulate, RunStats, SimConfig, SystemKind, Trace};
+use rispp_sim::{simulate, RunStats, SimConfig, SweepJob, SweepRunner, SystemKind, Trace};
 
 /// The AC sweep of Figure 7 / Table 2.
 pub const AC_SWEEP: std::ops::RangeInclusive<u16> = 5..=24;
@@ -68,23 +68,52 @@ pub fn quick_workload(frames: u32) -> EncoderWorkload {
     EncoderWorkload::generate(&config)
 }
 
-/// Runs the Figure 7 / Table 2 sweep over `containers` for the given trace.
+/// Runs the Figure 7 / Table 2 sweep over `containers` for the given trace,
+/// fanning the independent `(AC count, system)` simulations across the
+/// [`SweepRunner`]'s worker threads (thread count from `RISPP_THREADS` or
+/// the machine's parallelism). Results are deterministic regardless of the
+/// worker count.
 #[must_use]
 pub fn scheduler_sweep<I: IntoIterator<Item = u16>>(trace: &Trace, containers: I) -> SchedulerSweep {
+    scheduler_sweep_on(&SweepRunner::from_env(), trace, containers)
+}
+
+/// [`scheduler_sweep`] on an explicit runner (thread-scaling benchmarks and
+/// determinism tests).
+#[must_use]
+pub fn scheduler_sweep_on<I: IntoIterator<Item = u16>>(
+    runner: &SweepRunner,
+    trace: &Trace,
+    containers: I,
+) -> SchedulerSweep {
     let library = rispp_h264::h264_si_library();
-    let software_cycles = simulate(&library, trace, &SimConfig::software_only()).total_cycles;
-    let points = containers
-        .into_iter()
-        .map(|acs| {
+    let acs: Vec<u16> = containers.into_iter().collect();
+
+    // Flatten into one job list: software, then per AC count the four
+    // schedulers followed by Molen — 1 + 5·N independent simulations.
+    let mut jobs = vec![SweepJob::new(SimConfig::software_only(), trace)];
+    for &ac in &acs {
+        for &kind in &SchedulerKind::ALL {
+            jobs.push(SweepJob::new(SimConfig::rispp(ac, kind), trace));
+        }
+        jobs.push(SweepJob::new(SimConfig::molen(ac), trace));
+    }
+    let results = runner.run(&library, &jobs);
+
+    let software_cycles = results[0].total_cycles;
+    let points = acs
+        .iter()
+        .enumerate()
+        .map(|(i, &ac)| {
+            let base = 1 + i * (SchedulerKind::ALL.len() + 1);
             let mut cycles = [0u64; 4];
-            for (i, &kind) in SchedulerKind::ALL.iter().enumerate() {
-                cycles[i] = simulate(&library, trace, &SimConfig::rispp(acs, kind)).total_cycles;
+            for (k, c) in cycles.iter_mut().enumerate() {
+                *c = results[base + k].total_cycles;
             }
-            let molen_cycles = simulate(&library, trace, &SimConfig::molen(acs)).total_cycles;
             SweepPoint {
-                containers: acs,
+                containers: ac,
                 cycles,
-                molen_cycles,
+                molen_cycles: results[base + SchedulerKind::ALL.len()].total_cycles,
             }
         })
         .collect();
@@ -287,7 +316,7 @@ pub fn table3_hardware() -> (rispp_hw::AreaReport, rispp_hw::AreaReport, rispp_h
         (SiKind::IPredHdc.id(), 16),
         (SiKind::IPredVdc.id(), 20),
     ];
-    let selection = GreedySelector.select(&SelectionRequest::new(&library, demands.clone(), 20));
+    let selection = GreedySelector.select(&SelectionRequest::new(&library, &demands, 20));
     let mut expected = vec![0u64; library.len()];
     for (si, e) in demands {
         expected[si.index()] = e;
@@ -302,43 +331,56 @@ pub fn table3_hardware() -> (rispp_hw::AreaReport, rispp_hw::AreaReport, rispp_h
     )
 }
 
-/// Ablation: forecast policies (and the oracle bound) on the HEF system.
-/// Returns `(label, total cycles)` per policy.
+/// Ablation: forecast policies (and the oracle bound) on the HEF system,
+/// run in parallel on the default [`SweepRunner`]. Returns
+/// `(label, total cycles)` per policy.
 #[must_use]
 pub fn ablation_forecast(trace: &Trace, containers: u16) -> Vec<(String, u64)> {
     use rispp_monitor::ForecastPolicy;
     let library = rispp_h264::h264_si_library();
     let base = SimConfig::rispp(containers, SchedulerKind::Hef);
-    let mut out = Vec::new();
-    for (label, policy) in [
+    let policies = [
         ("last-value", ForecastPolicy::LastValue),
         ("ewma w=2", ForecastPolicy::ewma(2)),
         ("ewma w=4", ForecastPolicy::ewma(4)),
         ("cumulative avg", ForecastPolicy::CumulativeAverage),
-    ] {
-        let stats = simulate(&library, trace, &base.with_forecast(policy));
-        out.push((label.to_string(), stats.total_cycles));
-    }
-    let oracle = simulate(&library, trace, &base.with_oracle(true));
-    out.push(("oracle".to_string(), oracle.total_cycles));
-    out
+    ];
+    let mut jobs: Vec<SweepJob<'_>> = policies
+        .iter()
+        .map(|&(_, policy)| SweepJob::new(base.with_forecast(policy), trace))
+        .collect();
+    jobs.push(SweepJob::new(base.with_oracle(true), trace));
+    let results = SweepRunner::from_env().run(&library, &jobs);
+    policies
+        .iter()
+        .map(|&(label, _)| label)
+        .chain(std::iter::once("oracle"))
+        .zip(&results)
+        .map(|(label, stats)| (label.to_string(), stats.total_cycles))
+        .collect()
 }
 
-/// Ablation: reconfiguration-port bandwidth sweep (ICAP generations).
-/// Returns `(bandwidth MB/s, HEF cycles, Molen-unchanged reference)`.
+/// Ablation: reconfiguration-port bandwidth sweep (ICAP generations), run
+/// in parallel on the default [`SweepRunner`]. Returns
+/// `(bandwidth MB/s, HEF cycles)`.
 #[must_use]
 pub fn ablation_bandwidth(trace: &Trace, containers: u16) -> Vec<(u64, u64)> {
     let library = rispp_h264::h264_si_library();
-    [33u64, 66, 132, 264, 800]
+    let bandwidths = [33u64, 66, 132, 264, 800];
+    let jobs: Vec<SweepJob<'_>> = bandwidths
         .iter()
         .map(|&mbps| {
-            let stats = simulate(
-                &library,
-                trace,
-                &SimConfig::rispp(containers, SchedulerKind::Hef)
+            SweepJob::new(
+                SimConfig::rispp(containers, SchedulerKind::Hef)
                     .with_port_bandwidth(mbps * 1_000_000),
-            );
-            (mbps, stats.total_cycles)
+                trace,
+            )
         })
+        .collect();
+    let results = SweepRunner::from_env().run(&library, &jobs);
+    bandwidths
+        .iter()
+        .zip(&results)
+        .map(|(&mbps, stats)| (mbps, stats.total_cycles))
         .collect()
 }

@@ -5,7 +5,7 @@ use std::process::ExitCode;
 use rispp_core::{GreedySelector, ScheduleRequest, SchedulerKind, SelectionRequest};
 use rispp_h264::{h264_si_library, EncoderConfig, EncoderWorkload, SiKind};
 use rispp_model::Molecule;
-use rispp_sim::{simulate as run_simulation, SimConfig, SystemKind};
+use rispp_sim::{simulate as run_simulation, SimConfig, SweepJob, SweepRunner, SystemKind};
 
 use crate::args::Options;
 
@@ -98,7 +98,7 @@ pub fn schedule(args: &[String]) -> ExitCode {
         (SiKind::IPredHdc.id(), 16),
         (SiKind::IPredVdc.id(), 20),
     ];
-    let selection = GreedySelector.select(&SelectionRequest::new(&library, demands.clone(), acs));
+    let selection = GreedySelector.select(&SelectionRequest::new(&library, &demands, acs));
     println!("Encoding-Engine hot spot, {acs} ACs, cold fabric. Selection:");
     for s in &selection {
         let si = library.si(s.si).expect("selected");
@@ -232,21 +232,36 @@ pub fn sweep(args: &[String]) -> ExitCode {
     if from > to {
         return fail("--from must not exceed --to");
     }
-    eprintln!("encoding {frames} CIF frames and sweeping {from}..={to} ACs...");
+    let runner = SweepRunner::from_env();
+    eprintln!(
+        "encoding {frames} CIF frames and sweeping {from}..={to} ACs on {} thread(s)...",
+        runner.threads()
+    );
     let mut encoder_config = EncoderConfig::paper_cif();
     encoder_config.frames = frames;
     let workload = EncoderWorkload::generate(&encoder_config);
     let library = h264_si_library();
 
-    println!("  #ACs       ASF      FSFR       SJF       HEF     Molen");
+    // One row per AC count: the four schedulers, then Molen — all
+    // independent, so the whole grid fans out over the runner's workers.
+    let trace = workload.trace();
+    let mut jobs: Vec<SweepJob<'_>> = Vec::new();
     for acs in from..=to {
-        print!("  {acs:>4}");
         for kind in SchedulerKind::ALL {
-            let stats = run_simulation(&library, workload.trace(), &SimConfig::rispp(acs, kind));
+            jobs.push(SweepJob::new(SimConfig::rispp(acs, kind), trace));
+        }
+        jobs.push(SweepJob::new(SimConfig::molen(acs), trace));
+    }
+    let results = runner.run(&library, &jobs);
+
+    let per_row = SchedulerKind::ALL.len() + 1;
+    println!("  #ACs       ASF      FSFR       SJF       HEF     Molen");
+    for (row, acs) in (from..=to).enumerate() {
+        print!("  {acs:>4}");
+        for stats in &results[row * per_row..(row + 1) * per_row] {
             print!("{:>10.1}", stats.total_cycles as f64 / 1e6);
         }
-        let molen = run_simulation(&library, workload.trace(), &SimConfig::molen(acs));
-        println!("{:>10.1}", molen.total_cycles as f64 / 1e6);
+        println!();
     }
     ExitCode::SUCCESS
 }

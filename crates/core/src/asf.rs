@@ -1,4 +1,4 @@
-use crate::context::UpgradeContext;
+use crate::context::{UpgradeBuffers, UpgradeContext};
 use crate::fsfr::{importance_order, upgrade_si_to_selected};
 use crate::scheduler::AtomScheduler;
 use crate::types::{Schedule, ScheduleRequest};
@@ -19,8 +19,12 @@ impl AtomScheduler for AsfScheduler {
         "ASF"
     }
 
-    fn schedule(&self, request: &ScheduleRequest<'_>) -> Schedule {
-        let mut ctx = UpgradeContext::new(request);
+    fn schedule_with(
+        &self,
+        request: &ScheduleRequest<'_>,
+        buffers: &mut UpgradeBuffers,
+    ) -> Schedule {
+        let mut ctx = UpgradeContext::from_buffers(request, buffers);
 
         // Phase 1: one accelerating molecule per SI. The paper specifies no
         // ordering here ("first loading an accelerating Molecule for all
@@ -58,7 +62,7 @@ impl AtomScheduler for AsfScheduler {
             upgrade_si_to_selected(&mut ctx, request, sel);
         }
         ctx.finish();
-        Schedule::from_steps(ctx.into_steps())
+        ctx.into_schedule(buffers)
     }
 }
 

@@ -1,6 +1,8 @@
+use std::cmp::Ordering;
+
 use rispp_model::{AtomTypeId, Molecule, SiId};
 
-use crate::types::{ScheduleRequest, ScheduleStep, SelectedMolecule};
+use crate::types::{Schedule, ScheduleRequest, ScheduleStep, SelectedMolecule};
 
 /// One Molecule-upgrade candidate from the set `M′` of eq. (3): a Molecule
 /// of a selected SI that is dominated by `sup(M)` and therefore a possible
@@ -15,6 +17,39 @@ pub struct Candidate {
     pub atoms: Molecule,
     /// Single-execution latency of the SI on this Molecule.
     pub latency: u32,
+}
+
+/// Reusable backing storage for [`UpgradeContext`].
+///
+/// Scheduling runs on every hot-spot entry; without buffer reuse each run
+/// allocates a candidate list, a best-latency array and a step list. A
+/// caller that schedules repeatedly (e.g.
+/// [`RunTimeManager`](crate::RunTimeManager)) keeps one `UpgradeBuffers`
+/// alive, passes it to
+/// [`AtomScheduler::schedule_with`](crate::AtomScheduler::schedule_with) and
+/// [`reclaim`](UpgradeBuffers::reclaim)s the spent schedule, so the steady
+/// state performs no hot-path allocations.
+#[derive(Debug, Default)]
+pub struct UpgradeBuffers {
+    candidates: Vec<Candidate>,
+    best_latency: Vec<u32>,
+    steps: Vec<ScheduleStep>,
+}
+
+impl UpgradeBuffers {
+    /// Creates empty buffers (equivalent to `Default`).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes back the step storage of a schedule that is no longer needed,
+    /// making the allocation available to the next scheduling run.
+    pub fn reclaim(&mut self, schedule: Schedule) {
+        let mut steps = schedule.into_steps();
+        steps.clear();
+        self.steps = steps;
+    }
 }
 
 /// Shared state of the Molecule-upgrade scheduling loop used by all four
@@ -39,16 +74,39 @@ impl<'a, 'lib> UpgradeContext<'a, 'lib> {
     /// lines 1–9).
     #[must_use]
     pub fn new(request: &'a ScheduleRequest<'lib>) -> Self {
+        Self::init(request, Vec::new(), Vec::new(), Vec::new())
+    }
+
+    /// Like [`UpgradeContext::new`], but borrows the vectors inside
+    /// `buffers` instead of allocating. Pair with
+    /// [`UpgradeContext::into_schedule`] to return them.
+    #[must_use]
+    pub fn from_buffers(request: &'a ScheduleRequest<'lib>, buffers: &mut UpgradeBuffers) -> Self {
+        Self::init(
+            request,
+            std::mem::take(&mut buffers.best_latency),
+            std::mem::take(&mut buffers.candidates),
+            std::mem::take(&mut buffers.steps),
+        )
+    }
+
+    fn init(
+        request: &'a ScheduleRequest<'lib>,
+        mut best_latency: Vec<u32>,
+        mut candidates: Vec<Candidate>,
+        mut steps: Vec<ScheduleStep>,
+    ) -> Self {
         let library = request.library();
         let sup = request.supremum();
         let available = request.available();
 
-        let mut best_latency = vec![0u32; library.len()];
+        best_latency.clear();
+        best_latency.resize(library.len(), 0);
         for si in library.iter() {
             best_latency[si.id().index()] = si.best_latency(available);
         }
 
-        let mut candidates = Vec::new();
+        candidates.clear();
         for sel in request.selected() {
             let si = library.si(sel.si).expect("validated request");
             for (variant_index, v) in si.variants().iter().enumerate() {
@@ -64,13 +122,14 @@ impl<'a, 'lib> UpgradeContext<'a, 'lib> {
             }
         }
         candidates.sort_by_key(|c| (c.si, c.variant_index));
+        steps.clear();
 
         UpgradeContext {
             request,
             scheduled: available.clone(),
             best_latency,
             candidates,
-            steps: Vec::new(),
+            steps,
         }
     }
 
@@ -96,10 +155,23 @@ impl<'a, 'lib> UpgradeContext<'a, 'lib> {
     /// already available/scheduled (`m ≤ a⃗`) or that do not improve on the
     /// SI's current best latency. Returns the remaining candidates.
     pub fn clean(&mut self) -> &[Candidate] {
-        let scheduled = self.scheduled.clone();
-        let best = &self.best_latency;
-        self.candidates
-            .retain(|c| !(c.atoms <= scheduled) && c.latency < best[c.si.index()]);
+        // Split borrows so `retain` can read `scheduled`/`best_latency`
+        // while draining `candidates` — no per-round clone of `a⃗`.
+        let UpgradeContext {
+            scheduled,
+            best_latency,
+            candidates,
+            ..
+        } = self;
+        // `partial_cmp` spells out that the lattice order is partial: a
+        // candidate survives when it is *not* dominated by `scheduled`,
+        // which includes the incomparable case.
+        candidates.retain(|c| {
+            !matches!(
+                c.atoms.partial_cmp(scheduled),
+                Some(Ordering::Less | Ordering::Equal)
+            ) && c.latency < best_latency[c.si.index()]
+        });
         &self.candidates
     }
 
@@ -112,7 +184,7 @@ impl<'a, 'lib> UpgradeContext<'a, 'lib> {
     /// Additional atoms the candidate at `index` needs: `|a⃗ ⊖ o|`.
     #[must_use]
     pub fn additional_atoms(&self, candidate: &Candidate) -> u32 {
-        self.scheduled.residual(&candidate.atoms).total_atoms()
+        self.scheduled.residual_atoms(&candidate.atoms)
     }
 
     /// Commits the candidate at position `index` of the current candidate
@@ -167,26 +239,29 @@ impl<'a, 'lib> UpgradeContext<'a, 'lib> {
     /// `available ∪ sup(M)`. Called by every scheduler after its candidate
     /// loop terminates.
     pub fn finish(&mut self) {
+        // `request` outlives `&mut self`, so borrowing the molecule out of
+        // the library needs no clone while `commit_molecule` mutates `self`.
+        let request = self.request;
         loop {
-            let missing: Vec<SelectedMolecule> = self
-                .request
+            let next = request
                 .selected()
                 .iter()
                 .copied()
-                .filter(|&sel| !(self.request.molecule(sel) <= &self.scheduled))
-                .collect();
-            let Some(&sel) = missing.iter().min_by_key(|&&sel| {
-                self.scheduled
-                    .residual(self.request.molecule(sel))
-                    .total_atoms()
-            }) else {
+                .filter(|&sel| {
+                    !matches!(
+                        request.molecule(sel).partial_cmp(&self.scheduled),
+                        Some(Ordering::Less | Ordering::Equal)
+                    )
+                })
+                .min_by_key(|&sel| self.scheduled.residual_atoms(request.molecule(sel)));
+            let Some(sel) = next else {
                 break;
             };
-            let atoms = self.request.molecule(sel).clone();
-            let latency = self.request.library().si(sel.si).expect("validated").variants()
+            let atoms = request.molecule(sel);
+            let latency = request.library().si(sel.si).expect("validated").variants()
                 [sel.variant_index]
                 .latency;
-            self.commit_molecule(sel.si, sel.variant_index, &atoms, latency);
+            self.commit_molecule(sel.si, sel.variant_index, atoms, latency);
         }
     }
 
@@ -194,6 +269,25 @@ impl<'a, 'lib> UpgradeContext<'a, 'lib> {
     #[must_use]
     pub fn into_steps(self) -> Vec<ScheduleStep> {
         self.steps
+    }
+
+    /// Consumes the context into a [`Schedule`], handing the candidate and
+    /// best-latency storage back to `buffers` for the next run. The step
+    /// storage travels inside the returned schedule; callers done with it
+    /// return it via [`UpgradeBuffers::reclaim`].
+    #[must_use]
+    pub fn into_schedule(self, buffers: &mut UpgradeBuffers) -> Schedule {
+        let UpgradeContext {
+            mut best_latency,
+            mut candidates,
+            steps,
+            ..
+        } = self;
+        candidates.clear();
+        best_latency.clear();
+        buffers.candidates = candidates;
+        buffers.best_latency = best_latency;
+        Schedule::from_steps(steps)
     }
 
     /// Steps emitted so far.

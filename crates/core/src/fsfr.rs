@@ -1,6 +1,6 @@
 
 
-use crate::context::UpgradeContext;
+use crate::context::{UpgradeBuffers, UpgradeContext};
 use crate::scheduler::AtomScheduler;
 use crate::types::{Schedule, ScheduleRequest, SelectedMolecule};
 
@@ -54,12 +54,14 @@ pub(crate) fn upgrade_si_to_selected(
             Some(i) => ctx.commit(i),
             None => {
                 // All candidates of this SI were cleaned away (e.g. zero
-                // improvement); load the selected molecule directly.
-                let atoms = request.molecule(sel).clone();
+                // improvement); load the selected molecule directly. The
+                // molecule borrows from `request`, which outlives `ctx`, so
+                // no clone is needed.
+                let atoms = request.molecule(sel);
                 let latency = request.library().si(sel.si).expect("validated").variants()
                     [sel.variant_index]
                     .latency;
-                ctx.commit_external(sel.si, sel.variant_index, &atoms, latency);
+                ctx.commit_external(sel.si, sel.variant_index, atoms, latency);
                 return;
             }
         }
@@ -71,13 +73,17 @@ impl AtomScheduler for FsfrScheduler {
         "FSFR"
     }
 
-    fn schedule(&self, request: &ScheduleRequest<'_>) -> Schedule {
-        let mut ctx = UpgradeContext::new(request);
+    fn schedule_with(
+        &self,
+        request: &ScheduleRequest<'_>,
+        buffers: &mut UpgradeBuffers,
+    ) -> Schedule {
+        let mut ctx = UpgradeContext::from_buffers(request, buffers);
         for sel in importance_order(&ctx, request) {
             upgrade_si_to_selected(&mut ctx, request, sel);
         }
         ctx.finish();
-        Schedule::from_steps(ctx.into_steps())
+        ctx.into_schedule(buffers)
     }
 }
 

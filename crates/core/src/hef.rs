@@ -1,4 +1,4 @@
-use crate::context::UpgradeContext;
+use crate::context::{UpgradeBuffers, UpgradeContext};
 use crate::scheduler::AtomScheduler;
 use crate::types::{Schedule, ScheduleRequest};
 
@@ -27,8 +27,12 @@ impl AtomScheduler for HefScheduler {
         "HEF"
     }
 
-    fn schedule(&self, request: &ScheduleRequest<'_>) -> Schedule {
-        let mut ctx = UpgradeContext::new(request);
+    fn schedule_with(
+        &self,
+        request: &ScheduleRequest<'_>,
+        buffers: &mut UpgradeBuffers,
+    ) -> Schedule {
+        let mut ctx = UpgradeContext::from_buffers(request, buffers);
         loop {
             if ctx.clean().is_empty() {
                 break;
@@ -57,7 +61,7 @@ impl AtomScheduler for HefScheduler {
             }
         }
         ctx.finish();
-        Schedule::from_steps(ctx.into_steps())
+        ctx.into_schedule(buffers)
     }
 }
 

@@ -2,6 +2,7 @@ use rispp_fabric::{Fabric, FabricConfig};
 use rispp_model::{Molecule, SiId, SiLibrary};
 use rispp_monitor::{ExecutionMonitor, ForecastPolicy, HotSpotId};
 
+use crate::context::UpgradeBuffers;
 use crate::scheduler::{AtomScheduler, SchedulerKind};
 use crate::selection::{GreedySelector, SelectionRequest};
 use crate::types::{ScheduleRequest, SelectedMolecule};
@@ -48,6 +49,25 @@ impl BurstSegment {
     }
 }
 
+/// Per-SI memo of the fastest available Molecule variant, keyed by the
+/// fabric's [generation counter](Fabric::generation). `generation` starts
+/// at `u64::MAX` (the fabric starts at 0) so the first lookup always
+/// computes.
+#[derive(Debug, Clone, Copy)]
+struct BestVariantCache {
+    generation: u64,
+    best: Option<(usize, u32)>,
+}
+
+impl Default for BestVariantCache {
+    fn default() -> Self {
+        BestVariantCache {
+            generation: u64::MAX,
+            best: None,
+        }
+    }
+}
+
 /// The RISPP Run-Time Manager (paper Section 3.1): controls SI execution
 /// (task I), observes and adapts to varying requirements via the monitor
 /// (task II), and determines Atom re-loading decisions through selection
@@ -61,6 +81,10 @@ pub struct RunTimeManager<'a> {
     selector: GreedySelector,
     current_hot_spot: Option<HotSpotId>,
     selected: Vec<SelectedMolecule>,
+    best_cache: Vec<BestVariantCache>,
+    demand_buf: Vec<(SiId, u64)>,
+    expected_buf: Vec<u64>,
+    sched_buffers: UpgradeBuffers,
 }
 
 impl<'a> RunTimeManager<'a> {
@@ -123,18 +147,21 @@ impl<'a> RunTimeManager<'a> {
         now: u64,
     ) -> Result<(), CoreError> {
         let first_visit = self.monitor.iterations(hot_spot) == 0;
-        let demands: Vec<(SiId, u64)> = hints
-            .iter()
-            .map(|&(si, hint)| {
-                let expected = if first_visit {
-                    hint
-                } else {
-                    self.monitor.expected(hot_spot, si)
-                };
-                (si, expected)
-            })
-            .collect();
-        self.enter_hot_spot_with_profile(hot_spot, &demands, now)
+        // Reuse the demand buffer across entries; `take` detaches it from
+        // `self` so the monitor can be read while filling it.
+        let mut demands = std::mem::take(&mut self.demand_buf);
+        demands.clear();
+        demands.extend(hints.iter().map(|&(si, hint)| {
+            let expected = if first_visit {
+                hint
+            } else {
+                self.monitor.expected(hot_spot, si)
+            };
+            (si, expected)
+        }));
+        let result = self.enter_hot_spot_with_profile(hot_spot, &demands, now);
+        self.demand_buf = demands;
+        result
     }
 
     /// Enters a hot spot with an externally supplied execution profile,
@@ -150,17 +177,18 @@ impl<'a> RunTimeManager<'a> {
         demands: &[(SiId, u64)],
         now: u64,
     ) -> Result<(), CoreError> {
-        let demands = demands.to_vec();
         self.fabric.advance_to(now);
         self.monitor.begin_hot_spot(hot_spot);
         self.current_hot_spot = Some(hot_spot);
 
         let selection_request =
-            SelectionRequest::new(self.library, demands.clone(), self.fabric.container_count());
+            SelectionRequest::new(self.library, demands, self.fabric.container_count());
         self.selected = self.selector.select(&selection_request);
 
-        let mut expected = vec![0u64; self.library.len()];
-        for (si, e) in demands {
+        let mut expected = std::mem::take(&mut self.expected_buf);
+        expected.clear();
+        expected.resize(self.library.len(), 0);
+        for &(si, e) in demands {
             expected[si.index()] = e;
         }
         let request = ScheduleRequest::new(
@@ -169,13 +197,45 @@ impl<'a> RunTimeManager<'a> {
             self.fabric.available().clone(),
             expected,
         )?;
-        let schedule = self.scheduler.schedule(&request);
+        let schedule = self
+            .scheduler
+            .schedule_with(&request, &mut self.sched_buffers);
         debug_assert!(schedule.validate(&request).is_ok());
 
         self.fabric.clear_pending();
         self.fabric.set_protected(request.supremum());
         self.fabric.enqueue_schedule(schedule.atoms());
+        // Hand the allocations back for the next hot-spot entry.
+        self.sched_buffers.reclaim(schedule);
+        self.expected_buf = request.into_expected();
         Ok(())
+    }
+
+    /// The fastest Molecule variant of `si` available right now, as
+    /// `(variant index, latency)`, memoised per fabric generation so the
+    /// `min_by_key` scan over the variant list only reruns after the
+    /// available-atom set actually changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `si` is outside the library.
+    pub fn best_available_variant(&mut self, si: SiId) -> Option<(usize, u32)> {
+        let generation = self.fabric.generation();
+        let lib = self.library;
+        let cache = &mut self.best_cache[si.index()];
+        if cache.generation != generation {
+            let def = lib.si(si).expect("si within library");
+            let available = self.fabric.available();
+            cache.best = def
+                .variants()
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.is_available(available))
+                .min_by_key(|(_, v)| v.latency)
+                .map(|(idx, v)| (idx, v.latency));
+            cache.generation = generation;
+        }
+        cache.best
     }
 
     /// Executes one SI at cycle `now`: forwards it to the fastest available
@@ -187,20 +247,16 @@ impl<'a> RunTimeManager<'a> {
     /// Panics if `si` is outside the library.
     pub fn execute_si(&mut self, si: SiId, now: u64) -> SiExecution {
         self.fabric.advance_to(now);
-        let def = self.library.si(si).expect("si within library");
-        let available = self.fabric.available();
-        let best = def
-            .variants()
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| v.is_available(available))
-            .min_by_key(|(_, v)| v.latency);
-        let execution = match best {
-            Some((idx, v)) if v.latency < def.software_latency() => {
-                let atoms = v.atoms.clone();
-                self.fabric.mark_used(&atoms, now);
+        // `lib` is a reborrow of the `&'a` library, independent of `self`,
+        // so the variant's atoms can be passed to the fabric without a
+        // clone.
+        let lib = self.library;
+        let def = lib.si(si).expect("si within library");
+        let execution = match self.best_available_variant(si) {
+            Some((idx, latency)) if latency < def.software_latency() => {
+                self.fabric.mark_used(&def.variants()[idx].atoms, now);
                 SiExecution {
-                    latency: v.latency,
+                    latency,
                     variant_index: Some(idx),
                 }
             }
@@ -234,25 +290,20 @@ impl<'a> RunTimeManager<'a> {
         overhead: u32,
         start: u64,
     ) -> Vec<BurstSegment> {
-        let def = self.library.si(si).expect("si within library");
+        let lib = self.library;
+        let def = lib.si(si).expect("si within library");
         let mut segments = Vec::new();
         let mut t = start;
         let mut remaining = u64::from(count);
         while remaining > 0 {
             self.fabric.advance_to(t);
-            let best = def
-                .variants()
-                .iter()
-                .enumerate()
-                .filter(|(_, v)| v.is_available(self.fabric.available()))
-                .min_by_key(|(_, v)| v.latency);
-            let (latency, variant_index, atoms) = match best {
-                Some((idx, v)) if v.latency < def.software_latency() => {
-                    (v.latency, Some(idx), Some(v.atoms.clone()))
+            let (latency, variant_index, atoms) = match self.best_available_variant(si) {
+                Some((idx, latency)) if latency < def.software_latency() => {
+                    (latency, Some(idx), Some(&def.variants()[idx].atoms))
                 }
                 _ => (def.software_latency(), None, None),
             };
-            if let Some(atoms) = &atoms {
+            if let Some(atoms) = atoms {
                 self.fabric.mark_used(atoms, t);
             }
             let per = u64::from(latency) + u64::from(overhead);
@@ -363,6 +414,10 @@ impl<'a> RunTimeManagerBuilder<'a> {
             selector: GreedySelector,
             current_hot_spot: None,
             selected: Vec::new(),
+            best_cache: vec![BestVariantCache::default(); self.library.len()],
+            demand_buf: Vec::new(),
+            expected_buf: Vec::new(),
+            sched_buffers: UpgradeBuffers::new(),
         }
     }
 }

@@ -1,5 +1,6 @@
 use std::fmt;
 
+use crate::context::UpgradeBuffers;
 use crate::types::{Schedule, ScheduleRequest};
 use crate::{AsfScheduler, FsfrScheduler, HefScheduler, SjfScheduler};
 
@@ -15,7 +16,16 @@ pub trait AtomScheduler: fmt::Debug + Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Computes the Atom loading sequence for `request`.
-    fn schedule(&self, request: &ScheduleRequest<'_>) -> Schedule;
+    fn schedule(&self, request: &ScheduleRequest<'_>) -> Schedule {
+        self.schedule_with(request, &mut UpgradeBuffers::new())
+    }
+
+    /// Like [`schedule`](AtomScheduler::schedule), but runs on caller-owned
+    /// [`UpgradeBuffers`] so repeat scheduling (every hot-spot entry of a
+    /// simulation) reuses its allocations. The result must be identical to
+    /// `schedule` for the same request.
+    fn schedule_with(&self, request: &ScheduleRequest<'_>, buffers: &mut UpgradeBuffers)
+        -> Schedule;
 }
 
 /// The four scheduling strategies evaluated in the paper.

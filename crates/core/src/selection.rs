@@ -4,10 +4,14 @@ use crate::types::SelectedMolecule;
 
 /// Input to Molecule selection: which SIs the upcoming hot spot needs, how
 /// often each is expected to execute, and how many Atom Containers exist.
-#[derive(Debug, Clone)]
+///
+/// The demand list is borrowed so hot-path callers (one selection per
+/// hot-spot entry) can reuse a single buffer instead of cloning it into
+/// every request.
+#[derive(Debug, Clone, Copy)]
 pub struct SelectionRequest<'a> {
     library: &'a SiLibrary,
-    demands: Vec<(SiId, u64)>,
+    demands: &'a [(SiId, u64)],
     containers: u16,
 }
 
@@ -15,7 +19,7 @@ impl<'a> SelectionRequest<'a> {
     /// Creates a selection request. SIs with zero expected executions are
     /// ignored (they receive no hardware Molecule).
     #[must_use]
-    pub fn new(library: &'a SiLibrary, demands: Vec<(SiId, u64)>, containers: u16) -> Self {
+    pub fn new(library: &'a SiLibrary, demands: &'a [(SiId, u64)], containers: u16) -> Self {
         SelectionRequest {
             library,
             demands,
@@ -31,8 +35,8 @@ impl<'a> SelectionRequest<'a> {
 
     /// The `(si, expected executions)` demands.
     #[must_use]
-    pub fn demands(&self) -> &[(SiId, u64)] {
-        &self.demands
+    pub fn demands(&self) -> &'a [(SiId, u64)] {
+        self.demands
     }
 
     /// Available Atom Containers.
@@ -344,7 +348,7 @@ mod tests {
         for budget in 1..=12u16 {
             let req = SelectionRequest::new(
                 &lib,
-                vec![(SiId(0), 1000), (SiId(1), 300), (SiId(2), 50)],
+                &[(SiId(0), 1000), (SiId(1), 300), (SiId(2), 50)],
                 budget,
             );
             let sel = GreedySelector.select(&req);
@@ -360,8 +364,8 @@ mod tests {
     fn more_containers_select_bigger_molecules() {
         let lib = library();
         let demands = vec![(SiId(0), 1000), (SiId(1), 300), (SiId(2), 50)];
-        let small = GreedySelector.select(&SelectionRequest::new(&lib, demands.clone(), 3));
-        let big = GreedySelector.select(&SelectionRequest::new(&lib, demands, 12));
+        let small = GreedySelector.select(&SelectionRequest::new(&lib, &demands, 3));
+        let big = GreedySelector.select(&SelectionRequest::new(&lib, &demands, 12));
         assert!(sup_of(&lib, &big).total_atoms() >= sup_of(&lib, &small).total_atoms());
         // With 12 containers everything fits fully parallel.
         assert_eq!(sup_of(&lib, &big), Molecule::from_counts([4, 2, 3]));
@@ -370,7 +374,7 @@ mod tests {
     #[test]
     fn important_si_gets_preference_under_pressure() {
         let lib = library();
-        let req = SelectionRequest::new(&lib, vec![(SiId(0), 10_000), (SiId(2), 1)], 2);
+        let req = SelectionRequest::new(&lib, &[(SiId(0), 10_000), (SiId(2), 1)], 2);
         let sel = GreedySelector.select(&req);
         // HOT's smallest molecule (1 atom) and COLD's smallest (1 atom) both
         // fit in 2; with budget 2 the upgrade goes to nothing else, but HOT
@@ -381,7 +385,7 @@ mod tests {
     #[test]
     fn zero_expected_sis_are_skipped() {
         let lib = library();
-        let req = SelectionRequest::new(&lib, vec![(SiId(0), 0), (SiId(1), 10)], 8);
+        let req = SelectionRequest::new(&lib, &[(SiId(0), 0), (SiId(1), 10)], 8);
         let sel = GreedySelector.select(&req);
         assert!(sel.iter().all(|s| s.si != SiId(0)));
         assert!(sel.iter().any(|s| s.si == SiId(1)));
@@ -392,7 +396,7 @@ mod tests {
         let lib = library();
         let req = SelectionRequest::new(
             &lib,
-            vec![(SiId(0), 100), (SiId(1), 100), (SiId(2), 100)],
+            &[(SiId(0), 100), (SiId(1), 100), (SiId(2), 100)],
             6,
         );
         assert_eq!(GreedySelector.select(&req), GreedySelector.select(&req));
@@ -403,7 +407,7 @@ mod tests {
         let lib = library();
         let req = SelectionRequest::new(
             &lib,
-            vec![(SiId(0), 100), (SiId(1), 90), (SiId(2), 80)],
+            &[(SiId(0), 100), (SiId(1), 90), (SiId(2), 80)],
             1,
         );
         let sel = GreedySelector.select(&req);
@@ -416,7 +420,7 @@ mod tests {
         let lib = library();
         for budget in [1u16, 2, 4, 6, 9, 12] {
             let demands = vec![(SiId(0), 1_000), (SiId(1), 300), (SiId(2), 50)];
-            let req = SelectionRequest::new(&lib, demands.clone(), budget);
+            let req = SelectionRequest::new(&lib, &demands, budget);
             let greedy = GreedySelector.select(&req);
             let exhaustive = ExhaustiveSelector.select(&req);
             let benefit = |sel: &[SelectedMolecule]| -> u64 {
@@ -443,7 +447,7 @@ mod tests {
         let lib = library();
         let demands = vec![(SiId(0), 1_000), (SiId(1), 300), (SiId(2), 50)];
         for budget in 2..=12u16 {
-            let req = SelectionRequest::new(&lib, demands.clone(), budget);
+            let req = SelectionRequest::new(&lib, &demands, budget);
             let benefit = |sel: &[SelectedMolecule]| -> u64 {
                 sel.iter()
                     .map(|s| {
@@ -480,7 +484,7 @@ mod tests {
             .molecule(Molecule::from_counts([1, 0]), 10)
             .unwrap();
         let lib = b.build().unwrap();
-        let req = SelectionRequest::new(&lib, vec![(SiId(0), 10), (SiId(1), 10)], 2);
+        let req = SelectionRequest::new(&lib, &[(SiId(0), 10), (SiId(1), 10)], 2);
         let sel = GreedySelector.select(&req);
         assert_eq!(sel.len(), 2, "shared atom must let both SIs fit: {sel:?}");
     }

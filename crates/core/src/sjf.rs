@@ -1,4 +1,4 @@
-use crate::context::UpgradeContext;
+use crate::context::{UpgradeBuffers, UpgradeContext};
 use crate::scheduler::AtomScheduler;
 use crate::types::{Schedule, ScheduleRequest};
 
@@ -18,8 +18,12 @@ impl AtomScheduler for SjfScheduler {
         "SJF"
     }
 
-    fn schedule(&self, request: &ScheduleRequest<'_>) -> Schedule {
-        let mut ctx = UpgradeContext::new(request);
+    fn schedule_with(
+        &self,
+        request: &ScheduleRequest<'_>,
+        buffers: &mut UpgradeBuffers,
+    ) -> Schedule {
+        let mut ctx = UpgradeContext::from_buffers(request, buffers);
 
         // Phase 1 (similar to ASF): smallest molecule per SI, in id order.
         let mut phase1: Vec<_> = request.selected().to_vec();
@@ -68,7 +72,7 @@ impl AtomScheduler for SjfScheduler {
             }
         }
         ctx.finish();
-        Schedule::from_steps(ctx.into_steps())
+        ctx.into_schedule(buffers)
     }
 }
 

@@ -125,6 +125,13 @@ impl<'a> ScheduleRequest<'a> {
     pub fn required_containers(&self) -> u32 {
         self.supremum().total_atoms()
     }
+
+    /// Consumes the request, returning the expected-executions storage so a
+    /// repeat caller (e.g. `RunTimeManager`) can reuse the allocation.
+    #[must_use]
+    pub fn into_expected(self) -> Vec<u64> {
+        self.expected
+    }
 }
 
 /// One entry of the scheduling function SF: start loading one Atom
@@ -158,6 +165,13 @@ impl Schedule {
     #[must_use]
     pub fn steps(&self) -> &[ScheduleStep] {
         &self.steps
+    }
+
+    /// Consumes the schedule, returning its step storage (see
+    /// [`UpgradeBuffers::reclaim`](crate::UpgradeBuffers::reclaim)).
+    #[must_use]
+    pub fn into_steps(self) -> Vec<ScheduleStep> {
+        self.steps
     }
 
     /// Number of Atom loads.

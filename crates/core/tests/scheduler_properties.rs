@@ -3,7 +3,7 @@
 //! selections and availability states.
 
 use proptest::prelude::*;
-use rispp_core::{AtomScheduler, ScheduleRequest, SchedulerKind, SelectedMolecule};
+use rispp_core::{ScheduleRequest, SchedulerKind, SelectedMolecule};
 use rispp_model::{AtomTypeInfo, AtomUniverse, Molecule, SiId, SiLibrary, SiLibraryBuilder};
 
 const ARITY: usize = 4;

@@ -65,6 +65,7 @@ pub struct Fabric {
     queue: VecDeque<AtomTypeId>,
     in_flight: Option<(AtomTypeId, ContainerId, u64)>,
     available: Molecule,
+    generation: u64,
     protected: Molecule,
     now: u64,
     stats: FabricStats,
@@ -84,6 +85,7 @@ impl Fabric {
             queue: VecDeque::new(),
             in_flight: None,
             available: Molecule::zero(arity),
+            generation: 0,
             protected: Molecule::zero(arity),
             now: 0,
             stats: FabricStats::default(),
@@ -112,6 +114,17 @@ impl Fabric {
     #[must_use]
     pub fn available(&self) -> &Molecule {
         &self.available
+    }
+
+    /// Generation counter of the available-atom set: incremented every time
+    /// [`available`](Self::available) changes (a load completing or an atom
+    /// being evicted). Callers caching anything derived from the available
+    /// set — e.g. the best Molecule variant per SI in
+    /// `RunTimeManager::execute_burst` — only need to recompute when this
+    /// value changes.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Snapshot of all containers.
@@ -224,6 +237,7 @@ impl Fabric {
             self.available = self
                 .available
                 .saturating_add(&Molecule::unit(self.available.arity(), atom.index()));
+            self.generation += 1;
             self.stats.loads_completed += 1;
             events.push(LoadCompleted {
                 atom,
@@ -263,6 +277,7 @@ impl Fabric {
             let mut counts: Vec<u16> = self.available.counts().to_vec();
             counts[old.index()] -= 1;
             self.available = Molecule::from_counts(counts);
+            self.generation += 1;
             self.stats.evictions += 1;
         }
         let cycles = self.config.port.load_cycles(self.bitstream_bytes[atom.index()]);

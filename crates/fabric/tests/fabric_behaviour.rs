@@ -158,7 +158,7 @@ proptest! {
             }
             prop_assert!(u64::from(f.available().total_atoms() as u16) <= u64::from(containers));
             // Recompute availability from container states.
-            let mut recount = vec![0u16; 4];
+            let mut recount = [0u16; 4];
             for c in f.containers() {
                 if let Some(atom) = c.loaded_atom() {
                     recount[atom.index()] += 1;

@@ -172,7 +172,7 @@ impl Frame {
     #[must_use]
     pub fn new(width: usize, height: usize) -> Self {
         assert!(
-            width % MB_SIZE == 0 && height % MB_SIZE == 0,
+            width.is_multiple_of(MB_SIZE) && height.is_multiple_of(MB_SIZE),
             "frame dimensions must be multiples of the macroblock size"
         );
         Frame {

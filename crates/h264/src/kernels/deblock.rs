@@ -55,7 +55,7 @@ pub fn filter_line_bs4(p: &[u8; 4], q: &[u8; 4], t: Thresholds) -> Option<([u8; 
             clip((2 * pi[3] + 3 * pi[2] + pi[1] + pi[0] + qi[0] + 4) >> 3),
         ]
     } else {
-        [clip((2 * pi[1] + pi[0] + qi[1] + 2) >> 2), p[1].min(255), p[2]]
+        [clip((2 * pi[1] + pi[0] + qi[1] + 2) >> 2), p[1], p[2]]
     };
     let new_q = if strong_q {
         [
@@ -64,7 +64,7 @@ pub fn filter_line_bs4(p: &[u8; 4], q: &[u8; 4], t: Thresholds) -> Option<([u8; 
             clip((2 * qi[3] + 3 * qi[2] + qi[1] + qi[0] + pi[0] + 4) >> 3),
         ]
     } else {
-        [clip((2 * qi[1] + qi[0] + pi[1] + 2) >> 2), q[1].min(255), q[2]]
+        [clip((2 * qi[1] + qi[0] + pi[1] + 2) >> 2), q[1], q[2]]
     };
     Some((new_p, new_q))
 }

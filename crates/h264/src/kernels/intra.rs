@@ -32,11 +32,9 @@ pub fn predict_dc_16x16(recon: &Plane, x: usize, y: usize, n: Neighbours) -> u8 
         }
         count += 16;
     }
-    if count == 0 {
-        128
-    } else {
-        ((sum + count / 2) / count) as u8
-    }
+    (sum + count / 2)
+        .checked_div(count)
+        .map_or(128, |avg| avg as u8)
 }
 
 /// Horizontal prediction: each row is filled with the left neighbour

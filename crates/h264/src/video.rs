@@ -56,7 +56,7 @@ impl SyntheticVideo {
     /// Panics if the dimensions are not multiples of 16.
     #[must_use]
     pub fn new(width: usize, height: usize, seed: u64) -> Self {
-        assert!(width % 16 == 0 && height % 16 == 0);
+        assert!(width.is_multiple_of(16) && height.is_multiple_of(16));
         let mut rng = SmallRng::seed_from_u64(seed);
         let objects = (0..5)
             .map(|i| MovingObject {

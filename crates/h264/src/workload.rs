@@ -129,7 +129,9 @@ impl EncoderWorkload {
                 me_exec_sum += report.me_executions();
                 intra += u64::from(report.intra_mbs);
             }
-            let phases: [(&HotSpot, &Vec<Vec<(SiKind, u32)>>, &[(SiId, u64)]); 3] = [
+            // Hot-spot phase: per-MB burst lists plus its design-time hints.
+            type Phase<'a> = (&'a HotSpot, &'a Vec<Vec<(SiKind, u32)>>, &'a [(SiId, u64)]);
+            let phases: [Phase<'_>; 3] = [
                 (&HotSpot::MotionEstimation, &report.me_bursts, &me_hints),
                 (&HotSpot::EncodingEngine, &report.ee_bursts, &ee_hints),
                 (&HotSpot::LoopFilter, &report.lf_bursts, &lf_hints),

@@ -7,7 +7,6 @@ use crate::ModelError;
 /// An Atom is an elementary data path that can be re-loaded into an Atom
 /// Container at run time; Molecules request *instances* of Atom types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AtomTypeId(pub u16);
 
 impl AtomTypeId {
@@ -32,7 +31,6 @@ impl From<u16> for AtomTypeId {
 
 /// Descriptive metadata of one Atom type.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AtomTypeInfo {
     /// Human-readable name, e.g. `"PointFilter"`.
     pub name: String,
@@ -77,7 +75,6 @@ impl AtomTypeInfo {
 /// The universe of Atom types a library (and all its Molecules) is defined
 /// over; fixes the arity `n` of the Molecule vector space `ℕⁿ`.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AtomUniverse {
     types: Vec<AtomTypeInfo>,
 }

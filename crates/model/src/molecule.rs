@@ -24,7 +24,6 @@ use crate::ModelError;
 /// assert_eq!(available.residual(&wanted).total_atoms(), 1);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Molecule {
     counts: Vec<u16>,
 }
@@ -165,6 +164,24 @@ impl Molecule {
     /// Returns [`ModelError::ArityMismatch`] when the arities differ.
     pub fn checked_residual(&self, other: &Molecule) -> Result<Molecule, ModelError> {
         self.zip_with(other, |a, o| o.saturating_sub(a))
+    }
+
+    /// `|self ⊖ other|` without materialising the residual Molecule:
+    /// equivalent to `self.residual(other).total_atoms()` but
+    /// allocation-free. The scheduler hot loops score every candidate by
+    /// this count each round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    #[must_use]
+    pub fn residual_atoms(&self, other: &Molecule) -> u32 {
+        assert_eq!(self.arity(), other.arity(), "molecule arity mismatch");
+        self.counts
+            .iter()
+            .zip(&other.counts)
+            .map(|(&a, &o)| u32::from(o.saturating_sub(a)))
+            .sum()
     }
 
     /// Component-wise saturating addition; used to track loaded atoms.

@@ -4,7 +4,6 @@ use crate::{AtomUniverse, ModelError, Molecule};
 
 /// Identifier of a Special Instruction within an [`SiLibrary`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SiId(pub u16);
 
 impl SiId {
@@ -30,7 +29,6 @@ impl From<u16> for SiId {
 /// One hardware implementation (Molecule) of a Special Instruction, together
 /// with its single-execution latency in cycles.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MoleculeVariant {
     /// Per-atom-type instance counts.
     pub atoms: Molecule,
@@ -59,7 +57,6 @@ impl MoleculeVariant {
 /// is activated by a synchronous exception (trap) executing the base
 /// instruction set; it is modelled by [`SiDefinition::software_latency`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SiDefinition {
     id: SiId,
     name: String,
@@ -185,7 +182,6 @@ impl SiDefinition {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SiLibrary {
     universe: AtomUniverse,
     sis: Vec<SiDefinition>,

@@ -107,11 +107,13 @@ impl<'a> MolenSystem<'a> {
         }
         let library = self.library;
         let containers = self.containers;
+        // `SelectedMolecule` is `Copy`, so the importance order and the
+        // needed-SI list below end the borrow of `self.design` before the
+        // resident table is mutated — no clone of the design set.
         let design = self
             .design
             .entry(hot_spot)
-            .or_insert_with(|| molen_select(library, hints, containers))
-            .clone();
+            .or_insert_with(|| molen_select(library, hints, containers));
 
         // Importance order for the fixed reconfiguration sequence.
         let mut order: Vec<(u64, SelectedMolecule)> = design

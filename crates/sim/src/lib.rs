@@ -49,9 +49,11 @@ mod baseline;
 mod engine;
 pub mod export;
 mod stats;
+mod sweep;
 mod trace;
 
 pub use baseline::{molen_select, MolenSystem};
 pub use engine::{simulate, SimConfig, SystemKind};
 pub use stats::{LatencyEvent, RunStats, DEFAULT_BUCKET_CYCLES};
+pub use sweep::{SweepJob, SweepRunner, THREADS_ENV};
 pub use trace::{Burst, Invocation, Trace};

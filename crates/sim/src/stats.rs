@@ -127,10 +127,15 @@ impl RunStats {
         if buckets.len() <= last_bucket {
             buckets.resize(last_bucket + 1, 0);
         }
-        for bucket in first_bucket..=last_bucket {
+        for (bucket, slot) in buckets
+            .iter_mut()
+            .enumerate()
+            .take(last_bucket + 1)
+            .skip(first_bucket)
+        {
             let lo = executed_before(bucket as u64 * b);
             let hi = executed_before((bucket + 1) as u64 * b);
-            buckets[bucket] += (hi - lo) as u32;
+            *slot += (hi - lo) as u32;
         }
     }
 

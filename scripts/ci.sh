@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: release build, tier-1 tests, workspace tests, strict clippy.
+# Everything runs offline against the vendored dev-dependencies in vendor/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1: root package)"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all gates passed"

@@ -1,0 +1,241 @@
+//! Offline stub of the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach a crates registry, so the workspace
+//! vendors the slice of the criterion 0.5 API its benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`Throughput`],
+//! [`BatchSize`] and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery this stub times
+//! `sample_size` iterations with `std::time::Instant` and prints
+//! min/mean/max per iteration (plus throughput when configured). That is
+//! enough to track relative perf from PR to PR without a registry.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output to batch per timing pass (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+}
+
+/// Times closures passed by the benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u64,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher {
+            samples,
+            elapsed: Vec::with_capacity(samples as usize),
+        }
+    }
+
+    /// Times `routine` once per sample.
+    pub fn iter<T, R: FnMut() -> T>(&mut self, mut routine: R) {
+        // One untimed warm-up pass populates caches and lazy statics.
+        std_black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.elapsed.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh values from `setup`, excluding setup time.
+    pub fn iter_batched<I, T, S: FnMut() -> I, R: FnMut(I) -> T>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        std_black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.elapsed.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`, excluding the setup
+    /// time (criterion's deprecated spelling of
+    /// [`iter_batched`](Bencher::iter_batched) with per-iteration batches).
+    pub fn iter_with_setup<I, T, S: FnMut() -> I, R: FnMut(I) -> T>(
+        &mut self,
+        setup: S,
+        routine: R,
+    ) {
+        self.iter_batched(setup, routine, BatchSize::SmallInput);
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.elapsed.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.elapsed.iter().sum();
+        let mean = total / self.elapsed.len() as u32;
+        let min = self.elapsed.iter().min().expect("non-empty");
+        let max = self.elapsed.iter().max().expect("non-empty");
+        print!(
+            "{name:<40} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} samples)",
+            self.elapsed.len()
+        );
+        if let Some(tp) = throughput {
+            let per_sec = |n: u64| n as f64 / mean.as_secs_f64();
+            match tp {
+                Throughput::Elements(n) => print!("  {:.0} elem/s", per_sec(n)),
+                Throughput::Bytes(n) => print!("  {:.0} B/s", per_sec(n)),
+            }
+        }
+        println!();
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Configures measurement time (accepted and ignored by the stub).
+    #[must_use]
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(name, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.criterion.sample_size);
+        f(&mut bencher);
+        bencher.report(&format!("  {name}"), self.throughput);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grouped");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3, 4], |v| v.iter().sum::<u8>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke, work);
+
+    #[test]
+    fn harness_runs() {
+        smoke();
+    }
+}

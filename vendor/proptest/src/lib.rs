@@ -1,0 +1,512 @@
+//! Offline stub of the `proptest` crate.
+//!
+//! The build environment cannot reach a crates registry, so the workspace
+//! vendors the subset of the proptest API its property tests use:
+//!
+//! - the [`Strategy`] trait with `prop_map` / `prop_filter` / `prop_flat_map`
+//! - integer ranges and tuples of strategies as strategies
+//! - [`collection::vec`] with fixed or ranged lengths
+//! - [`any`] for primitives and [`sample::Index`]
+//! - the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros and
+//!   [`ProptestConfig::with_cases`]
+//!
+//! Semantics differ from the real crate in one deliberate way: failing cases
+//! are *not shrunk* — the failing input is printed as generated. Generation
+//! is deterministic per test (seeded from the test's module path and name),
+//! so failures reproduce across runs.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// How many times a strategy is retried when filters reject values.
+const MAX_LOCAL_REJECTS: u32 = 100;
+const MAX_GLOBAL_REJECTS: u32 = 1_000;
+
+/// A recipe for generating random values of one type.
+///
+/// `generate` returns `None` when a `prop_filter` rejected the value; callers
+/// retry a bounded number of times.
+pub trait Strategy: Sized {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Attempts to generate one value.
+    fn generate(&self, rng: &mut SmallRng) -> Option<Self::Value>;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred`; `reason` labels the filter
+    /// in exhaustion panics.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F> {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Generates a value, then generates from the strategy `f` derives from
+    /// it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> Option<T> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> Option<S::Value> {
+        for _ in 0..MAX_LOCAL_REJECTS {
+            if let Some(v) = self.inner.generate(rng) {
+                if (self.pred)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        let _ = &self.reason;
+        None
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> Option<S2::Value> {
+        let v = self.inner.generate(rng)?;
+        (self.f)(v).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Types with a canonical whole-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the whole-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Whole-domain strategy for primitives (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> Option<$t> {
+                Some(rng.gen())
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy(PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// Returns the canonical strategy for `T` (`any::<u8>()`, …).
+#[must_use]
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod sample {
+    //! Index sampling, as in `proptest::sample`.
+
+    use super::{AnyStrategy, Arbitrary, SmallRng, Strategy};
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// A random index into a collection of as-yet-unknown length.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Projects this sample onto a collection of length `len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `len` is zero.
+        #[must_use]
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Strategy for AnyStrategy<Index> {
+        type Value = Index;
+
+        fn generate(&self, rng: &mut SmallRng) -> Option<Index> {
+            Some(Index(rng.gen_range(0..usize::MAX)))
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = AnyStrategy<Index>;
+
+        fn arbitrary() -> Self::Strategy {
+            AnyStrategy(PhantomData)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, as in `proptest::collection`.
+
+    use super::{SmallRng, Strategy, MAX_LOCAL_REJECTS};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specifications accepted by [`vec`]: an exact `usize` or a
+    /// `Range<usize>`.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut SmallRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut SmallRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Option<Vec<S::Value>> {
+            let len = self.len.pick(rng);
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                let mut element = None;
+                for _ in 0..MAX_LOCAL_REJECTS {
+                    if let Some(v) = self.element.generate(rng) {
+                        element = Some(v);
+                        break;
+                    }
+                }
+                out.push(element?);
+            }
+            Some(out)
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose length
+    /// comes from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Runtime knobs for [`proptest!`] blocks.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives case generation for one test function (used by [`proptest!`]).
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG seed is derived from `name`, so each test
+    /// sees a stable, independent random stream.
+    #[must_use]
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner {
+            config,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of cases to run.
+    #[must_use]
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// Generates one value, retrying filter rejections.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the strategy rejects [`MAX_GLOBAL_REJECTS`] values in a
+    /// row.
+    pub fn generate<S: Strategy>(&mut self, strategy: &S) -> S::Value {
+        for _ in 0..MAX_GLOBAL_REJECTS {
+            if let Some(v) = strategy.generate(&mut self.rng) {
+                return v;
+            }
+        }
+        panic!("strategy rejected {MAX_GLOBAL_REJECTS} consecutive values; loosen the filter");
+    }
+
+    /// Access to the underlying RNG (escape hatch; unused by the macros).
+    pub fn rng(&mut self) -> &mut impl RngCore {
+        &mut self.rng
+    }
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(128))]
+///     #[test]
+///     fn holds(x in 0u32..100, v in proptest::collection::vec(any::<u8>(), 4)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal recursion for [`proptest!`]; expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let mut __runner = $crate::TestRunner::new(
+                $config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__runner.cases() {
+                let ($($parm,)+) = __runner.generate(&(($($strategy,)+)));
+                $body
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+pub mod prelude {
+    //! One-stop imports, as in `proptest::prelude`.
+
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    pub mod prop {
+        //! Module alias matching `proptest::prelude::prop`.
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_generate_in_bounds() {
+        let mut runner = TestRunner::new(ProptestConfig::default(), "self-test");
+        for _ in 0..200 {
+            let (x, v) = runner.generate(&((3u16..9), crate::collection::vec(0u64..5, 1..4)));
+            assert!((3..9).contains(&x));
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+
+    #[test]
+    fn filters_and_maps_compose() {
+        let strategy = crate::collection::vec(0u16..4, 6)
+            .prop_filter("non-zero", |c| c.iter().any(|&x| x > 0))
+            .prop_map(|c| c.iter().map(|&x| u32::from(x)).sum::<u32>());
+        let mut runner = TestRunner::new(ProptestConfig::default(), "filters");
+        for _ in 0..200 {
+            assert!(runner.generate(&strategy) > 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_uses_inner_value() {
+        let strategy = (1usize..5).prop_flat_map(|n| crate::collection::vec(0u8..=9, n));
+        let mut runner = TestRunner::new(ProptestConfig::default(), "flat-map");
+        for _ in 0..100 {
+            let v = runner.generate(&strategy);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_round_trip(a in 0u32..10, idx in any::<prop::sample::Index>()) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(idx.index(3) < 3, true);
+        }
+    }
+}
