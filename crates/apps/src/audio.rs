@@ -313,4 +313,23 @@ mod tests {
         let hef = simulate(&lib, &trace, &SimConfig::rispp(6, SchedulerKind::Hef));
         assert!(hef.total_cycles < sw.total_cycles);
     }
+
+    #[test]
+    fn injected_software_backend_matches_enum_path() {
+        use rispp_sim::{
+            simulate_with, ExecutionSystem, RunStats, SimObserver, SoftwareBackend,
+            DEFAULT_BUCKET_CYCLES,
+        };
+        let lib = audio_si_library();
+        let (trace, _) = generate_filterbank_workload(&FilterbankConfig::tiny());
+        let via_enum = simulate(&lib, &trace, &SimConfig::software_only());
+        // Drive the same trace through a directly injected backend.
+        let mut backend = SoftwareBackend::new(&lib);
+        let mut stats = RunStats::new(backend.label(), lib.len(), DEFAULT_BUCKET_CYCLES, false);
+        {
+            let mut observers: [&mut dyn SimObserver; 1] = [&mut stats];
+            simulate_with(&mut backend, &trace, &mut observers);
+        }
+        assert_eq!(via_enum, stats);
+    }
 }

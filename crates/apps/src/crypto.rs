@@ -337,6 +337,32 @@ mod tests {
     }
 
     #[test]
+    fn trait_path_matches_enum_path_on_gateway() {
+        use rispp_sim::{simulate_with, RunStats, SimObserver};
+        let lib = crypto_si_library();
+        let (trace, _) = generate_gateway_workload(&GatewayConfig::tiny());
+        for config in [
+            SimConfig::software_only(),
+            SimConfig::molen(6),
+            SimConfig::rispp(6, SchedulerKind::Hef),
+        ] {
+            let via_enum = simulate(&lib, &trace, &config);
+            let mut system = config.build_system(&lib);
+            let mut stats = RunStats::new(
+                system.label(),
+                lib.len(),
+                config.bucket_cycles,
+                config.detail,
+            );
+            {
+                let mut observers: [&mut dyn SimObserver; 1] = [&mut stats];
+                simulate_with(system.as_mut(), &trace, &mut observers);
+            }
+            assert_eq!(via_enum, stats);
+        }
+    }
+
+    #[test]
     fn jumbo_phase_shifts_the_profile() {
         let (trace, _) = generate_gateway_workload(&GatewayConfig {
             epochs: 9,

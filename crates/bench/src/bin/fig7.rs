@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use rispp_bench::experiments::{quick_workload, scheduler_sweep_on, AC_SWEEP};
+use rispp_bench::experiments::{quick_workload, scheduler_sweep_observed, AC_SWEEP};
 use rispp_bench::report::fig7_table;
 use rispp_core::SchedulerKind;
 use rispp_sim::SweepRunner;
@@ -53,7 +53,12 @@ fn main() {
         runner.threads()
     );
     let started = Instant::now();
-    let sweep = scheduler_sweep_on(&runner, workload.trace(), AC_SWEEP);
+    let sweep = scheduler_sweep_observed(&runner, workload.trace(), AC_SWEEP, |done, total| {
+        eprint!("\r  {done}/{total} simulations");
+        if done == total {
+            eprintln!();
+        }
+    });
     let wall = started.elapsed();
     println!("{}", fig7_table(&sweep));
     println!("{}", rispp_bench::report::table2(&sweep));

@@ -1,8 +1,14 @@
 //! Structured experiment runners, one per paper table/figure.
 
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+
 use rispp_core::SchedulerKind;
 use rispp_h264::{EncoderConfig, EncoderWorkload, HotSpot};
-use rispp_sim::{simulate, RunStats, SimConfig, SweepJob, SweepRunner, SystemKind, Trace};
+use rispp_sim::{
+    simulate, ProgressObserver, RunStats, SimConfig, SimObserver, SweepJob, SweepRunner,
+    SystemKind, Trace,
+};
 
 /// The AC sweep of Figure 7 / Table 2.
 pub const AC_SWEEP: std::ops::RangeInclusive<u16> = 5..=24;
@@ -86,6 +92,24 @@ pub fn scheduler_sweep_on<I: IntoIterator<Item = u16>>(
     trace: &Trace,
     containers: I,
 ) -> SchedulerSweep {
+    scheduler_sweep_observed(runner, trace, containers, |_, _| {})
+}
+
+/// [`scheduler_sweep_on`] with live progress: `report(finished, total)` is
+/// invoked after every completed run, from whichever worker finished it
+/// (a [`ProgressObserver`] per job over one shared counter). The returned
+/// statistics are bit-identical to the unobserved sweep.
+#[must_use]
+pub fn scheduler_sweep_observed<I, R>(
+    runner: &SweepRunner,
+    trace: &Trace,
+    containers: I,
+    report: R,
+) -> SchedulerSweep
+where
+    I: IntoIterator<Item = u16>,
+    R: Fn(usize, usize) + Sync,
+{
     let library = rispp_h264::h264_si_library();
     let acs: Vec<u16> = containers.into_iter().collect();
 
@@ -98,7 +122,17 @@ pub fn scheduler_sweep_on<I: IntoIterator<Item = u16>>(
         }
         jobs.push(SweepJob::new(SimConfig::molen(ac), trace));
     }
-    let results = runner.run(&library, &jobs);
+    let finished = Arc::new(AtomicUsize::new(0));
+    let total = jobs.len();
+    let report = &report;
+    let results = runner.run_observed(&library, &jobs, |_| {
+        let finished = Arc::clone(&finished);
+        vec![
+            Box::new(ProgressObserver::new(total, finished, move |done, total| {
+                report(done, total);
+            })) as Box<dyn SimObserver + '_>,
+        ]
+    });
 
     let software_cycles = results[0].total_cycles;
     let points = acs

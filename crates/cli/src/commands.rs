@@ -5,7 +5,10 @@ use std::process::ExitCode;
 use rispp_core::{GreedySelector, ScheduleRequest, SchedulerKind, SelectionRequest};
 use rispp_h264::{h264_si_library, EncoderConfig, EncoderWorkload, SiKind};
 use rispp_model::Molecule;
-use rispp_sim::{simulate as run_simulation, SimConfig, SweepJob, SweepRunner, SystemKind};
+use rispp_sim::{
+    simulate as run_simulation, simulate_observed, ProgressObserver, SimConfig, SimObserver,
+    SweepJob, SweepRunner, SystemKind, TraceLogObserver,
+};
 
 use crate::args::Options;
 
@@ -147,7 +150,7 @@ pub fn schedule(args: &[String]) -> ExitCode {
 }
 
 /// `rispp-cli simulate [--frames N] [--acs N] [--system KIND] [--oracle]
-/// [--bandwidth MBPS] [--csv]`.
+/// [--bandwidth MBPS] [--csv] [--log-events PATH]`.
 pub fn simulate(args: &[String]) -> ExitCode {
     let options = match Options::parse(args) {
         Ok(o) => o,
@@ -187,7 +190,21 @@ pub fn simulate(args: &[String]) -> ExitCode {
     encoder_config.frames = frames;
     let workload = EncoderWorkload::generate(&encoder_config);
     let library = h264_si_library();
-    let stats = run_simulation(&library, workload.trace(), &config);
+    let stats = match options.value("log-events") {
+        None => run_simulation(&library, workload.trace(), &config),
+        Some(path) => {
+            let mut log = TraceLogObserver::new();
+            let stats = {
+                let mut extra: [&mut dyn SimObserver; 1] = [&mut log];
+                simulate_observed(&library, workload.trace(), &config, &mut extra)
+            };
+            if let Err(e) = std::fs::write(path, log.to_jsonl()) {
+                return fail(&format!("cannot write event log `{path}`: {e}"));
+            }
+            eprintln!("wrote {} events to {path}", log.events().len());
+            stats
+        }
+    };
 
     if options.flag("csv") {
         println!("{}", rispp_sim::export::summary_csv_header());
@@ -252,7 +269,19 @@ pub fn sweep(args: &[String]) -> ExitCode {
         }
         jobs.push(SweepJob::new(SimConfig::molen(acs), trace));
     }
-    let results = runner.run(&library, &jobs);
+    // Live progress on stderr: each job carries a ProgressObserver sharing
+    // one counter, so the count is global across the parallel workers.
+    let finished = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let total = jobs.len();
+    let results = runner.run_observed(&library, &jobs, |_| {
+        let finished = std::sync::Arc::clone(&finished);
+        vec![Box::new(ProgressObserver::new(total, finished, |done, total| {
+            eprint!("\r  {done}/{total} runs");
+            if done == total {
+                eprintln!();
+            }
+        })) as Box<dyn SimObserver>]
+    });
 
     let per_row = SchedulerKind::ALL.len() + 1;
     println!("  #ACs       ASF      FSFR       SJF       HEF     Molen");

@@ -69,7 +69,7 @@ mod sjf;
 mod types;
 
 pub use asf::AsfScheduler;
-pub use context::{Candidate, UpgradeContext};
+pub use context::{Candidate, UpgradeBuffers, UpgradeContext};
 pub use error::CoreError;
 pub use fsfr::FsfrScheduler;
 pub use hef::HefScheduler;

@@ -42,6 +42,33 @@ pub struct BurstSegment {
 }
 
 impl BurstSegment {
+    /// A software (trap) segment: `count` executions at the SI's software
+    /// latency, starting at `start`. The single construction point for
+    /// every execution system's trap path — the RISPP manager, the
+    /// Molen/OneChip baselines and the software-only backend all emit
+    /// exactly this shape.
+    #[must_use]
+    pub fn software(start: u64, count: u64, latency: u32) -> Self {
+        BurstSegment {
+            start,
+            count,
+            latency,
+            variant_index: None,
+        }
+    }
+
+    /// A hardware segment: `count` executions on Molecule variant
+    /// `variant_index` at `latency` cycles each, starting at `start`.
+    #[must_use]
+    pub fn hardware(start: u64, count: u64, latency: u32, variant_index: usize) -> Self {
+        BurstSegment {
+            start,
+            count,
+            latency,
+            variant_index: Some(variant_index),
+        }
+    }
+
     /// Whether this segment executed on accelerating hardware.
     #[must_use]
     pub fn is_hardware(&self) -> bool {
@@ -314,11 +341,9 @@ impl<'a> RunTimeManager<'a> {
                 }
                 _ => remaining,
             };
-            segments.push(BurstSegment {
-                start: t,
-                count: n,
-                latency,
-                variant_index,
+            segments.push(match variant_index {
+                Some(v) => BurstSegment::hardware(t, n, latency, v),
+                None => BurstSegment::software(t, n, latency),
             });
             t += n * per;
             remaining -= n;

@@ -4,7 +4,7 @@
 //! hot spot and compares the measured count against its previous
 //! expectation to update the expectation for the next iteration of the same
 //! hot spot (paper Section 3.1, with the light-weight hardware
-//! implementation demonstrated in the authors' SASO'07 paper [24]).
+//! implementation demonstrated in the authors' SASO'07 paper \[24\]).
 //!
 //! The scheduler consumes these *expected SI executions* as its importance
 //! weights, so the whole adaptivity loop is: monitor → forecast → Molecule
@@ -150,7 +150,7 @@ impl ExecutionMonitor {
     }
 
     /// Records `count` executions of `si` inside `hot_spot` at once (the
-    /// hardware counters of [24] are add-accumulate, so bulk recording is
+    /// hardware counters of \[24\] are add-accumulate, so bulk recording is
     /// behaviourally identical to repeated single recording).
     pub fn record_executions(&mut self, hot_spot: HotSpotId, si: SiId, count: u64) {
         let state = self.table.entry((hot_spot, si)).or_default();

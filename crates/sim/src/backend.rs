@@ -1,0 +1,219 @@
+//! The open execution-backend architecture: any system that can replay a
+//! [`Trace`](crate::Trace) implements [`ExecutionSystem`], and the replay
+//! loop ([`simulate_with`](crate::simulate_with)) only talks to that trait.
+//!
+//! Built-in backends:
+//!
+//! * [`RisppBackend`] — the full RISPP run-time system
+//!   ([`rispp_core::RunTimeManager`]) behind a thin adapter, optionally in
+//!   oracle (perfect-future-knowledge) mode;
+//! * [`MolenSystem`] — the Molen/OneChip-like baselines;
+//! * [`SoftwareBackend`] — pure base-processor execution (every SI traps).
+//!
+//! Third-party backends plug in the same way: implement the trait and hand
+//! a `&mut dyn ExecutionSystem` to `simulate_with` — no engine changes
+//! required (see `examples/custom_backend.rs` in the repository root).
+
+use std::borrow::Cow;
+
+use rispp_core::{BurstSegment, RunTimeManager, SchedulerKind};
+use rispp_model::{SiId, SiLibrary};
+
+use crate::baseline::MolenSystem;
+use crate::trace::Invocation;
+
+/// An execution system that the engine can replay a trace against.
+///
+/// The replay loop drives the backend through the hot-spot lifecycle —
+/// [`enter_hot_spot`](ExecutionSystem::enter_hot_spot), a sequence of
+/// [`execute_burst`](ExecutionSystem::execute_burst) calls, then
+/// [`exit_hot_spot`](ExecutionSystem::exit_hot_spot) — and reads
+/// aggregate reconfiguration counters at the end of the run.
+///
+/// Contract expected by the engine (checked by the backend-conformance
+/// suite in `crates/sim/tests/backend_conformance.rs`):
+///
+/// * `execute_burst(si, count, ..)` returns segments whose counts sum to
+///   `count`, with non-decreasing `start` cycles, the first at the burst's
+///   `start`;
+/// * a backend must execute exactly the trace — no SI executions are
+///   dropped or invented;
+/// * `reconfiguration_stats` is monotone over the run.
+pub trait ExecutionSystem {
+    /// Display label used in reports (e.g. `"HEF"`, `"Molen"`).
+    fn label(&self) -> Cow<'static, str>;
+
+    /// Enters a hot spot at cycle `now`. The full [`Invocation`] is passed
+    /// so backends can choose their forecast input: the design-time
+    /// `hints` (online systems) or the measured execution profile (oracle
+    /// studies).
+    fn enter_hot_spot(&mut self, invocation: &Invocation, now: u64);
+
+    /// Executes a burst of `count` executions of `si` starting at `start`,
+    /// each followed by `overhead` base-processor cycles. Returns the
+    /// homogeneous-latency segments of the burst in time order.
+    fn execute_burst(&mut self, si: SiId, count: u32, overhead: u32, start: u64)
+        -> Vec<BurstSegment>;
+
+    /// Leaves the current hot spot at cycle `now`.
+    fn exit_hot_spot(&mut self, now: u64);
+
+    /// Completed reconfiguration loads and the cycles the reconfiguration
+    /// port was busy, cumulative since the start of the run.
+    fn reconfiguration_stats(&self) -> (u64, u64);
+}
+
+/// The RISPP run-time system as an [`ExecutionSystem`]: a thin adapter
+/// around [`RunTimeManager`] that maps the trace's hot-spot lifecycle onto
+/// the manager's forecast/select/schedule pipeline.
+#[derive(Debug)]
+pub struct RisppBackend<'a> {
+    manager: RunTimeManager<'a>,
+    label: &'static str,
+    oracle: bool,
+}
+
+impl<'a> RisppBackend<'a> {
+    /// Wraps a fully built manager. `scheduler` is only used for the
+    /// report label.
+    #[must_use]
+    pub fn new(manager: RunTimeManager<'a>, scheduler: SchedulerKind) -> Self {
+        RisppBackend {
+            manager,
+            label: scheduler.abbreviation(),
+            oracle: false,
+        }
+    }
+
+    /// Enables oracle mode: each hot-spot entry feeds the *measured*
+    /// per-invocation execution profile to the run-time system instead of
+    /// the online forecast (perfect future knowledge, the upper bound of
+    /// paper Section 4.2).
+    #[must_use]
+    pub fn with_oracle(mut self, oracle: bool) -> Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// The wrapped run-time manager.
+    #[must_use]
+    pub fn manager(&self) -> &RunTimeManager<'a> {
+        &self.manager
+    }
+
+    /// Consumes the backend, returning the manager.
+    #[must_use]
+    pub fn into_manager(self) -> RunTimeManager<'a> {
+        self.manager
+    }
+}
+
+impl ExecutionSystem for RisppBackend<'_> {
+    fn label(&self) -> Cow<'static, str> {
+        Cow::Borrowed(self.label)
+    }
+
+    fn enter_hot_spot(&mut self, invocation: &Invocation, now: u64) {
+        if self.oracle {
+            let profile = invocation.execution_profile();
+            self.manager
+                .enter_hot_spot_with_profile(invocation.hot_spot, &profile, now)
+                .expect("trace and library are consistent");
+        } else {
+            self.manager
+                .enter_hot_spot(invocation.hot_spot, &invocation.hints, now)
+                .expect("trace and library are consistent");
+        }
+    }
+
+    fn execute_burst(
+        &mut self,
+        si: SiId,
+        count: u32,
+        overhead: u32,
+        start: u64,
+    ) -> Vec<BurstSegment> {
+        self.manager.execute_burst(si, count, overhead, start)
+    }
+
+    fn exit_hot_spot(&mut self, now: u64) {
+        self.manager.exit_hot_spot(now);
+    }
+
+    fn reconfiguration_stats(&self) -> (u64, u64) {
+        let s = self.manager.fabric().stats();
+        (s.loads_completed, s.port_busy_cycles)
+    }
+}
+
+impl ExecutionSystem for MolenSystem<'_> {
+    fn label(&self) -> Cow<'static, str> {
+        Cow::Borrowed(MolenSystem::label(self))
+    }
+
+    fn enter_hot_spot(&mut self, invocation: &Invocation, now: u64) {
+        MolenSystem::enter_hot_spot(self, invocation.hot_spot, &invocation.hints, now);
+    }
+
+    fn execute_burst(
+        &mut self,
+        si: SiId,
+        count: u32,
+        overhead: u32,
+        start: u64,
+    ) -> Vec<BurstSegment> {
+        MolenSystem::execute_burst(self, si, count, overhead, start)
+    }
+
+    fn exit_hot_spot(&mut self, now: u64) {
+        MolenSystem::exit_hot_spot(self, now);
+    }
+
+    fn reconfiguration_stats(&self) -> (u64, u64) {
+        MolenSystem::reconfiguration_stats(self)
+    }
+}
+
+/// Pure base-processor execution: every SI traps to its software latency,
+/// nothing is ever reconfigured. The paper's 0-AC reference point.
+#[derive(Debug, Clone, Copy)]
+pub struct SoftwareBackend<'a> {
+    library: &'a SiLibrary,
+}
+
+impl<'a> SoftwareBackend<'a> {
+    /// Creates a software-only backend over `library`.
+    #[must_use]
+    pub fn new(library: &'a SiLibrary) -> Self {
+        SoftwareBackend { library }
+    }
+}
+
+impl ExecutionSystem for SoftwareBackend<'_> {
+    fn label(&self) -> Cow<'static, str> {
+        Cow::Borrowed("Software")
+    }
+
+    fn enter_hot_spot(&mut self, _invocation: &Invocation, _now: u64) {}
+
+    fn execute_burst(
+        &mut self,
+        si: SiId,
+        count: u32,
+        _overhead: u32,
+        start: u64,
+    ) -> Vec<BurstSegment> {
+        let latency = self
+            .library
+            .si(si)
+            .expect("si within library")
+            .software_latency();
+        vec![BurstSegment::software(start, u64::from(count), latency)]
+    }
+
+    fn exit_hot_spot(&mut self, _now: u64) {}
+
+    fn reconfiguration_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}

@@ -78,6 +78,17 @@ impl<'a> MolenSystem<'a> {
         (self.loads, self.load_cycles)
     }
 
+    /// Display label: `"Molen"`, or `"OneChip"` for the flush-on-switch
+    /// variant.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        if self.retain_across_hot_spots {
+            "Molen"
+        } else {
+            "OneChip"
+        }
+    }
+
     fn used_slots(&self) -> u32 {
         self.resident.iter().flatten().map(|r| r.slots).sum()
     }
@@ -209,11 +220,9 @@ impl<'a> MolenSystem<'a> {
                 Some(event) if event > t => (event - t).div_ceil(per).min(remaining),
                 _ => remaining,
             };
-            segments.push(BurstSegment {
-                start: t,
-                count: n,
-                latency,
-                variant_index,
+            segments.push(match variant_index {
+                Some(v) => BurstSegment::hardware(t, n, latency, v),
+                None => BurstSegment::software(t, n, latency),
             });
             t += n * per;
             remaining -= n;

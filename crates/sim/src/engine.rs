@@ -1,8 +1,10 @@
-use rispp_core::{BurstSegment, RunTimeManager, SchedulerKind};
-use rispp_model::{SiId, SiLibrary};
-use rispp_monitor::{ForecastPolicy, HotSpotId};
+use rispp_core::{RunTimeManager, SchedulerKind};
+use rispp_model::SiLibrary;
+use rispp_monitor::ForecastPolicy;
 
+use crate::backend::{ExecutionSystem, RisppBackend, SoftwareBackend};
 use crate::baseline::MolenSystem;
+use crate::observer::{SimEvent, SimObserver};
 use crate::stats::{RunStats, DEFAULT_BUCKET_CYCLES};
 use crate::trace::Trace;
 
@@ -25,12 +27,12 @@ pub enum SystemKind {
 impl SystemKind {
     /// Display label used in reports.
     #[must_use]
-    pub fn label(self) -> String {
+    pub fn label(self) -> &'static str {
         match self {
-            SystemKind::Rispp(kind) => kind.abbreviation().to_string(),
-            SystemKind::Molen => "Molen".to_string(),
-            SystemKind::OneChip => "OneChip".to_string(),
-            SystemKind::SoftwareOnly => "Software".to_string(),
+            SystemKind::Rispp(kind) => kind.abbreviation(),
+            SystemKind::Molen => "Molen",
+            SystemKind::OneChip => "OneChip",
+            SystemKind::SoftwareOnly => "Software",
         }
     }
 }
@@ -127,135 +129,190 @@ impl SimConfig {
         self.port_bandwidth = Some(bytes_per_sec);
         self
     }
+
+    /// Builds the configured execution system over `library`.
+    ///
+    /// This is the factory behind [`simulate`]: every [`SystemKind`] maps
+    /// to one of the built-in [`ExecutionSystem`] implementations. Callers
+    /// that want a *custom* backend skip this and hand their own
+    /// implementation to [`simulate_with`] directly.
+    #[must_use]
+    pub fn build_system<'a>(&self, library: &'a SiLibrary) -> Box<dyn ExecutionSystem + 'a> {
+        match self.system {
+            SystemKind::Rispp(kind) => {
+                let mut builder = RunTimeManager::builder(library)
+                    .containers(self.containers)
+                    .scheduler(kind)
+                    .forecast(self.forecast);
+                if let Some(bw) = self.port_bandwidth {
+                    builder = builder.port_bandwidth(bw);
+                }
+                Box::new(RisppBackend::new(builder.build(), kind).with_oracle(self.oracle))
+            }
+            SystemKind::Molen => Box::new(MolenSystem::new(library, self.containers)),
+            SystemKind::OneChip => Box::new(MolenSystem::one_chip(library, self.containers)),
+            SystemKind::SoftwareOnly => Box::new(SoftwareBackend::new(library)),
+        }
+    }
 }
 
-enum System<'a> {
-    Rispp(RunTimeManager<'a>),
-    RisppOracle(RunTimeManager<'a>),
-    Molen(MolenSystem<'a>),
-    Software(&'a SiLibrary),
+fn emit(observers: &mut [&mut (dyn SimObserver + '_)], event: SimEvent) {
+    for obs in observers.iter_mut() {
+        obs.on_event(&event);
+    }
 }
 
-impl<'a> System<'a> {
-    fn enter(&mut self, hot_spot: HotSpotId, hints: &[(SiId, u64)], now: u64) {
-        match self {
-            System::Rispp(mgr) => mgr
-                .enter_hot_spot(hot_spot, hints, now)
-                .expect("trace and library are consistent"),
-            System::RisppOracle(mgr) => mgr
-                .enter_hot_spot_with_profile(hot_spot, hints, now)
-                .expect("trace and library are consistent"),
-            System::Molen(m) => m.enter_hot_spot(hot_spot, hints, now),
-            System::Software(_) => {}
-        }
+/// Checks the backend's completed-load counter and reports any advance to
+/// the observers (the engine observes loads at replay granularity).
+fn poll_loads(
+    system: &dyn ExecutionSystem,
+    loads_seen: &mut u64,
+    now: u64,
+    observers: &mut [&mut (dyn SimObserver + '_)],
+) {
+    let (loads, _) = system.reconfiguration_stats();
+    if loads > *loads_seen {
+        emit(
+            observers,
+            SimEvent::LoadCompleted {
+                completed: loads - *loads_seen,
+                total: loads,
+                now,
+            },
+        );
+        *loads_seen = loads;
     }
+}
 
-    fn burst(&mut self, si: SiId, count: u32, overhead: u32, start: u64) -> Vec<BurstSegment> {
-        match self {
-            System::Rispp(mgr) | System::RisppOracle(mgr) => {
-                mgr.execute_burst(si, count, overhead, start)
+/// Replays `trace` against an arbitrary [`ExecutionSystem`], emitting the
+/// typed event stream to `observers`.
+///
+/// This is the open entry point of the engine: [`simulate`] builds one of
+/// the built-in backends and attaches a [`RunStats`] observer, but any
+/// third-party backend and any observer set can be driven through here.
+/// Time starts at cycle 0 with a cold (empty) fabric, exactly like the
+/// paper's measurements.
+///
+/// # Panics
+///
+/// Panics if the backend panics — the built-in backends panic when the
+/// trace references SIs outside their library.
+pub fn simulate_with(
+    system: &mut dyn ExecutionSystem,
+    trace: &Trace,
+    observers: &mut [&mut (dyn SimObserver + '_)],
+) {
+    let mut now = 0u64;
+    let mut loads_seen = 0u64;
+    for inv in trace.invocations() {
+        emit(
+            observers,
+            SimEvent::HotSpotEntered {
+                hot_spot: inv.hot_spot,
+                now,
+            },
+        );
+        system.enter_hot_spot(inv, now);
+        // The prologue advances the clock unconditionally, *before* the
+        // burst loop: an invocation whose bursts are all empty (count 0)
+        // must still cost its prologue, and `exit_hot_spot` below must see
+        // the advanced time even when no segment ever updates `now`.
+        now += inv.prologue_cycles;
+        poll_loads(system, &mut loads_seen, now, observers);
+        for b in &inv.bursts {
+            if b.count == 0 {
+                continue;
             }
-            System::Molen(m) => m.execute_burst(si, count, overhead, start),
-            System::Software(lib) => vec![BurstSegment {
-                start,
-                count: u64::from(count),
-                latency: lib.si(si).expect("si within library").software_latency(),
-                variant_index: None,
-            }],
-        }
-    }
-
-    fn exit(&mut self, now: u64) {
-        match self {
-            System::Rispp(mgr) | System::RisppOracle(mgr) => mgr.exit_hot_spot(now),
-            System::Molen(m) => m.exit_hot_spot(now),
-            System::Software(_) => {}
-        }
-    }
-
-    fn reconfiguration_stats(&self) -> (u64, u64) {
-        match self {
-            System::Rispp(mgr) | System::RisppOracle(mgr) => {
-                let s = mgr.fabric().stats();
-                (s.loads_completed, s.port_busy_cycles)
+            let segments = system.execute_burst(b.si, b.count, b.overhead, now);
+            for seg in &segments {
+                let per = u64::from(seg.latency) + u64::from(b.overhead);
+                emit(
+                    observers,
+                    SimEvent::SegmentExecuted {
+                        si: b.si,
+                        segment: *seg,
+                        overhead: b.overhead,
+                    },
+                );
+                now = seg.start + seg.count * per;
             }
-            System::Molen(m) => m.reconfiguration_stats(),
-            System::Software(_) => (0, 0),
+            poll_loads(system, &mut loads_seen, now, observers);
         }
+        system.exit_hot_spot(now);
     }
+    let (loads, cycles) = system.reconfiguration_stats();
+    if loads > loads_seen {
+        emit(
+            observers,
+            SimEvent::LoadCompleted {
+                completed: loads - loads_seen,
+                total: loads,
+                now,
+            },
+        );
+    }
+    emit(
+        observers,
+        SimEvent::RunFinished {
+            total_cycles: now,
+            reconfigurations: loads,
+            reconfiguration_cycles: cycles,
+        },
+    );
+}
+
+/// Replays `trace` on the configured built-in system with extra observers
+/// attached alongside the [`RunStats`] collector.
+///
+/// Used by the CLI (`--log-events`) and the sweep progress reporting; with
+/// an empty `extra` slice this is exactly [`simulate`].
+///
+/// # Panics
+///
+/// Panics if the trace references SIs outside `library`.
+#[must_use]
+pub fn simulate_observed(
+    library: &SiLibrary,
+    trace: &Trace,
+    config: &SimConfig,
+    extra: &mut [&mut (dyn SimObserver + '_)],
+) -> RunStats {
+    let mut system = config.build_system(library);
+    let mut stats = RunStats::new(
+        system.label(),
+        library.len(),
+        config.bucket_cycles,
+        config.detail,
+    );
+    let mut observers: Vec<&mut (dyn SimObserver + '_)> = Vec::with_capacity(1 + extra.len());
+    observers.push(&mut stats);
+    for obs in extra.iter_mut() {
+        observers.push(&mut **obs);
+    }
+    simulate_with(system.as_mut(), trace, &mut observers);
+    stats
 }
 
 /// Replays `trace` on the configured system and returns the run statistics.
 ///
-/// Time starts at cycle 0 with a cold (empty) fabric, exactly like the
-/// paper's measurements.
+/// Delegates to [`simulate_with`] through the [`SimConfig::build_system`]
+/// factory, so the enum-configured path and the trait path are the same
+/// code and produce bit-identical results by construction.
 ///
 /// # Panics
 ///
 /// Panics if the trace references SIs outside `library`.
 #[must_use]
 pub fn simulate(library: &SiLibrary, trace: &Trace, config: &SimConfig) -> RunStats {
-    let mut system = match config.system {
-        SystemKind::Rispp(kind) => {
-            let mut builder = RunTimeManager::builder(library)
-                .containers(config.containers)
-                .scheduler(kind)
-                .forecast(config.forecast);
-            if let Some(bw) = config.port_bandwidth {
-                builder = builder.port_bandwidth(bw);
-            }
-            let mgr = builder.build();
-            if config.oracle {
-                System::RisppOracle(mgr)
-            } else {
-                System::Rispp(mgr)
-            }
-        }
-        SystemKind::Molen => System::Molen(MolenSystem::new(library, config.containers)),
-        SystemKind::OneChip => System::Molen(MolenSystem::one_chip(library, config.containers)),
-        SystemKind::SoftwareOnly => System::Software(library),
-    };
-
-    let mut stats = RunStats::new(
-        config.system.label(),
-        library.len(),
-        config.bucket_cycles,
-        config.detail,
-    );
-    let mut now = 0u64;
-    for inv in trace.invocations() {
-        if config.oracle {
-            let profile = inv.execution_profile();
-            system.enter(inv.hot_spot, &profile, now);
-        } else {
-            system.enter(inv.hot_spot, &inv.hints, now);
-        }
-        now += inv.prologue_cycles;
-        for b in &inv.bursts {
-            if b.count == 0 {
-                continue;
-            }
-            let segments = system.burst(b.si, b.count, b.overhead, now);
-            for seg in &segments {
-                let per = u64::from(seg.latency) + u64::from(b.overhead);
-                stats.record_segment(b.si, seg.start, seg.count, per, seg.latency, seg.is_hardware());
-                now = seg.start + seg.count * per;
-            }
-        }
-        system.exit(now);
-    }
-    stats.total_cycles = now;
-    let (loads, cycles) = system.reconfiguration_stats();
-    stats.reconfigurations = loads;
-    stats.reconfiguration_cycles = cycles;
-    stats
+    simulate_observed(library, trace, config, &mut [])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::{Burst, Invocation};
-    use rispp_model::{AtomTypeInfo, AtomUniverse, Molecule, SiLibraryBuilder};
+    use crate::trace::{Burst, Invocation, Trace};
+    use rispp_model::{AtomTypeInfo, AtomUniverse, Molecule, SiId, SiLibraryBuilder};
+    use rispp_monitor::HotSpotId;
 
     fn library() -> SiLibrary {
         let universe = AtomUniverse::from_types([
@@ -393,5 +450,70 @@ mod tests {
         let c3 = simulate(&lib, &t, &SimConfig::rispp(3, SchedulerKind::Hef));
         let c4 = simulate(&lib, &t, &SimConfig::rispp(4, SchedulerKind::Hef));
         assert!(c4.total_cycles <= c3.total_cycles);
+    }
+
+    #[test]
+    fn system_kind_labels_are_static_and_stable() {
+        assert_eq!(SystemKind::Rispp(SchedulerKind::Hef).label(), "HEF");
+        assert_eq!(SystemKind::Molen.label(), "Molen");
+        assert_eq!(SystemKind::OneChip.label(), "OneChip");
+        assert_eq!(SystemKind::SoftwareOnly.label(), "Software");
+    }
+
+    #[test]
+    fn prologue_cycles_count_even_without_bursts() {
+        let lib = library();
+        // Three invocations: a normal one, one with only zero-count bursts,
+        // one with no bursts at all.
+        let t = Trace::from_invocations(vec![
+            Invocation {
+                hot_spot: HotSpotId(0),
+                prologue_cycles: 700,
+                bursts: vec![Burst {
+                    si: SiId(0),
+                    count: 0,
+                    overhead: 20,
+                }],
+                hints: vec![(SiId(0), 0)],
+            },
+            Invocation {
+                hot_spot: HotSpotId(0),
+                prologue_cycles: 300,
+                bursts: Vec::new(),
+                hints: Vec::new(),
+            },
+        ]);
+        for config in [
+            SimConfig::software_only(),
+            SimConfig::molen(4),
+            SimConfig {
+                system: SystemKind::OneChip,
+                ..SimConfig::molen(4)
+            },
+            SimConfig::rispp(4, SchedulerKind::Hef),
+        ] {
+            let stats = simulate(&lib, &t, &config);
+            assert_eq!(
+                stats.total_cycles, 1_000,
+                "{}: prologue must advance time without bursts",
+                config.system.label()
+            );
+            assert_eq!(stats.total_executions(), 0, "{}", config.system.label());
+        }
+    }
+
+    #[test]
+    fn empty_trace_finishes_at_cycle_zero() {
+        let lib = library();
+        let t = Trace::from_invocations(Vec::new());
+        for config in [
+            SimConfig::software_only(),
+            SimConfig::rispp(2, SchedulerKind::Asf),
+        ] {
+            let stats = simulate(&lib, &t, &config);
+            assert_eq!(stats.total_cycles, 0);
+            assert_eq!(stats.total_executions(), 0);
+            assert_eq!(stats.reconfigurations, 0);
+        }
     }
 }

@@ -1,10 +1,11 @@
-//! CSV export of simulation results, for plotting the regenerated figures
-//! with external tools.
+//! CSV and JSONL export of simulation results, for plotting the
+//! regenerated figures and inspecting event logs with external tools.
 
 use std::fmt::Write as _;
 
 use rispp_model::SiLibrary;
 
+use crate::observer::SimEvent;
 use crate::stats::RunStats;
 
 /// One-line CSV summary of a run:
@@ -73,6 +74,69 @@ pub fn latency_timeline_csv(stats: &RunStats, library: &SiLibrary) -> String {
                     si.name().replace(',', ";"),
                     event.at,
                     event.latency
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders a recorded event stream as a JSONL log: one JSON object per
+/// line, each with an `"event"` discriminator — the serialisation behind
+/// [`TraceLogObserver::to_jsonl`](crate::TraceLogObserver::to_jsonl) and
+/// the CLI's `--log-events` flag.
+#[must_use]
+pub fn event_log_jsonl(events: &[SimEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        match *event {
+            SimEvent::HotSpotEntered { hot_spot, now } => {
+                let _ = writeln!(
+                    out,
+                    r#"{{"event":"hot_spot_entered","hot_spot":{},"now":{now}}}"#,
+                    hot_spot.0
+                );
+            }
+            SimEvent::SegmentExecuted {
+                si,
+                segment,
+                overhead,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"event":"segment_executed","si":{},"start":{},"count":{},"latency":{},"overhead":{overhead},"#,
+                    si.index(),
+                    segment.start,
+                    segment.count,
+                    segment.latency,
+                );
+                match segment.variant_index {
+                    Some(v) => {
+                        let _ = writeln!(out, r#""variant":{v}}}"#);
+                    }
+                    None => {
+                        let _ = writeln!(out, r#""variant":null}}"#);
+                    }
+                }
+            }
+            SimEvent::LoadCompleted {
+                completed,
+                total,
+                now,
+            } => {
+                let _ = writeln!(
+                    out,
+                    r#"{{"event":"load_completed","completed":{completed},"total":{total},"now":{now}}}"#
+                );
+            }
+            SimEvent::RunFinished {
+                total_cycles,
+                reconfigurations,
+                reconfiguration_cycles,
+            } => {
+                let _ = writeln!(
+                    out,
+                    r#"{{"event":"run_finished","total_cycles":{total_cycles},"reconfigurations":{reconfigurations},"reconfiguration_cycles":{reconfiguration_cycles}}}"#
                 );
             }
         }
@@ -156,5 +220,49 @@ mod tests {
         let stats = run(false);
         assert!(buckets_csv(&stats, &lib).is_empty());
         assert!(latency_timeline_csv(&stats, &lib).is_empty());
+    }
+
+    #[test]
+    fn event_log_jsonl_one_object_per_event() {
+        use crate::engine::simulate_observed;
+        use crate::observer::{SimObserver, TraceLogObserver};
+
+        let lib = library();
+        let trace = Trace::from_invocations(vec![Invocation {
+            hot_spot: HotSpotId(0),
+            prologue_cycles: 100,
+            bursts: vec![Burst {
+                si: SiId(0),
+                count: 2_000,
+                overhead: 10,
+            }],
+            hints: vec![(SiId(0), 2_000)],
+        }]);
+        let mut log = TraceLogObserver::new();
+        {
+            let mut extra: [&mut dyn SimObserver; 1] = [&mut log];
+            let _ = simulate_observed(
+                &lib,
+                &trace,
+                &SimConfig::rispp(2, SchedulerKind::Hef),
+                &mut extra,
+            );
+        }
+        let jsonl = log.to_jsonl();
+        assert_eq!(jsonl.lines().count(), log.events().len());
+        assert!(jsonl.starts_with(r#"{"event":"hot_spot_entered""#));
+        assert!(jsonl.lines().last().unwrap().starts_with(r#"{"event":"run_finished""#));
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            // Crude JSON sanity: balanced braces and quoted keys.
+            assert_eq!(
+                line.matches('{').count(),
+                line.matches('}').count(),
+                "{line}"
+            );
+        }
+        // The log must contain the executed segments and at least one load.
+        assert!(jsonl.contains(r#""event":"segment_executed""#));
+        assert!(jsonl.contains(r#""event":"load_completed""#));
     }
 }

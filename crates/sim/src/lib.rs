@@ -2,19 +2,28 @@
 //!
 //! The engine replays a [`Trace`] — a sequence of hot-spot invocations,
 //! each consisting of bursts of Special Instruction executions interleaved
-//! with base-processor overhead — against an *execution system*:
+//! with base-processor overhead — against any [`ExecutionSystem`]. The
+//! built-in backends are:
 //!
-//! * [`SystemKind::Rispp`] — the full RISPP run-time system
-//!   ([`rispp_core::RunTimeManager`]) with one of the four schedulers,
-//!   gradual Molecule upgrades and cross-SI Atom sharing.
-//! * [`SystemKind::Molen`] — a Molen/OneChip-like state-of-the-art
-//!   reconfigurable system (paper Section 5, Table 2): a single monolithic
-//!   implementation per SI, no partial upgrades and no Atom sharing, with
-//!   reconfiguration on hot-spot switches.
+//! * [`RisppBackend`] ([`SystemKind::Rispp`]) — the full RISPP run-time
+//!   system ([`rispp_core::RunTimeManager`]) with one of the four
+//!   schedulers, gradual Molecule upgrades and cross-SI Atom sharing.
+//! * [`MolenSystem`] ([`SystemKind::Molen`] / [`SystemKind::OneChip`]) — a
+//!   Molen/OneChip-like state-of-the-art reconfigurable system (paper
+//!   Section 5, Table 2): a single monolithic implementation per SI, no
+//!   partial upgrades and no Atom sharing, with reconfiguration on
+//!   hot-spot switches.
+//! * [`SoftwareBackend`] ([`SystemKind::SoftwareOnly`]) — pure
+//!   base-processor execution, the paper's 0-AC reference point.
 //!
-//! The result is a [`RunStats`]: total cycles, per-SI execution counts,
-//! per-100K-cycle execution-frequency buckets (the bars of paper Figures 2
-//! and 8) and per-SI latency timelines (the lines of Figure 8).
+//! The replay loop itself is stats-free: it emits typed [`SimEvent`]s to
+//! any set of [`SimObserver`]s. [`RunStats`] — total cycles, per-SI
+//! execution counts, per-100K-cycle execution-frequency buckets (the bars
+//! of paper Figures 2 and 8) and per-SI latency timelines (the lines of
+//! Figure 8) — is one such observer; [`TraceLogObserver`] (JSONL event
+//! logs) and [`ProgressObserver`] (sweep progress) are others. Custom
+//! backends and observers plug into [`simulate_with`] without touching the
+//! engine.
 //!
 //! # Examples
 //!
@@ -45,15 +54,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod baseline;
 mod engine;
 pub mod export;
+mod observer;
 mod stats;
 mod sweep;
 mod trace;
 
+pub use backend::{ExecutionSystem, RisppBackend, SoftwareBackend};
 pub use baseline::{molen_select, MolenSystem};
-pub use engine::{simulate, SimConfig, SystemKind};
+pub use engine::{simulate, simulate_observed, simulate_with, SimConfig, SystemKind};
+pub use observer::{ProgressObserver, SimEvent, SimObserver, TraceLogObserver};
 pub use stats::{LatencyEvent, RunStats, DEFAULT_BUCKET_CYCLES};
 pub use sweep::{SweepJob, SweepRunner, THREADS_ENV};
 pub use trace::{Burst, Invocation, Trace};

@@ -1,0 +1,249 @@
+//! The observer side of the engine: typed [`SimEvent`]s emitted by the
+//! replay loop and the [`SimObserver`] trait consuming them.
+//!
+//! Statistics collection is *not* welded into the replay loop: the loop
+//! emits events and every observer decides what to keep. [`RunStats`] is
+//! one observer among equals; [`TraceLogObserver`] records the full event
+//! stream for JSONL export ([`crate::export::event_log_jsonl`]) and
+//! [`ProgressObserver`] counts finished runs across a parallel sweep.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use rispp_core::BurstSegment;
+use rispp_model::SiId;
+use rispp_monitor::HotSpotId;
+
+use crate::stats::RunStats;
+
+/// One typed event of a simulation run, in emission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// The system entered a hot spot at cycle `now` (before the prologue).
+    HotSpotEntered {
+        /// The hot spot being entered.
+        hot_spot: HotSpotId,
+        /// Cycle of entry.
+        now: u64,
+    },
+    /// One homogeneous-latency stretch of a burst finished replaying.
+    SegmentExecuted {
+        /// The Special Instruction executed.
+        si: SiId,
+        /// The segment as reported by the backend.
+        segment: BurstSegment,
+        /// Base-processor cycles between consecutive executions.
+        overhead: u32,
+    },
+    /// The backend's completed-load counter advanced (observed at replay
+    /// granularity: after hot-spot entries and bursts, not per load).
+    LoadCompleted {
+        /// Loads that completed since the previous event.
+        completed: u64,
+        /// Cumulative loads completed so far.
+        total: u64,
+        /// Replay cycle at which the advance was observed.
+        now: u64,
+    },
+    /// The trace is fully replayed.
+    RunFinished {
+        /// Total execution time in cycles.
+        total_cycles: u64,
+        /// Completed reconfiguration loads.
+        reconfigurations: u64,
+        /// Cycles the reconfiguration port was busy.
+        reconfiguration_cycles: u64,
+    },
+}
+
+/// Consumes the engine's event stream.
+///
+/// Observers are driven synchronously from the replay loop in
+/// registration order; they must not assume anything about the backend
+/// beyond what the events carry.
+pub trait SimObserver {
+    /// Handles one event.
+    fn on_event(&mut self, event: &SimEvent);
+}
+
+impl SimObserver for RunStats {
+    fn on_event(&mut self, event: &SimEvent) {
+        match *event {
+            SimEvent::SegmentExecuted {
+                si,
+                segment,
+                overhead,
+            } => {
+                let per = u64::from(segment.latency) + u64::from(overhead);
+                self.record_segment(
+                    si,
+                    segment.start,
+                    segment.count,
+                    per,
+                    segment.latency,
+                    segment.is_hardware(),
+                );
+            }
+            SimEvent::RunFinished {
+                total_cycles,
+                reconfigurations,
+                reconfiguration_cycles,
+            } => {
+                self.total_cycles = total_cycles;
+                self.reconfigurations = reconfigurations;
+                self.reconfiguration_cycles = reconfiguration_cycles;
+            }
+            SimEvent::HotSpotEntered { .. } | SimEvent::LoadCompleted { .. } => {}
+        }
+    }
+}
+
+/// Records every event of a run for later export as a JSONL event log
+/// (see [`crate::export::event_log_jsonl`]). Opt-in, like
+/// `SimConfig::detail`: attach it only when the log is wanted — a full
+/// H.264 run emits one event per burst segment.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLogObserver {
+    events: Vec<SimEvent>,
+}
+
+impl TraceLogObserver {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceLogObserver::default()
+    }
+
+    /// The recorded events in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[SimEvent] {
+        &self.events
+    }
+
+    /// Renders the recorded events as one JSON object per line.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        crate::export::event_log_jsonl(&self.events)
+    }
+}
+
+impl SimObserver for TraceLogObserver {
+    fn on_event(&mut self, event: &SimEvent) {
+        self.events.push(*event);
+    }
+}
+
+/// Reports run completions across a (possibly parallel) sweep: every
+/// [`SimEvent::RunFinished`] increments the shared counter and invokes the
+/// report callback with `(finished, total)`.
+///
+/// One observer instance is attached per job (they are cheap); the shared
+/// [`AtomicUsize`] makes the count global across worker threads. Used by
+/// the CLI `sweep` command and the `fig7` benchmark binary to print live
+/// progress.
+#[derive(Debug)]
+pub struct ProgressObserver<F: FnMut(usize, usize)> {
+    total: usize,
+    finished: Arc<AtomicUsize>,
+    report: F,
+}
+
+impl<F: FnMut(usize, usize)> ProgressObserver<F> {
+    /// Creates a progress observer over `finished` (shared across all jobs
+    /// of the sweep) reporting out of `total` runs.
+    #[must_use]
+    pub fn new(total: usize, finished: Arc<AtomicUsize>, report: F) -> Self {
+        ProgressObserver {
+            total,
+            finished,
+            report,
+        }
+    }
+}
+
+impl<F: FnMut(usize, usize)> SimObserver for ProgressObserver<F> {
+    fn on_event(&mut self, event: &SimEvent) {
+        if matches!(event, SimEvent::RunFinished { .. }) {
+            let done = self.finished.fetch_add(1, Ordering::Relaxed) + 1;
+            (self.report)(done, self.total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_stats_observer_accumulates_segments_and_totals() {
+        let mut stats = RunStats::new("x", 2, 100, false);
+        stats.on_event(&SimEvent::SegmentExecuted {
+            si: SiId(0),
+            segment: BurstSegment::software(0, 10, 50),
+            overhead: 5,
+        });
+        stats.on_event(&SimEvent::SegmentExecuted {
+            si: SiId(1),
+            segment: BurstSegment::hardware(550, 4, 20, 1),
+            overhead: 5,
+        });
+        stats.on_event(&SimEvent::RunFinished {
+            total_cycles: 650,
+            reconfigurations: 3,
+            reconfiguration_cycles: 90,
+        });
+        assert_eq!(stats.total_executions(), 14);
+        assert_eq!(stats.hardware_executions[1], 4);
+        assert_eq!(stats.total_cycles, 650);
+        assert_eq!(stats.reconfigurations, 3);
+        assert_eq!(stats.reconfiguration_cycles, 90);
+    }
+
+    #[test]
+    fn trace_log_records_in_order() {
+        let mut log = TraceLogObserver::new();
+        let events = [
+            SimEvent::HotSpotEntered {
+                hot_spot: HotSpotId(0),
+                now: 0,
+            },
+            SimEvent::RunFinished {
+                total_cycles: 1,
+                reconfigurations: 0,
+                reconfiguration_cycles: 0,
+            },
+        ];
+        for e in &events {
+            log.on_event(e);
+        }
+        assert_eq!(log.events(), &events);
+    }
+
+    #[test]
+    fn progress_observer_counts_run_finished_only() {
+        let finished = Arc::new(AtomicUsize::new(0));
+        let mut seen = Vec::new();
+        {
+            let mut p = ProgressObserver::new(2, Arc::clone(&finished), |d, t| seen.push((d, t)));
+            p.on_event(&SimEvent::HotSpotEntered {
+                hot_spot: HotSpotId(0),
+                now: 0,
+            });
+            p.on_event(&SimEvent::RunFinished {
+                total_cycles: 10,
+                reconfigurations: 0,
+                reconfiguration_cycles: 0,
+            });
+        }
+        {
+            let mut p = ProgressObserver::new(2, Arc::clone(&finished), |d, t| seen.push((d, t)));
+            p.on_event(&SimEvent::RunFinished {
+                total_cycles: 20,
+                reconfigurations: 0,
+                reconfiguration_cycles: 0,
+            });
+        }
+        assert_eq!(seen, vec![(1, 2), (2, 2)]);
+        assert_eq!(finished.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,3 +1,5 @@
+use std::borrow::Cow;
+
 use rispp_model::SiId;
 
 /// Default statistics bucket width: the paper plots SI executions per
@@ -17,8 +19,10 @@ pub struct LatencyEvent {
 /// Aggregated results of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
-    /// Label of the executed system (e.g. `"HEF"`, `"Molen"`).
-    pub system: String,
+    /// Label of the executed system (e.g. `"HEF"`, `"Molen"`). Borrowed
+    /// for the built-in backends (no per-run allocation); custom backends
+    /// may use owned labels.
+    pub system: Cow<'static, str>,
     /// Total execution time in cycles.
     pub total_cycles: u64,
     /// Executions per SI (indexed by [`SiId`]).
@@ -42,7 +46,12 @@ pub struct RunStats {
 impl RunStats {
     /// Creates empty statistics for `si_count` SIs.
     #[must_use]
-    pub fn new(system: impl Into<String>, si_count: usize, bucket_cycles: u64, detail: bool) -> Self {
+    pub fn new(
+        system: impl Into<Cow<'static, str>>,
+        si_count: usize,
+        bucket_cycles: u64,
+        detail: bool,
+    ) -> Self {
         RunStats {
             system: system.into(),
             total_cycles: 0,

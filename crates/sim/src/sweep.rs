@@ -21,7 +21,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rispp_model::SiLibrary;
 
-use crate::engine::{simulate, SimConfig};
+use crate::engine::{simulate, simulate_observed, SimConfig};
+use crate::observer::SimObserver;
 use crate::stats::RunStats;
 use crate::trace::Trace;
 
@@ -157,6 +158,40 @@ impl SweepRunner {
         self.run_map(jobs.len(), |i| {
             let job = &jobs[i];
             simulate(library, job.trace, &job.config)
+        })
+    }
+
+    /// Like [`SweepRunner::run`], but attaches per-job observers built by
+    /// `observers(job_index)` — e.g. a fresh
+    /// [`ProgressObserver`](crate::ProgressObserver) per job sharing one
+    /// atomic counter across the sweep.
+    ///
+    /// The factory is invoked on the worker that executes the job; the
+    /// boxes it returns live and die on that worker, so the observers
+    /// themselves need not be `Send`. The [`RunStats`] results are
+    /// unaffected by observers and remain bit-identical to
+    /// [`SweepRunner::run`] at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trace references SIs outside `library` (propagated from
+    /// [`simulate`]).
+    #[must_use]
+    pub fn run_observed<'s, F>(
+        &self,
+        library: &SiLibrary,
+        jobs: &[SweepJob<'_>],
+        observers: F,
+    ) -> Vec<RunStats>
+    where
+        F: Fn(usize) -> Vec<Box<dyn SimObserver + 's>> + Sync,
+    {
+        self.run_map(jobs.len(), |i| {
+            let job = &jobs[i];
+            let mut boxes = observers(i);
+            let mut extra: Vec<&mut (dyn SimObserver + 's)> =
+                boxes.iter_mut().map(|b| b.as_mut()).collect();
+            simulate_observed(library, job.trace, &job.config, &mut extra)
         })
     }
 }

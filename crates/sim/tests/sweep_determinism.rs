@@ -91,12 +91,48 @@ fn parallel_sweep_is_bit_identical_to_sequential() {
         .map(|j| simulate(&lib, j.trace, &j.config))
         .collect();
 
-    for threads in [1usize, 8] {
+    for threads in [1usize, 2, 4, 8] {
         let runner = SweepRunner::with_threads(threads);
         let parallel = runner.run(&lib, &jobs);
         assert_eq!(
             parallel, sequential,
             "sweep results diverged at {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
+fn observed_sweep_is_bit_identical_and_counts_every_run() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use rispp_sim::{ProgressObserver, SimObserver};
+
+    let lib = library();
+    let small = trace(3);
+    let large = trace(12);
+    let jobs = jobs(&small, &large);
+
+    let sequential: Vec<RunStats> = jobs
+        .iter()
+        .map(|j| simulate(&lib, j.trace, &j.config))
+        .collect();
+
+    for threads in [1usize, 2, 4, 8] {
+        let runner = SweepRunner::with_threads(threads);
+        let finished = Arc::new(AtomicUsize::new(0));
+        let total = jobs.len();
+        let observed = runner.run_observed(&lib, &jobs, |_| {
+            let finished = Arc::clone(&finished);
+            vec![Box::new(ProgressObserver::new(total, finished, |_, _| {})) as Box<dyn SimObserver>]
+        });
+        assert_eq!(
+            observed, sequential,
+            "observed sweep diverged at {threads} thread(s)"
+        );
+        assert_eq!(
+            finished.load(Ordering::Relaxed),
+            total,
+            "every run must report completion at {threads} thread(s)"
         );
     }
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Local CI gate: release build, tier-1 tests, workspace tests, strict clippy.
-# Everything runs offline against the vendored dev-dependencies in vendor/.
+# Local CI gate: release build, tier-1 tests, workspace tests, strict
+# clippy, strict rustdoc. Everything runs offline against the vendored
+# dev-dependencies in vendor/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,5 +16,8 @@ cargo test -q --workspace
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "ci: all gates passed"

@@ -260,7 +260,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Length specifications accepted by [`vec`]: an exact `usize` or a
+    /// Length specifications accepted by [`vec()`]: an exact `usize` or a
     /// `Range<usize>`.
     pub trait SizeRange {
         /// Draws a concrete length.
@@ -279,7 +279,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S, L> {
         element: S,
@@ -368,8 +368,8 @@ impl TestRunner {
     ///
     /// # Panics
     ///
-    /// Panics when the strategy rejects [`MAX_GLOBAL_REJECTS`] values in a
-    /// row.
+    /// Panics when the strategy rejects `MAX_GLOBAL_REJECTS` (a private
+    /// limit, currently 1,000) values in a row.
     pub fn generate<S: Strategy>(&mut self, strategy: &S) -> S::Value {
         for _ in 0..MAX_GLOBAL_REJECTS {
             if let Some(v) = strategy.generate(&mut self.rng) {
