@@ -6,8 +6,8 @@ use std::sync::Arc;
 use rispp_core::SchedulerKind;
 use rispp_h264::{EncoderConfig, EncoderWorkload, HotSpot};
 use rispp_sim::{
-    simulate, ProgressObserver, RunStats, SimConfig, SimObserver, SweepJob, SweepRunner,
-    SystemKind, Trace,
+    simulate, FaultConfig, ProgressObserver, RunStats, SimConfig, SimObserver, SweepJob,
+    SweepRunner, SystemKind, Trace,
 };
 
 /// The AC sweep of Figure 7 / Table 2.
@@ -363,6 +363,120 @@ pub fn table3_hardware() -> (rispp_hw::AreaReport, rispp_hw::AreaReport, rispp_h
         rispp_hw::area_estimate(&rispp_hw::AreaParameters::default()),
         run,
     )
+}
+
+/// Fault-rate ladder (ppm) of the resilience benchmark: fault-free up to
+/// one abort per four loads.
+pub const FAULT_RATE_LADDER_PPM: [u32; 7] = [0, 1_000, 5_000, 10_000, 50_000, 100_000, 250_000];
+
+/// One point of the resilience curve: the HEF system's speedup over pure
+/// software and its self-healing counters at a uniform fault rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResiliencePoint {
+    /// Uniform fault rate in parts per million.
+    pub rate_ppm: u32,
+    /// Total execution cycles of the HEF run at this rate.
+    pub total_cycles: u64,
+    /// Speedup over the fault-free software baseline (`>= 1.0` whenever
+    /// graceful degradation holds: the cISA trap is the worst case).
+    pub speedup_vs_software: f64,
+    /// Fault events injected by the fabric.
+    pub faults_injected: u64,
+    /// Loads re-enqueued by the recovery policy.
+    pub load_retries: u64,
+    /// Containers taken out of service.
+    pub containers_quarantined: u64,
+    /// Hot-spot re-plans that came back with no hardware at all.
+    pub degraded_to_software: u64,
+    /// Reconfiguration-port cycles wasted on loads that never became usable.
+    pub fault_cycles_lost: u64,
+}
+
+/// Results of the resilience sweep: the software floor plus one
+/// [`ResiliencePoint`] per fault rate in ascending order.
+#[derive(Debug, Clone)]
+pub struct ResilienceSweep {
+    /// Pure-software (0 AC) execution cycles — the graceful-degradation
+    /// floor.
+    pub software_cycles: u64,
+    /// One point per fault rate.
+    pub points: Vec<ResiliencePoint>,
+}
+
+impl ResilienceSweep {
+    /// Whether the speedup curve degrades monotonically (non-increasing
+    /// with the fault rate) while staying at or above the software floor.
+    #[must_use]
+    pub fn is_gracefully_degrading(&self) -> bool {
+        self.points.iter().all(|p| p.speedup_vs_software >= 1.0)
+            && self
+                .points
+                .windows(2)
+                .all(|w| w[1].speedup_vs_software <= w[0].speedup_vs_software)
+    }
+}
+
+/// Runs the speedup-vs-fault-rate sweep on the HEF scheduler: one
+/// fault-injected simulation per `(rate, seed)` pair (plus the fault-free
+/// software baseline), fanned across the runner's workers and averaged
+/// over the seeds per rate — one seed is a single noisy sample of the
+/// fault process, several smooth the curve into the expected behaviour.
+/// Every fault stream is seeded per job, so the sweep is deterministic
+/// for any worker count.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+#[must_use]
+pub fn resilience_sweep(
+    runner: &SweepRunner,
+    trace: &Trace,
+    containers: u16,
+    rates_ppm: &[u32],
+    seeds: &[u64],
+) -> ResilienceSweep {
+    assert!(!seeds.is_empty(), "at least one fault seed is required");
+    let library = rispp_h264::h264_si_library();
+    let mut jobs = vec![SweepJob::new(SimConfig::software_only(), trace)];
+    for &rate_ppm in rates_ppm {
+        for &seed in seeds {
+            let fault = FaultConfig {
+                rate_ppm,
+                seed,
+                max_retries: FaultConfig::uniform(0.0).max_retries,
+            };
+            jobs.push(SweepJob::new(
+                SimConfig::rispp(containers, SchedulerKind::Hef).with_fault(fault),
+                trace,
+            ));
+        }
+    }
+    let results = runner.run(&library, &jobs);
+    let software_cycles = results[0].total_cycles;
+    let n = seeds.len() as u64;
+    let points = rates_ppm
+        .iter()
+        .enumerate()
+        .map(|(i, &rate_ppm)| {
+            let samples = &results[1 + i * seeds.len()..1 + (i + 1) * seeds.len()];
+            let mean = |f: fn(&RunStats) -> u64| samples.iter().map(f).sum::<u64>() / n;
+            let total_cycles = mean(|s| s.total_cycles);
+            ResiliencePoint {
+                rate_ppm,
+                total_cycles,
+                speedup_vs_software: software_cycles as f64 / total_cycles.max(1) as f64,
+                faults_injected: mean(|s| s.faults_injected),
+                load_retries: mean(|s| s.load_retries),
+                containers_quarantined: mean(|s| s.containers_quarantined),
+                degraded_to_software: mean(|s| s.degraded_to_software),
+                fault_cycles_lost: mean(|s| s.fault_cycles_lost),
+            }
+        })
+        .collect();
+    ResilienceSweep {
+        software_cycles,
+        points,
+    }
 }
 
 /// Ablation: forecast policies (and the oracle bound) on the HEF system,

@@ -3,11 +3,12 @@
 use std::process::ExitCode;
 
 use rispp_core::{GreedySelector, ScheduleRequest, SchedulerKind, SelectionRequest};
+use rispp_fabric::ReconfigPortConfig;
 use rispp_h264::{h264_si_library, EncoderConfig, EncoderWorkload, SiKind};
 use rispp_model::Molecule;
 use rispp_sim::{
-    simulate as run_simulation, simulate_observed, ProgressObserver, SimConfig, SimObserver,
-    SweepJob, SweepRunner, SystemKind, TraceLogObserver,
+    simulate as run_simulation, simulate_observed, FaultConfig, ProgressObserver, SimConfig,
+    SimObserver, SweepJob, SweepRunner, SystemKind, TraceLogObserver,
 };
 
 use crate::args::Options;
@@ -15,6 +16,26 @@ use crate::args::Options;
 fn fail(message: &str) -> ExitCode {
     eprintln!("error: {message}");
     ExitCode::FAILURE
+}
+
+/// Parses the shared fault-injection options `--fault-rate RATE`
+/// (probability in `[0, 1]`), `--fault-seed SEED` and `--max-retries N`.
+/// Returns `None` when `--fault-rate` is absent, so runs without the flag
+/// stay bit-identical to builds that predate fault injection.
+fn fault_options(options: &Options) -> Result<Option<FaultConfig>, String> {
+    let Some(raw) = options.value("fault-rate") else {
+        return Ok(None);
+    };
+    let rate: f64 = raw
+        .parse()
+        .map_err(|_| format!("invalid value `{raw}` for --fault-rate"))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--fault-rate must be in [0, 1], got {raw}"));
+    }
+    let mut fault = FaultConfig::uniform(rate);
+    fault.seed = options.number("fault-seed", FaultConfig::DEFAULT_SEED)?;
+    fault.max_retries = options.number("max-retries", fault.max_retries)?;
+    Ok(Some(fault))
 }
 
 fn scheduler_kind(name: &str) -> Option<SchedulerKind> {
@@ -150,7 +171,8 @@ pub fn schedule(args: &[String]) -> ExitCode {
 }
 
 /// `rispp-cli simulate [--frames N] [--acs N] [--system KIND] [--oracle]
-/// [--bandwidth MBPS] [--csv] [--log-events PATH]`.
+/// [--bandwidth MBPS] [--fault-rate R] [--fault-seed S] [--max-retries N]
+/// [--csv] [--log-events PATH]`.
 pub fn simulate(args: &[String]) -> ExitCode {
     let options = match Options::parse(args) {
         Ok(o) => o,
@@ -179,9 +201,21 @@ pub fn simulate(args: &[String]) -> ExitCode {
     if options.flag("oracle") {
         config = config.with_oracle(true);
     }
-    match options.number::<u64>("bandwidth", 0) {
-        Ok(0) => {}
-        Ok(mbps) => config = config.with_port_bandwidth(mbps * 1_000_000),
+    if options.value("bandwidth").is_some() {
+        let mbps: u64 = match options.number("bandwidth", 0) {
+            Ok(v) => v,
+            Err(e) => return fail(&e),
+        };
+        // Reject unusable ports up front instead of panicking mid-run.
+        let port = ReconfigPortConfig::with_bandwidth(mbps.saturating_mul(1_000_000));
+        if let Err(e) = port.validate() {
+            return fail(&format!("--bandwidth {mbps}: {e}"));
+        }
+        config = config.with_port_bandwidth(port.bandwidth_bytes_per_sec);
+    }
+    match fault_options(&options) {
+        Ok(None) => {}
+        Ok(Some(fault)) => config = config.with_fault(fault),
         Err(e) => return fail(&e),
     }
 
@@ -219,6 +253,15 @@ pub fn simulate(args: &[String]) -> ExitCode {
             "port busy:         {:.1}% of execution time",
             stats.reconfiguration_cycles as f64 * 100.0 / stats.total_cycles.max(1) as f64
         );
+        if config.fault.is_some() {
+            println!(
+                "faults injected:   {} ({} cycles lost on the port)",
+                stats.faults_injected, stats.fault_cycles_lost
+            );
+            println!("load retries:      {}", stats.load_retries);
+            println!("ACs quarantined:   {}", stats.containers_quarantined);
+            println!("cISA degradations: {}", stats.degraded_to_software);
+        }
         println!(
             "workload quality:  {:.1} dB PSNR, {:.0} kbit/frame",
             workload.summary().mean_psnr_y,
@@ -291,6 +334,109 @@ pub fn sweep(args: &[String]) -> ExitCode {
             print!("{:>10.1}", stats.total_cycles as f64 / 1e6);
         }
         println!();
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rispp-cli resilience [--frames N] [--acs N] [--fault-rate R]
+/// [--fault-seed S] [--max-retries N] [--csv]`.
+///
+/// Sweeps the fault rate (or runs the single `--fault-rate`) on the HEF
+/// scheduler and reports how gracefully the self-healing run-time system
+/// degrades towards the cISA software floor.
+pub fn resilience(args: &[String]) -> ExitCode {
+    let options = match Options::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let frames: u32 = match options.number("frames", 10) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let acs: u16 = match options.number("acs", 15) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let rates: Vec<f64> = match options.value("fault-rate") {
+        None => vec![0.0, 0.001, 0.005, 0.01, 0.05, 0.1, 0.25],
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(r) if (0.0..=1.0).contains(&r) => vec![r],
+            Ok(_) => return fail(&format!("--fault-rate must be in [0, 1], got {raw}")),
+            Err(_) => return fail(&format!("invalid value `{raw}` for --fault-rate")),
+        },
+    };
+    let seed: u64 = match options.number("fault-seed", FaultConfig::DEFAULT_SEED) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let max_retries: u32 = match options.number("max-retries", FaultConfig::uniform(0.0).max_retries)
+    {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+
+    let runner = SweepRunner::from_env();
+    eprintln!(
+        "encoding {frames} CIF frames and sweeping {} fault rate(s) on {} thread(s)...",
+        rates.len(),
+        runner.threads()
+    );
+    let mut encoder_config = EncoderConfig::paper_cif();
+    encoder_config.frames = frames;
+    let workload = EncoderWorkload::generate(&encoder_config);
+    let library = h264_si_library();
+    let trace = workload.trace();
+
+    // The cISA floor every degraded run is measured against.
+    let software = run_simulation(&library, trace, &SimConfig::software_only());
+
+    let configs: Vec<SimConfig> = rates
+        .iter()
+        .map(|&rate| {
+            let mut fault = FaultConfig::uniform(rate);
+            fault.seed = seed;
+            fault.max_retries = max_retries;
+            SimConfig::rispp(acs, SchedulerKind::Hef).with_fault(fault)
+        })
+        .collect();
+    let jobs: Vec<SweepJob<'_>> = configs.iter().map(|c| SweepJob::new(*c, trace)).collect();
+    let results = runner.run(&library, &jobs);
+
+    if options.flag("csv") {
+        println!(
+            "fault_rate,total_cycles,speedup_vs_software,faults_injected,load_retries,\
+             containers_quarantined,degraded_to_software,fault_cycles_lost"
+        );
+        for (rate, stats) in rates.iter().zip(&results) {
+            println!(
+                "{rate},{},{:.4},{},{},{},{},{}",
+                stats.total_cycles,
+                software.total_cycles as f64 / stats.total_cycles.max(1) as f64,
+                stats.faults_injected,
+                stats.load_retries,
+                stats.containers_quarantined,
+                stats.degraded_to_software,
+                stats.fault_cycles_lost
+            );
+        }
+    } else {
+        println!("HEF on {acs} ACs, seed {seed:#x}, max retries {max_retries}:");
+        println!("  fault rate   speedup    faults   retries  quarantined  degraded");
+        for (rate, stats) in rates.iter().zip(&results) {
+            println!(
+                "  {rate:>10.4}{:>10.2}x{:>10}{:>10}{:>13}{:>10}",
+                software.total_cycles as f64 / stats.total_cycles.max(1) as f64,
+                stats.faults_injected,
+                stats.load_retries,
+                stats.containers_quarantined,
+                stats.degraded_to_software
+            );
+        }
+        println!(
+            "  software floor: {} cycles ({:.1} M); every row must stay >= 1.00x",
+            software.total_cycles,
+            software.total_cycles as f64 / 1e6
+        );
     }
     ExitCode::SUCCESS
 }

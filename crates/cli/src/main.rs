@@ -1,7 +1,7 @@
 //! `rispp-cli` — command-line interface to the RISPP run-time system.
 //!
-//! Subcommands: `inventory`, `schedule`, `simulate`, `sweep`, `hw`.
-//! Run `rispp-cli help` for details.
+//! Subcommands: `inventory`, `schedule`, `simulate`, `sweep`, `resilience`,
+//! `hw`. Run `rispp-cli help` for details.
 
 mod args;
 mod commands;
@@ -15,6 +15,7 @@ fn main() -> ExitCode {
         Some("schedule") => commands::schedule(&argv[1..]),
         Some("simulate") => commands::simulate(&argv[1..]),
         Some("sweep") => commands::sweep(&argv[1..]),
+        Some("resilience") => commands::resilience(&argv[1..]),
         Some("hw") => commands::hw(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", HELP);
@@ -44,13 +45,24 @@ SUBCOMMANDS:
         Encoding-Engine hot spot on a cold fabric.
 
     simulate [--frames N] [--acs N] [--system KIND] [--oracle]
-             [--bandwidth MBPS] [--csv]
+             [--bandwidth MBPS] [--fault-rate R] [--fault-seed S]
+             [--max-retries N] [--csv]
         Encode synthetic CIF video and replay the workload on one system.
         KIND: hef | asf | fsfr | sjf | molen | onechip | software.
+        --fault-rate R (in [0, 1]) enables seeded fault injection: CRC
+        load aborts, SEU corruption of loaded Atoms and permanent Atom
+        Container failures, all healed by the run-time manager.
 
     sweep [--frames N] [--from N] [--to N]
         The Figure 7 sweep: all four schedulers plus Molen across an
         Atom Container range (default 5..=24).
+
+    resilience [--frames N] [--acs N] [--fault-rate R] [--fault-seed S]
+               [--max-retries N] [--csv]
+        Sweep the fault rate on the HEF scheduler (default ladder
+        0..=0.25, or a single --fault-rate) and report speedup plus the
+        self-healing counters: faults injected, load retries, quarantined
+        containers and cISA software degradations.
 
     hw
         The HEF scheduler hardware report (paper Table 3) and FSM timing.

@@ -63,6 +63,7 @@ mod error;
 mod fsfr;
 mod hef;
 mod manager;
+mod recovery;
 mod scheduler;
 mod selection;
 mod sjf;
@@ -74,6 +75,7 @@ pub use error::CoreError;
 pub use fsfr::FsfrScheduler;
 pub use hef::HefScheduler;
 pub use manager::{BurstSegment, RunTimeManager, RunTimeManagerBuilder, SiExecution};
+pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use scheduler::{AtomScheduler, SchedulerKind};
 pub use selection::{ExhaustiveSelector, GreedySelector, SelectionRequest};
 pub use sjf::SjfScheduler;

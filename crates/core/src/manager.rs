@@ -1,8 +1,9 @@
-use rispp_fabric::{Fabric, FabricConfig};
+use rispp_fabric::{Fabric, FabricConfig, FabricEvent, FaultModel, LoadCompleted};
 use rispp_model::{Molecule, SiId, SiLibrary};
 use rispp_monitor::{ExecutionMonitor, ForecastPolicy, HotSpotId};
 
 use crate::context::UpgradeBuffers;
+use crate::recovery::{RecoveryPolicy, RecoveryStats};
 use crate::scheduler::{AtomScheduler, SchedulerKind};
 use crate::selection::{GreedySelector, SelectionRequest};
 use crate::types::{ScheduleRequest, SelectedMolecule};
@@ -112,6 +113,14 @@ pub struct RunTimeManager<'a> {
     demand_buf: Vec<(SiId, u64)>,
     expected_buf: Vec<u64>,
     sched_buffers: UpgradeBuffers,
+    recovery: RecoveryPolicy,
+    /// Consecutive aborted loads per container; reset on a completion.
+    abort_streak: Vec<u32>,
+    /// Demands of the active hot spot, kept for re-planning after a
+    /// container quarantine shrinks the fabric.
+    last_demands: Vec<(SiId, u64)>,
+    load_retries: u64,
+    degraded_to_software: u64,
 }
 
 impl<'a> RunTimeManager<'a> {
@@ -124,6 +133,8 @@ impl<'a> RunTimeManager<'a> {
             scheduler: SchedulerKind::Hef,
             policy: ForecastPolicy::default(),
             port_bandwidth: None,
+            fault: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -204,13 +215,32 @@ impl<'a> RunTimeManager<'a> {
         demands: &[(SiId, u64)],
         now: u64,
     ) -> Result<(), CoreError> {
-        self.fabric.advance_to(now);
+        self.sync_fabric(now);
         self.monitor.begin_hot_spot(hot_spot);
         self.current_hot_spot = Some(hot_spot);
+        self.last_demands.clear();
+        self.last_demands.extend_from_slice(demands);
+        let stored = std::mem::take(&mut self.last_demands);
+        let result = self.plan_current(&stored);
+        self.last_demands = stored;
+        result
+    }
 
-        let selection_request =
-            SelectionRequest::new(self.library, demands, self.fabric.container_count());
+    /// Selects Molecules and (re)programs the reconfiguration queue for
+    /// `demands` against the *usable* (non-quarantined) containers. Shared
+    /// by hot-spot entry and post-quarantine re-planning.
+    fn plan_current(&mut self, demands: &[(SiId, u64)]) -> Result<(), CoreError> {
+        let usable = self.fabric.usable_container_count();
+        let selection_request = SelectionRequest::new(self.library, demands, usable);
         self.selected = self.selector.select(&selection_request);
+        if !demands.is_empty()
+            && self.selected.is_empty()
+            && usable < self.fabric.container_count()
+        {
+            // Quarantines shrank the fabric below what any Molecule needs:
+            // the hot spot continues purely on the cISA software path.
+            self.degraded_to_software += 1;
+        }
 
         let mut expected = std::mem::take(&mut self.expected_buf);
         expected.clear();
@@ -236,6 +266,90 @@ impl<'a> RunTimeManager<'a> {
         self.sched_buffers.reclaim(schedule);
         self.expected_buf = request.into_expected();
         Ok(())
+    }
+
+    /// Advances the fabric to `now` and applies the [`RecoveryPolicy`] to
+    /// every fault event: bounded-backoff retries for aborted loads,
+    /// scrub reloads for SEU-corrupted Atoms, quarantine of containers
+    /// that exhaust their retries, and a scheduler re-plan whenever the
+    /// set of usable containers shrinks. Steps the fabric event time by
+    /// event time (not straight to `now`) so a retry issued in response to
+    /// an abort starts at its backoff deadline, aborts again in simulated
+    /// time, and the whole retry cascade plays out inside one sync.
+    /// Returns the successful completions.
+    fn sync_fabric(&mut self, now: u64) -> Vec<LoadCompleted> {
+        let mut completions = Vec::new();
+        loop {
+            let Some(t) = self.fabric.next_event_at().filter(|&t| t <= now) else {
+                // Nothing left inside the window: land the fabric clock on
+                // `now` and stop.
+                let tail = self.fabric.advance_events(now);
+                debug_assert!(tail.is_empty());
+                return completions;
+            };
+            let events = self.fabric.advance_events(t);
+            let mut needs_replan = false;
+            for event in events {
+                match event {
+                    FabricEvent::Completed(done) => {
+                        self.abort_streak[done.container.index()] = 0;
+                        completions.push(done);
+                    }
+                    FabricEvent::LoadAborted { atom, container, at } => {
+                        let streak = &mut self.abort_streak[container.index()];
+                        *streak += 1;
+                        let exhausted = *streak > self.recovery.max_retries;
+                        if exhausted
+                            && !self.fabric.containers()[container.index()].is_quarantined()
+                        {
+                            // A tile that rejects bitstream after bitstream
+                            // is broken: take it out of service and re-plan
+                            // on the shrunken fabric. The scheduler re-issues
+                            // whatever the new plan still needs.
+                            self.abort_streak[container.index()] = 0;
+                            self.fabric
+                                .quarantine(container)
+                                .expect("fabric event names one of its own containers");
+                            needs_replan = true;
+                        } else {
+                            let attempt = self.abort_streak[container.index()];
+                            let delay = self.recovery.backoff_cycles(attempt);
+                            self.fabric
+                                .enqueue_load_after(atom, at.saturating_add(delay));
+                            self.load_retries += 1;
+                        }
+                    }
+                    FabricEvent::AtomCorrupted { atom, at, .. } => {
+                        if self.recovery.scrub_on_seu {
+                            // Scrub-and-reload: the faulty container is a
+                            // preferred load target, so this physically
+                            // rewrites the corrupted region.
+                            self.fabric.enqueue_load_after(atom, at);
+                            self.load_retries += 1;
+                        }
+                    }
+                    FabricEvent::ContainerFailed { .. } => {
+                        needs_replan = true;
+                    }
+                }
+            }
+            if needs_replan {
+                self.replan();
+            }
+        }
+    }
+
+    /// Re-plans the active hot spot after the usable-container set shrank.
+    fn replan(&mut self) {
+        if self.current_hot_spot.is_none() || self.last_demands.is_empty() {
+            return;
+        }
+        let demands = std::mem::take(&mut self.last_demands);
+        // Validation failures cannot occur here: the same demands passed
+        // planning when the hot spot was entered.
+        let result = self.plan_current(&demands);
+        debug_assert!(result.is_ok());
+        self.last_demands = demands;
     }
 
     /// The fastest Molecule variant of `si` available right now, as
@@ -273,7 +387,7 @@ impl<'a> RunTimeManager<'a> {
     ///
     /// Panics if `si` is outside the library.
     pub fn execute_si(&mut self, si: SiId, now: u64) -> SiExecution {
-        self.fabric.advance_to(now);
+        self.sync_fabric(now);
         // `lib` is a reborrow of the `&'a` library, independent of `self`,
         // so the variant's atoms can be passed to the fabric without a
         // clone.
@@ -323,7 +437,7 @@ impl<'a> RunTimeManager<'a> {
         let mut t = start;
         let mut remaining = u64::from(count);
         while remaining > 0 {
-            self.fabric.advance_to(t);
+            self.sync_fabric(t);
             let (latency, variant_index, atoms) = match self.best_available_variant(si) {
                 Some((idx, latency)) if latency < def.software_latency() => {
                     (latency, Some(idx), Some(&def.variants()[idx].atoms))
@@ -357,15 +471,36 @@ impl<'a> RunTimeManager<'a> {
     /// Leaves the current hot spot, folding measured execution counts into
     /// the monitor's expectations.
     pub fn exit_hot_spot(&mut self, now: u64) {
-        self.fabric.advance_to(now);
+        self.sync_fabric(now);
         if let Some(hs) = self.current_hot_spot.take() {
             self.monitor.end_hot_spot(hs);
         }
     }
 
-    /// Advances the fabric to `now`, returning the atoms that completed.
+    /// Advances the fabric to `now` (applying the recovery policy to any
+    /// fault events on the way), returning the atoms that completed.
     pub fn advance_to(&mut self, now: u64) -> Vec<rispp_fabric::LoadCompleted> {
-        self.fabric.advance_to(now)
+        self.sync_fabric(now)
+    }
+
+    /// The active fault-recovery policy.
+    #[must_use]
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// Counters describing how much self-healing this run needed so far.
+    /// All zero while no fault has been injected.
+    #[must_use]
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        let fs = self.fabric.stats();
+        RecoveryStats {
+            faults_injected: fs.loads_aborted + fs.seu_corruptions + fs.permanent_failures,
+            load_retries: self.load_retries,
+            containers_quarantined: fs.containers_quarantined,
+            degraded_to_software: self.degraded_to_software,
+            fault_cycles_lost: fs.fault_cycles_lost,
+        }
     }
 
     /// Effective latency of `si` with the atoms available *right now*.
@@ -392,6 +527,8 @@ pub struct RunTimeManagerBuilder<'a> {
     scheduler: SchedulerKind,
     policy: ForecastPolicy,
     port_bandwidth: Option<u64>,
+    fault: Option<FaultModel>,
+    recovery: RecoveryPolicy,
 }
 
 impl<'a> RunTimeManagerBuilder<'a> {
@@ -424,16 +561,45 @@ impl<'a> RunTimeManagerBuilder<'a> {
         self
     }
 
+    /// Attaches a seeded [`FaultModel`]: the fabric injects CRC aborts,
+    /// SEU corruption and permanent tile failures, and the manager heals
+    /// them per its [`RecoveryPolicy`]. A
+    /// [null](FaultModel::is_null) model leaves behaviour bit-identical to
+    /// not attaching one.
+    #[must_use]
+    pub fn fault_model(mut self, model: FaultModel) -> Self {
+        self.fault = Some(model);
+        self
+    }
+
+    /// Sets the fault-recovery policy (default: 3 retries, 1024-cycle base
+    /// backoff, scrub on SEU).
+    #[must_use]
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
     /// Finalises the manager with an empty fabric at cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured port bandwidth is zero; validate untrusted
+    /// values with [`rispp_fabric::ReconfigPortConfig::validate`] before
+    /// building.
     #[must_use]
     pub fn build(self) -> RunTimeManager<'a> {
         let mut config = FabricConfig::prototype(self.containers);
         if let Some(bw) = self.port_bandwidth {
             config.port = rispp_fabric::ReconfigPortConfig::with_bandwidth(bw);
         }
+        let fabric = match self.fault {
+            Some(model) => Fabric::with_fault_model(config, self.library.universe(), model),
+            None => Fabric::new(config, self.library.universe()),
+        };
         RunTimeManager {
             library: self.library,
-            fabric: Fabric::new(config, self.library.universe()),
+            fabric,
             monitor: ExecutionMonitor::new(self.policy),
             scheduler: self.scheduler.create(),
             selector: GreedySelector,
@@ -443,6 +609,11 @@ impl<'a> RunTimeManagerBuilder<'a> {
             demand_buf: Vec::new(),
             expected_buf: Vec::new(),
             sched_buffers: UpgradeBuffers::new(),
+            recovery: self.recovery,
+            abort_streak: vec![0; usize::from(self.containers)],
+            last_demands: Vec::new(),
+            load_retries: 0,
+            degraded_to_software: 0,
         }
     }
 }

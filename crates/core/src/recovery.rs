@@ -1,0 +1,110 @@
+//! Self-healing policy of the Run-Time Manager.
+//!
+//! The fabric reports faults (CRC-aborted loads, SEU-corrupted Atoms,
+//! permanently failed containers) as events; this module defines *what the
+//! manager does about them*:
+//!
+//! * **CRC abort** → re-enqueue the load with bounded exponential backoff
+//!   on the reconfiguration port; after [`RecoveryPolicy::max_retries`]
+//!   consecutive aborts on the same container the tile is treated as broken
+//!   and quarantined.
+//! * **SEU corruption** → scrub-and-reload: the corrupted Atom is
+//!   re-enqueued immediately (the faulty container is a preferred load
+//!   target, so the reload physically scrubs the upset region).
+//! * **Permanent failure / quarantine** → the scheduler re-plans Molecule
+//!   selection against the shrunken fabric (fewer usable containers).
+//!
+//! Forward progress is guaranteed unconditionally: an SI with no working
+//! Molecule always falls back to the cISA software trap (paper Section 3,
+//! Fig. 3), so even a fully quarantined fabric only degrades performance,
+//! never correctness.
+
+/// Tunable parameters of the manager's fault recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecoveryPolicy {
+    /// Consecutive aborted loads tolerated per container before the tile
+    /// is quarantined as permanently broken.
+    pub max_retries: u32,
+    /// Base backoff before re-issuing an aborted load; doubles with every
+    /// consecutive abort on the same container (exponential backoff on the
+    /// reconfiguration port).
+    pub backoff_base_cycles: u64,
+    /// Whether SEU-corrupted Atoms are scrubbed by re-loading them
+    /// (disable to model a system without configuration scrubbing).
+    pub scrub_on_seu: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff_base_cycles: 1_024,
+            scrub_on_seu: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Backoff delay before retry number `attempt` (1-based): the base
+    /// doubled per previous consecutive abort, always at least one cycle.
+    #[must_use]
+    pub fn backoff_cycles(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(63);
+        let cycles = u128::from(self.backoff_base_cycles.max(1)) << shift;
+        u64::try_from(cycles).unwrap_or(u64::MAX)
+    }
+}
+
+/// Counters describing how much self-healing a run needed. All zero in a
+/// fault-free run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Fault events injected by the fabric (aborted loads, SEU upsets,
+    /// permanent tile failures).
+    pub faults_injected: u64,
+    /// Loads re-enqueued by the recovery policy (abort retries and SEU
+    /// scrub reloads).
+    pub load_retries: u64,
+    /// Containers taken out of service (scheduled tile deaths plus
+    /// retry-exhausted quarantines).
+    pub containers_quarantined: u64,
+    /// Times a hot-spot re-plan on the shrunken fabric came back with no
+    /// hardware at all, leaving the hot spot on the cISA software path.
+    pub degraded_to_software: u64,
+    /// Reconfiguration-port cycles wasted on loads that never became
+    /// usable.
+    pub fault_cycles_lost: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_bounded() {
+        let p = RecoveryPolicy::default();
+        assert!(p.max_retries > 0);
+        assert!(p.scrub_on_seu);
+        assert_eq!(p.backoff_cycles(1), 1_024);
+        assert_eq!(p.backoff_cycles(2), 2_048);
+        assert_eq!(p.backoff_cycles(3), 4_096);
+    }
+
+    #[test]
+    fn backoff_never_zero_and_never_overflows() {
+        let p = RecoveryPolicy {
+            backoff_base_cycles: 0,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(p.backoff_cycles(1), 1);
+        assert_eq!(p.backoff_cycles(2), 2);
+        // The shift is clamped and the result saturates instead of
+        // wrapping at absurd attempt counts.
+        assert_eq!(p.backoff_cycles(200), 1u64 << 63);
+        let wide = RecoveryPolicy {
+            backoff_base_cycles: 1_024,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(wide.backoff_cycles(200), u64::MAX);
+    }
+}

@@ -38,6 +38,15 @@ pub enum ContainerState {
         /// Atom type held by the container.
         atom: AtomTypeId,
     },
+    /// The configured Atom was corrupted by an SEU and is unusable until
+    /// the container is scrubbed (reloaded).
+    Faulty {
+        /// Atom type whose configuration was corrupted.
+        atom: AtomTypeId,
+    },
+    /// The container's tile failed permanently; it can never hold an Atom
+    /// again and is excluded from placement and eviction.
+    Quarantined,
 }
 
 /// One Atom Container: a small reconfigurable region holding one Atom.
@@ -82,6 +91,21 @@ impl AtomContainer {
         }
     }
 
+    /// The corrupted atom, if the container is in the `Faulty` state.
+    #[must_use]
+    pub fn faulty_atom(&self) -> Option<AtomTypeId> {
+        match self.state {
+            ContainerState::Faulty { atom } => Some(atom),
+            _ => None,
+        }
+    }
+
+    /// Whether this container is permanently out of service.
+    #[must_use]
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self.state, ContainerState::Quarantined)
+    }
+
     /// Cycle of the last recorded use (0 if never used).
     #[must_use]
     pub fn last_used(&self) -> u64 {
@@ -103,6 +127,28 @@ impl AtomContainer {
 
     pub(crate) fn mark_used(&mut self, now: u64) {
         self.last_used = now;
+    }
+
+    /// SEU hit: a loaded atom's configuration is corrupted in place.
+    pub(crate) fn corrupt(&mut self) -> Option<AtomTypeId> {
+        if let ContainerState::Loaded { atom } = self.state {
+            self.state = ContainerState::Faulty { atom };
+            Some(atom)
+        } else {
+            None
+        }
+    }
+
+    /// CRC abort: a streaming load is rejected; the region is left blank.
+    pub(crate) fn abort_load(&mut self) {
+        if matches!(self.state, ContainerState::Loading { .. }) {
+            self.state = ContainerState::Empty;
+        }
+    }
+
+    /// Permanent tile failure: the container leaves service for good.
+    pub(crate) fn quarantine(&mut self) {
+        self.state = ContainerState::Quarantined;
     }
 }
 
@@ -133,5 +179,25 @@ mod tests {
     fn container_id_display() {
         assert_eq!(ContainerId(7).to_string(), "AC7");
         assert_eq!(ContainerId(7).index(), 7);
+    }
+
+    #[test]
+    fn fault_lifecycle() {
+        let mut ac = AtomContainer::new(ContainerId(0));
+        ac.begin_load(AtomTypeId(2), 100);
+        // A CRC abort blanks the region.
+        ac.abort_load();
+        assert_eq!(ac.state(), ContainerState::Empty);
+        // Corruption only applies to loaded atoms.
+        assert_eq!(ac.corrupt(), None);
+        ac.begin_load(AtomTypeId(2), 200);
+        ac.finish_load();
+        assert_eq!(ac.corrupt(), Some(AtomTypeId(2)));
+        assert_eq!(ac.loaded_atom(), None);
+        assert_eq!(ac.faulty_atom(), Some(AtomTypeId(2)));
+        // Quarantine is terminal.
+        ac.quarantine();
+        assert!(ac.is_quarantined());
+        assert_eq!(ac.faulty_atom(), None);
     }
 }

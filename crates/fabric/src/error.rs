@@ -1,0 +1,42 @@
+use std::fmt;
+
+use crate::container::ContainerId;
+
+/// Errors reported by the fabric layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FabricError {
+    /// The reconfiguration port was configured with zero bandwidth, so no
+    /// bitstream can ever be transferred.
+    ZeroBandwidth,
+    /// The referenced container does not exist in this fabric.
+    UnknownContainer(ContainerId),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::ZeroBandwidth => {
+                write!(f, "reconfiguration-port bandwidth must be positive")
+            }
+            FabricError::UnknownContainer(id) => {
+                write!(f, "container {id} does not exist in this fabric")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(FabricError::ZeroBandwidth.to_string().contains("bandwidth"));
+        assert!(FabricError::UnknownContainer(ContainerId(3))
+            .to_string()
+            .contains("AC3"));
+    }
+}

@@ -3,6 +3,8 @@ use std::collections::VecDeque;
 use rispp_model::{AtomTypeId, AtomUniverse, Molecule};
 
 use crate::container::{AtomContainer, ContainerId, ContainerState};
+use crate::error::FabricError;
+use crate::fault::{FaultModel, XorShift64};
 use crate::port::ReconfigPortConfig;
 
 /// Static configuration of a [`Fabric`].
@@ -36,6 +38,45 @@ pub struct LoadCompleted {
     pub at: u64,
 }
 
+/// Everything that can happen on the fabric while time advances.
+///
+/// Returned in chronological order by [`Fabric::advance_events`]. The first
+/// variant is the only one a fault-free fabric ever produces; the rest are
+/// injected by the [`FaultModel`] or by an explicit
+/// [`Fabric::quarantine`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricEvent {
+    /// An atom finished reconfiguring and is usable.
+    Completed(LoadCompleted),
+    /// A bitstream transfer was rejected (CRC abort or the target tile died
+    /// mid-load); the container is empty and the port cycles are lost.
+    LoadAborted {
+        /// Atom whose load was rejected.
+        atom: AtomTypeId,
+        /// Container the load was streaming into.
+        container: ContainerId,
+        /// Cycle at which the abort was detected.
+        at: u64,
+    },
+    /// An SEU corrupted a loaded atom; it left the available set and the
+    /// container is [`ContainerState::Faulty`] until scrubbed (reloaded).
+    AtomCorrupted {
+        /// The corrupted atom type.
+        atom: AtomTypeId,
+        /// Container holding the corrupted configuration.
+        container: ContainerId,
+        /// Cycle of the upset.
+        at: u64,
+    },
+    /// A container's tile failed permanently and was quarantined.
+    ContainerFailed {
+        /// The quarantined container.
+        container: ContainerId,
+        /// Cycle of the failure.
+        at: u64,
+    },
+}
+
 /// Aggregate fabric statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FabricStats {
@@ -47,8 +88,57 @@ pub struct FabricStats {
     pub evictions: u64,
     /// Cycles the reconfiguration port spent streaming bitstreams.
     pub port_busy_cycles: u64,
-    /// Pending loads dropped by [`Fabric::clear_pending`].
+    /// Pending loads dropped by [`Fabric::clear_pending`] (or because every
+    /// container was quarantined).
     pub loads_cancelled: u64,
+    /// Loads rejected at the end of the transfer (CRC abort, or the target
+    /// tile failing mid-load).
+    pub loads_aborted: u64,
+    /// Loaded atoms corrupted by single-event upsets.
+    pub seu_corruptions: u64,
+    /// Containers lost to scheduled permanent tile failures.
+    pub permanent_failures: u64,
+    /// Containers taken out of service, by the fault schedule or via
+    /// [`Fabric::quarantine`].
+    pub containers_quarantined: u64,
+    /// Port cycles wasted on loads that never became usable.
+    pub fault_cycles_lost: u64,
+}
+
+/// A load streaming through the port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct InFlight {
+    atom: AtomTypeId,
+    container: ContainerId,
+    finish: u64,
+    cycles: u64,
+    /// Pre-drawn CRC verdict, revealed when the transfer completes.
+    abort: bool,
+}
+
+/// Runtime state of the fault model: the RNG stream plus the per-container
+/// corruption/failure schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FaultState {
+    model: FaultModel,
+    rng: XorShift64,
+    /// Cycle at which the currently loaded atom gets corrupted (drawn at
+    /// load completion, cleared on overwrite/quarantine).
+    corrupt_at: Vec<Option<u64>>,
+    /// Scheduled permanent-failure cycle per container (drawn once at
+    /// construction).
+    fail_at: Vec<Option<u64>>,
+}
+
+/// Internal event kinds, ordered by processing priority at equal cycles:
+/// tile failures strike first, then upsets, then the port transfer
+/// completes, then the next queued load may start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Fail(usize),
+    Corrupt(usize),
+    Finish,
+    Start,
 }
 
 /// The reconfigurable fabric: Atom Containers plus the reconfiguration port.
@@ -57,24 +147,42 @@ pub struct FabricStats {
 /// (overwriting a loaded atom) prefers atoms with instances in excess of the
 /// *protected* set (normally `sup(M)` of the currently selected Molecules),
 /// breaking ties by least-recent use.
+///
+/// With a [`FaultModel`] attached (see [`Fabric::with_fault_model`]) the
+/// fabric additionally injects CRC aborts, SEU corruption and permanent
+/// tile failures, all drawn from one seeded stream so runs stay
+/// bit-identical regardless of sweep-thread count.
 #[derive(Debug, Clone)]
 pub struct Fabric {
     config: FabricConfig,
     bitstream_bytes: Vec<u32>,
     containers: Vec<AtomContainer>,
-    queue: VecDeque<AtomTypeId>,
-    in_flight: Option<(AtomTypeId, ContainerId, u64)>,
+    /// FIFO of `(atom, not_before)`: a load never starts before its
+    /// `not_before` cycle (retry backoff uses this).
+    queue: VecDeque<(AtomTypeId, u64)>,
+    in_flight: Option<InFlight>,
     available: Molecule,
     generation: u64,
     protected: Molecule,
     now: u64,
     stats: FabricStats,
+    fault: Option<FaultState>,
 }
 
 impl Fabric {
-    /// Creates a fabric with all containers empty at cycle 0.
+    /// Creates a fault-free fabric with all containers empty at cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port configuration is invalid (zero bandwidth). Callers
+    /// accepting untrusted configs should check
+    /// [`ReconfigPortConfig::validate`] first.
     #[must_use]
     pub fn new(config: FabricConfig, universe: &AtomUniverse) -> Self {
+        config
+            .port
+            .validate()
+            .expect("fabric port configuration must be valid");
         let arity = universe.arity();
         Fabric {
             config,
@@ -89,13 +197,70 @@ impl Fabric {
             protected: Molecule::zero(arity),
             now: 0,
             stats: FabricStats::default(),
+            fault: None,
         }
     }
 
-    /// Number of Atom Containers.
+    /// Creates a fabric with a seeded [`FaultModel`] attached. The
+    /// permanent-failure schedule is drawn immediately; CRC and SEU draws
+    /// happen as loads start and complete.
+    ///
+    /// A [null](FaultModel::is_null) model behaves bit-identically to
+    /// [`Fabric::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port configuration is invalid (zero bandwidth), as in
+    /// [`Fabric::new`].
+    #[must_use]
+    pub fn with_fault_model(
+        config: FabricConfig,
+        universe: &AtomUniverse,
+        model: FaultModel,
+    ) -> Self {
+        let mut fabric = Fabric::new(config, universe);
+        let mut rng = XorShift64::new(model.seed);
+        let horizon = model.failure_horizon().max(1);
+        let fail_at = (0..config.containers)
+            .map(|_| {
+                if rng.chance_ppm(model.permanent_failure_ppm) {
+                    Some(1 + rng.next_u64() % horizon)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        fabric.fault = Some(FaultState {
+            model,
+            rng,
+            corrupt_at: vec![None; usize::from(config.containers)],
+            fail_at,
+        });
+        fabric
+    }
+
+    /// The attached fault model, if any.
+    #[must_use]
+    pub fn fault_model(&self) -> Option<&FaultModel> {
+        self.fault.as_ref().map(|f| &f.model)
+    }
+
+    /// Number of Atom Containers (including quarantined ones).
     #[must_use]
     pub fn container_count(&self) -> u16 {
         self.config.containers
+    }
+
+    /// Number of containers still in service (not quarantined). This is
+    /// what Molecule selection must plan against on a degraded fabric.
+    #[must_use]
+    pub fn usable_container_count(&self) -> u16 {
+        let usable = self
+            .containers
+            .iter()
+            .filter(|c| !c.is_quarantined())
+            .count();
+        u16::try_from(usable).expect("container count fits in u16")
     }
 
     /// The fabric configuration.
@@ -117,11 +282,11 @@ impl Fabric {
     }
 
     /// Generation counter of the available-atom set: incremented every time
-    /// [`available`](Self::available) changes (a load completing or an atom
-    /// being evicted). Callers caching anything derived from the available
-    /// set — e.g. the best Molecule variant per SI in
-    /// `RunTimeManager::execute_burst` — only need to recompute when this
-    /// value changes.
+    /// [`available`](Self::available) changes (a load completing, an atom
+    /// being evicted, or a fault removing one). Callers caching anything
+    /// derived from the available set — e.g. the best Molecule variant per
+    /// SI in `RunTimeManager::execute_burst` — only need to recompute when
+    /// this value changes.
     #[must_use]
     pub fn generation(&self) -> u64 {
         self.generation
@@ -144,6 +309,7 @@ impl Fabric {
     #[must_use]
     pub fn in_flight(&self) -> Option<(AtomTypeId, ContainerId, u64)> {
         self.in_flight
+            .map(|fl| (fl.atom, fl.container, fl.finish))
     }
 
     /// Number of queued (not yet started) loads.
@@ -179,12 +345,22 @@ impl Fabric {
     ///
     /// Panics if the atom type is outside the universe.
     pub fn enqueue_load(&mut self, atom: AtomTypeId) {
+        self.enqueue_load_after(atom, 0);
+    }
+
+    /// Appends an atom-load request that must not start before cycle
+    /// `not_before` (retry backoff after an aborted load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the atom type is outside the universe.
+    pub fn enqueue_load_after(&mut self, atom: AtomTypeId, not_before: u64) {
         assert!(
             atom.index() < self.bitstream_bytes.len(),
             "atom type {atom} outside universe"
         );
         self.stats.loads_enqueued += 1;
-        self.queue.push_back(atom);
+        self.queue.push_back((atom, not_before));
         self.try_start_next(self.now);
     }
 
@@ -216,86 +392,286 @@ impl Fabric {
         }
     }
 
+    /// Permanently removes a container from service (run-time-manager
+    /// policy, e.g. after exhausting load retries on a flaky tile). Any
+    /// load streaming into it is aborted, a loaded atom leaves the
+    /// available set, and the container is never used again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::UnknownContainer`] for an out-of-range id.
+    pub fn quarantine(&mut self, id: ContainerId) -> Result<(), FabricError> {
+        if id.index() >= self.containers.len() {
+            return Err(FabricError::UnknownContainer(id));
+        }
+        if self.containers[id.index()].is_quarantined() {
+            return Ok(());
+        }
+        self.quarantine_container(id.index());
+        self.stats.containers_quarantined += 1;
+        self.try_start_next(self.now);
+        Ok(())
+    }
+
     /// Advances simulated time to `now`, completing every load that
     /// finishes by then and starting queued loads as the port frees up.
-    /// Returns the completion events in chronological order.
+    /// Returns only the completion events in chronological order; use
+    /// [`Fabric::advance_events`] to observe fault events too.
     ///
     /// # Panics
     ///
     /// Panics if `now` moves backwards.
     pub fn advance_to(&mut self, now: u64) -> Vec<LoadCompleted> {
+        self.advance_events(now)
+            .into_iter()
+            .filter_map(|e| match e {
+                FabricEvent::Completed(done) => Some(done),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Advances simulated time to `now`, processing port completions,
+    /// CRC aborts, SEU corruptions and scheduled tile failures in
+    /// chronological order. Returns every event that occurred.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` moves backwards.
+    pub fn advance_events(&mut self, now: u64) -> Vec<FabricEvent> {
         assert!(now >= self.now, "time must be monotone");
         let mut events = Vec::new();
-        while let Some((atom, container, finish)) = self.in_flight {
-            if finish > now {
+        while let Some((t, kind)) = self.next_internal_event() {
+            if t > now {
                 break;
             }
-            self.in_flight = None;
-            let c = &mut self.containers[container.index()];
-            c.finish_load();
-            c.mark_used(finish);
-            self.available = self
-                .available
-                .saturating_add(&Molecule::unit(self.available.arity(), atom.index()));
-            self.generation += 1;
-            self.stats.loads_completed += 1;
-            events.push(LoadCompleted {
-                atom,
-                container,
-                at: finish,
-            });
-            // The port frees at `finish`; the next queued load starts there.
-            self.try_start_next(finish);
+            self.process_event(t, kind, &mut events);
         }
         self.now = now;
         events
     }
 
-    /// Earliest cycle at which the next completion event occurs, if any.
+    /// Earliest cycle at which the fabric state next changes on its own
+    /// (a transfer completing, a backoff-delayed load starting, an upset
+    /// or a scheduled tile failure), if any.
     #[must_use]
     pub fn next_event_at(&self) -> Option<u64> {
-        self.in_flight.map(|(_, _, finish)| finish)
+        self.next_internal_event().map(|(t, _)| t)
+    }
+
+    /// Picks the next internal event: minimum cycle, ties broken by
+    /// [`EventKind`] priority (failures before upsets before completions
+    /// before starts), then by container index.
+    fn next_internal_event(&self) -> Option<(u64, EventKind)> {
+        let mut best: Option<(u64, u8, EventKind)> = None;
+        let consider = |t: u64, prio: u8, kind: EventKind, best: &mut Option<_>| {
+            if best.is_none_or(|(bt, bp, _)| (t, prio) < (bt, bp)) {
+                *best = Some((t, prio, kind));
+            }
+        };
+        if let Some(f) = &self.fault {
+            for (i, c) in self.containers.iter().enumerate() {
+                if !c.is_quarantined() {
+                    if let Some(t) = f.fail_at[i] {
+                        consider(t, 0, EventKind::Fail(i), &mut best);
+                    }
+                }
+                if c.loaded_atom().is_some() {
+                    if let Some(t) = f.corrupt_at[i] {
+                        consider(t, 1, EventKind::Corrupt(i), &mut best);
+                    }
+                }
+            }
+        }
+        if let Some(fl) = &self.in_flight {
+            consider(fl.finish, 2, EventKind::Finish, &mut best);
+        } else if let Some(&(_, not_before)) = self.queue.front() {
+            // Port idle with a queued load: it starts once its backoff
+            // window opens (or immediately, at `now`).
+            consider(not_before.max(self.now), 3, EventKind::Start, &mut best);
+        }
+        best.map(|(t, _, kind)| (t, kind))
+    }
+
+    fn process_event(&mut self, t: u64, kind: EventKind, events: &mut Vec<FabricEvent>) {
+        match kind {
+            EventKind::Fail(i) => {
+                // Capture a load streaming into the dying tile before the
+                // quarantine clears it, so the abort is observable.
+                let killed = self.in_flight.filter(|fl| fl.container.index() == i);
+                self.quarantine_container(i);
+                self.stats.permanent_failures += 1;
+                self.stats.containers_quarantined += 1;
+                events.push(FabricEvent::ContainerFailed {
+                    container: ContainerId(u16::try_from(i).expect("container index fits u16")),
+                    at: t,
+                });
+                if let Some(fl) = killed {
+                    events.push(FabricEvent::LoadAborted {
+                        atom: fl.atom,
+                        container: fl.container,
+                        at: t,
+                    });
+                }
+                self.try_start_next(t);
+            }
+            EventKind::Corrupt(i) => {
+                if let Some(f) = &mut self.fault {
+                    f.corrupt_at[i] = None;
+                }
+                if let Some(atom) = self.containers[i].corrupt() {
+                    self.remove_available(atom);
+                    self.stats.seu_corruptions += 1;
+                    events.push(FabricEvent::AtomCorrupted {
+                        atom,
+                        container: self.containers[i].id(),
+                        at: t,
+                    });
+                }
+            }
+            EventKind::Finish => {
+                let fl = self.in_flight.take().expect("finish event implies in-flight load");
+                let i = fl.container.index();
+                if fl.abort {
+                    self.containers[i].abort_load();
+                    self.stats.loads_aborted += 1;
+                    self.stats.fault_cycles_lost += fl.cycles;
+                    events.push(FabricEvent::LoadAborted {
+                        atom: fl.atom,
+                        container: fl.container,
+                        at: t,
+                    });
+                } else {
+                    let c = &mut self.containers[i];
+                    c.finish_load();
+                    c.mark_used(t);
+                    self.available = self
+                        .available
+                        .saturating_add(&Molecule::unit(self.available.arity(), fl.atom.index()));
+                    self.generation += 1;
+                    self.stats.loads_completed += 1;
+                    if let Some(f) = &mut self.fault {
+                        if f.model.seu_per_gcycle > 0 {
+                            f.corrupt_at[i] = Some(t + f.rng.seu_lifetime(f.model.seu_per_gcycle));
+                        }
+                    }
+                    events.push(FabricEvent::Completed(LoadCompleted {
+                        atom: fl.atom,
+                        container: fl.container,
+                        at: t,
+                    }));
+                }
+                // The port frees at `t`; the next queued load starts there.
+                self.try_start_next(t);
+            }
+            EventKind::Start => {
+                self.try_start_next(t);
+            }
+        }
+    }
+
+    /// Quarantines container `i` in place: kills a load streaming into it
+    /// (accounting the port cycles as lost), removes a loaded atom from the
+    /// available set and clears the container's fault schedule.
+    fn quarantine_container(&mut self, i: usize) {
+        if let Some(atom) = self.containers[i].loaded_atom() {
+            self.remove_available(atom);
+        }
+        self.containers[i].quarantine();
+        if let Some(f) = &mut self.fault {
+            f.corrupt_at[i] = None;
+            f.fail_at[i] = None;
+        }
+        if let Some(fl) = self.in_flight.filter(|fl| fl.container.index() == i) {
+            self.in_flight = None;
+            self.stats.loads_aborted += 1;
+            self.stats.fault_cycles_lost += fl.cycles;
+        }
+    }
+
+    fn remove_available(&mut self, atom: AtomTypeId) {
+        let mut counts: Vec<u16> = self.available.counts().to_vec();
+        counts[atom.index()] -= 1;
+        self.available = Molecule::from_counts(counts);
+        self.generation += 1;
     }
 
     fn try_start_next(&mut self, at: u64) {
         if self.in_flight.is_some() {
             return;
         }
-        let Some(atom) = self.queue.pop_front() else {
+        loop {
+            let Some(&(atom, not_before)) = self.queue.front() else {
+                return;
+            };
+            if not_before > at {
+                // Backoff window still closed; the event loop will start it
+                // once `not_before` is reached.
+                return;
+            }
+            let Some(victim) = self.pick_container() else {
+                // Every container is quarantined: the load can never be
+                // placed. Drop it so the queue cannot wedge the port.
+                self.queue.pop_front();
+                self.stats.loads_cancelled += 1;
+                continue;
+            };
+            self.queue.pop_front();
+            let c = &mut self.containers[victim.index()];
+            if let Some(old) = c.loaded_atom() {
+                // Partial reconfiguration overwrites the old atom
+                // immediately: one instance of the evicted type leaves the
+                // available set.
+                self.stats.evictions += 1;
+                self.remove_available(old);
+            }
+            let cycles = self
+                .config
+                .port
+                .load_cycles(self.bitstream_bytes[atom.index()])
+                .expect("port config validated at construction");
+            let finish = at + cycles;
+            self.stats.port_busy_cycles += cycles;
+            let abort = match &mut self.fault {
+                // One CRC draw per started load, revealed at the end of the
+                // transfer (rate zero draws too, keeping the stream stable).
+                Some(f) => f.rng.chance_ppm(f.model.crc_abort_ppm),
+                None => false,
+            };
+            if let Some(f) = &mut self.fault {
+                // Whatever corruption was scheduled for the overwritten
+                // atom no longer applies.
+                f.corrupt_at[victim.index()] = None;
+            }
+            self.containers[victim.index()].begin_load(atom, finish);
+            self.in_flight = Some(InFlight {
+                atom,
+                container: victim,
+                finish,
+                cycles,
+                abort,
+            });
             return;
-        };
-        let Some(victim) = self.pick_container() else {
-            // No container can accept a load (single container mid-flight);
-            // put the request back and wait.
-            self.queue.push_front(atom);
-            return;
-        };
-        let c = &mut self.containers[victim.index()];
-        if let Some(old) = c.loaded_atom() {
-            // Partial reconfiguration overwrites the old atom immediately:
-            // one instance of the evicted type leaves the available set.
-            let mut counts: Vec<u16> = self.available.counts().to_vec();
-            counts[old.index()] -= 1;
-            self.available = Molecule::from_counts(counts);
-            self.generation += 1;
-            self.stats.evictions += 1;
         }
-        let cycles = self.config.port.load_cycles(self.bitstream_bytes[atom.index()]);
-        let finish = at + cycles;
-        self.stats.port_busy_cycles += cycles;
-        self.containers[victim.index()].begin_load(atom, finish);
-        self.in_flight = Some((atom, victim, finish));
     }
 
     /// Chooses the container for the next load: an empty one if available,
-    /// otherwise a loaded container holding an atom in excess of the
-    /// protected set (least recently used first), otherwise the globally
-    /// least recently used loaded container.
+    /// else a faulty one (scrub-and-reload target), otherwise a loaded
+    /// container holding an atom in excess of the protected set (least
+    /// recently used first), otherwise the globally least recently used
+    /// loaded container. Quarantined containers are never candidates.
     fn pick_container(&self) -> Option<ContainerId> {
         if let Some(c) = self
             .containers
             .iter()
             .find(|c| matches!(c.state(), ContainerState::Empty))
+        {
+            return Some(c.id());
+        }
+        if let Some(c) = self
+            .containers
+            .iter()
+            .find(|c| matches!(c.state(), ContainerState::Faulty { .. }))
         {
             return Some(c.id());
         }

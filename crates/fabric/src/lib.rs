@@ -36,10 +36,14 @@
 
 mod clock;
 mod container;
+mod error;
 mod fabric;
+pub mod fault;
 mod port;
 
 pub use clock::ClockDomain;
 pub use container::{AtomContainer, ContainerId, ContainerState};
-pub use fabric::{Fabric, FabricConfig, FabricStats, LoadCompleted};
+pub use error::FabricError;
+pub use fabric::{Fabric, FabricConfig, FabricEvent, FabricStats, LoadCompleted};
+pub use fault::FaultModel;
 pub use port::ReconfigPortConfig;

@@ -1,3 +1,4 @@
+use crate::error::FabricError;
 use crate::ClockDomain;
 
 /// Configuration of the single reconfiguration port (SelectMAP/ICAP).
@@ -40,16 +41,31 @@ impl ReconfigPortConfig {
         }
     }
 
+    /// Checks that the configuration can actually transfer bitstreams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::ZeroBandwidth`] if the bandwidth is zero.
+    pub fn validate(&self) -> Result<(), FabricError> {
+        if self.bandwidth_bytes_per_sec == 0 {
+            return Err(FabricError::ZeroBandwidth);
+        }
+        Ok(())
+    }
+
     /// Cycles needed to load a partial bitstream of `bytes` bytes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configured bandwidth is zero.
-    #[must_use]
-    pub fn load_cycles(&self, bytes: u32) -> u64 {
-        assert!(self.bandwidth_bytes_per_sec > 0, "bandwidth must be positive");
+    /// Returns [`FabricError::ZeroBandwidth`] if the configured bandwidth is
+    /// zero (a transfer would never finish). Construction-time callers are
+    /// expected to reject such configs up front via
+    /// [`ReconfigPortConfig::validate`].
+    pub fn load_cycles(&self, bytes: u32) -> Result<u64, FabricError> {
+        self.validate()?;
+        #[allow(clippy::cast_precision_loss)]
         let seconds = f64::from(bytes) / self.bandwidth_bytes_per_sec as f64;
-        self.setup_overhead_cycles + self.clock.cycles_for_us(seconds * 1e6)
+        Ok(self.setup_overhead_cycles + self.clock.cycles_for_us(seconds * 1e6))
     }
 }
 
@@ -66,7 +82,7 @@ mod tests {
     #[test]
     fn prototype_reproduces_874us_per_average_atom() {
         let port = ReconfigPortConfig::prototype();
-        let cycles = port.load_cycles(60_488);
+        let cycles = port.load_cycles(60_488).unwrap();
         let us = port.clock.us_for_cycles(cycles);
         assert!(
             (us - 874.03).abs() < 1.0,
@@ -77,14 +93,22 @@ mod tests {
     #[test]
     fn load_time_scales_with_size() {
         let port = ReconfigPortConfig::prototype();
-        assert!(port.load_cycles(120_000) > 2 * port.load_cycles(59_000));
-        assert_eq!(port.load_cycles(0), 0);
+        assert!(port.load_cycles(120_000).unwrap() > 2 * port.load_cycles(59_000).unwrap());
+        assert_eq!(port.load_cycles(0).unwrap(), 0);
     }
 
     #[test]
     fn setup_overhead_is_added_once() {
         let mut port = ReconfigPortConfig::with_bandwidth(66_000_000);
         port.setup_overhead_cycles = 100;
-        assert_eq!(port.load_cycles(0), 100);
+        assert_eq!(port.load_cycles(0).unwrap(), 100);
+    }
+
+    #[test]
+    fn zero_bandwidth_is_an_error_not_a_panic() {
+        let port = ReconfigPortConfig::with_bandwidth(0);
+        assert_eq!(port.validate(), Err(FabricError::ZeroBandwidth));
+        assert_eq!(port.load_cycles(60_488), Err(FabricError::ZeroBandwidth));
+        assert!(ReconfigPortConfig::prototype().validate().is_ok());
     }
 }

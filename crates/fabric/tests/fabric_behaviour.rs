@@ -17,7 +17,7 @@ fn loads_are_serialised_through_the_port() {
     let mut f = fabric(4, 2);
     f.enqueue_load(AtomTypeId(0));
     f.enqueue_load(AtomTypeId(1));
-    let per_atom = ReconfigPortConfig::prototype().load_cycles(60_488);
+    let per_atom = ReconfigPortConfig::prototype().load_cycles(60_488).unwrap();
     // After one load time only the first atom is there.
     let ev = f.advance_to(per_atom);
     assert_eq!(ev.len(), 1);
@@ -33,7 +33,7 @@ fn loads_are_serialised_through_the_port() {
 
 #[test]
 fn per_atom_load_time_matches_paper_average() {
-    let per_atom = ReconfigPortConfig::prototype().load_cycles(60_488);
+    let per_atom = ReconfigPortConfig::prototype().load_cycles(60_488).unwrap();
     // ~874 µs at 100 MHz = ~87,400 cycles.
     assert!((87_000..88_000).contains(&per_atom), "got {per_atom}");
 }
@@ -130,7 +130,7 @@ fn port_busy_cycles_accumulate() {
     let mut f = fabric(2, 1);
     f.enqueue_load(AtomTypeId(0));
     f.advance_to(10_000_000);
-    let per_atom = ReconfigPortConfig::prototype().load_cycles(60_488);
+    let per_atom = ReconfigPortConfig::prototype().load_cycles(60_488).unwrap();
     assert_eq!(f.stats().port_busy_cycles, per_atom);
 }
 

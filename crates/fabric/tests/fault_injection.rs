@@ -1,0 +1,282 @@
+//! Behavioural tests of the seeded fault-injection layer: CRC aborts, SEU
+//! corruption, permanent tile failures, quarantine, and the determinism
+//! guarantees that make fault runs reproducible.
+
+use proptest::prelude::*;
+use rispp_fabric::fault::PPM;
+use rispp_fabric::{
+    ContainerId, ContainerState, Fabric, FabricConfig, FabricError, FabricEvent, FaultModel,
+    ReconfigPortConfig,
+};
+use rispp_model::{AtomTypeId, AtomTypeInfo, AtomUniverse};
+
+fn universe(n: usize) -> AtomUniverse {
+    AtomUniverse::from_types((0..n).map(|i| AtomTypeInfo::new(format!("T{i}")))).unwrap()
+}
+
+fn per_atom() -> u64 {
+    ReconfigPortConfig::prototype().load_cycles(60_488).unwrap()
+}
+
+#[test]
+fn null_model_is_bit_identical_to_no_model() {
+    let u = universe(3);
+    let mut plain = Fabric::new(FabricConfig::prototype(2), &u);
+    let mut nulled = Fabric::with_fault_model(FabricConfig::prototype(2), &u, FaultModel::uniform(0.0, 0xDEAD));
+    assert!(FaultModel::uniform(0.0, 0xDEAD).is_null());
+    let script = [0u16, 1, 2, 0, 2, 1, 0];
+    for (i, &a) in script.iter().enumerate() {
+        plain.enqueue_load(AtomTypeId(a));
+        nulled.enqueue_load(AtomTypeId(a));
+        let now = (i as u64 + 1) * 40_000;
+        assert_eq!(plain.advance_events(now), nulled.advance_events(now));
+        assert_eq!(plain.available(), nulled.available());
+        assert_eq!(plain.generation(), nulled.generation());
+        assert_eq!(plain.in_flight(), nulled.in_flight());
+        assert_eq!(plain.next_event_at(), nulled.next_event_at());
+    }
+    assert_eq!(plain.advance_events(10_000_000), nulled.advance_events(10_000_000));
+    assert_eq!(plain.stats(), nulled.stats());
+}
+
+#[test]
+fn certain_crc_abort_rejects_every_load() {
+    let model = FaultModel {
+        seed: 1,
+        crc_abort_ppm: PPM,
+        ..FaultModel::default()
+    };
+    let mut f = Fabric::with_fault_model(FabricConfig::prototype(2), &universe(2), model);
+    f.enqueue_load(AtomTypeId(0));
+    let events = f.advance_events(10_000_000);
+    assert_eq!(
+        events,
+        vec![FabricEvent::LoadAborted {
+            atom: AtomTypeId(0),
+            container: ContainerId(0),
+            at: per_atom(),
+        }]
+    );
+    assert_eq!(f.containers()[0].state(), ContainerState::Empty);
+    assert_eq!(f.available().total_atoms(), 0);
+    assert_eq!(f.stats().loads_aborted, 1);
+    assert_eq!(f.stats().loads_completed, 0);
+    assert_eq!(f.stats().fault_cycles_lost, per_atom());
+    assert!(f.is_idle(), "an aborted load must free the port");
+}
+
+#[test]
+fn seu_corrupts_then_scrub_reload_recovers() {
+    // Mean lifetime 1e9/1e6 = 1000 cycles: corruption lands shortly after
+    // the load completes.
+    let model = FaultModel {
+        seed: 2,
+        seu_per_gcycle: 1_000_000,
+        ..FaultModel::default()
+    };
+    let mut f = Fabric::with_fault_model(FabricConfig::prototype(1), &universe(1), model);
+    f.enqueue_load(AtomTypeId(0));
+    let events = f.advance_events(10_000_000);
+    assert_eq!(events.len(), 2, "completion then corruption: {events:?}");
+    assert!(matches!(events[0], FabricEvent::Completed(done) if done.atom == AtomTypeId(0)));
+    let FabricEvent::AtomCorrupted { atom, container, at } = events[1] else {
+        panic!("expected corruption, got {:?}", events[1]);
+    };
+    assert_eq!(atom, AtomTypeId(0));
+    assert_eq!(container, ContainerId(0));
+    assert!(at > per_atom(), "corruption strictly after completion");
+    assert_eq!(f.containers()[0].state(), ContainerState::Faulty { atom: AtomTypeId(0) });
+    assert_eq!(f.available().total_atoms(), 0);
+    assert_eq!(f.stats().seu_corruptions, 1);
+
+    // Scrub-and-reload: the faulty container is a load target again.
+    f.enqueue_load(AtomTypeId(0));
+    let events = f.advance_events(20_000_000);
+    assert!(
+        matches!(events[0], FabricEvent::Completed(done) if done.container == ContainerId(0)),
+        "reload must scrub the faulty container: {events:?}"
+    );
+    assert_eq!(f.stats().loads_completed, 2);
+}
+
+#[test]
+fn scheduled_tile_failures_quarantine_containers() {
+    let model = FaultModel {
+        seed: 3,
+        permanent_failure_ppm: PPM,
+        permanent_failure_horizon: 50_000,
+        ..FaultModel::default()
+    };
+    let mut f = Fabric::with_fault_model(FabricConfig::prototype(3), &universe(2), model);
+    assert_eq!(f.usable_container_count(), 3);
+    let events = f.advance_events(100_000);
+    let failed = events
+        .iter()
+        .filter(|e| matches!(e, FabricEvent::ContainerFailed { .. }))
+        .count();
+    assert_eq!(failed, 3, "all tiles must fail inside the horizon: {events:?}");
+    assert_eq!(f.usable_container_count(), 0);
+    assert_eq!(f.stats().permanent_failures, 3);
+    assert_eq!(f.stats().containers_quarantined, 3);
+    assert!(f.containers().iter().all(rispp_fabric::AtomContainer::is_quarantined));
+
+    // Loads on a dead fabric are dropped, not wedged: forward progress.
+    f.enqueue_load(AtomTypeId(0));
+    assert!(f.is_idle());
+    assert_eq!(f.stats().loads_cancelled, 1);
+    assert!(f.advance_events(200_000).is_empty());
+}
+
+#[test]
+fn tile_failure_mid_load_aborts_the_transfer() {
+    // The single tile dies inside [1, 10_000], long before the ~87K-cycle
+    // load completes.
+    let model = FaultModel {
+        seed: 4,
+        permanent_failure_ppm: PPM,
+        permanent_failure_horizon: 10_000,
+        ..FaultModel::default()
+    };
+    let mut f = Fabric::with_fault_model(FabricConfig::prototype(1), &universe(1), model);
+    f.enqueue_load(AtomTypeId(0));
+    let events = f.advance_events(10_000_000);
+    assert_eq!(events.len(), 2, "{events:?}");
+    let FabricEvent::ContainerFailed { container, at } = events[0] else {
+        panic!("expected failure first, got {:?}", events[0]);
+    };
+    assert_eq!(container, ContainerId(0));
+    assert!(at <= 10_000);
+    assert!(
+        matches!(events[1], FabricEvent::LoadAborted { atom, at: abort_at, .. }
+            if atom == AtomTypeId(0) && abort_at == at),
+        "the streaming load dies with the tile: {events:?}"
+    );
+    assert_eq!(f.stats().loads_completed, 0);
+    assert_eq!(f.stats().loads_aborted, 1);
+    assert_eq!(f.stats().fault_cycles_lost, per_atom());
+    assert!(f.is_idle(), "the port must be freed when its target dies");
+}
+
+#[test]
+fn manual_quarantine_removes_loaded_atoms() {
+    let mut f = Fabric::new(FabricConfig::prototype(2), &universe(2));
+    f.enqueue_load(AtomTypeId(0));
+    f.advance_to(10_000_000);
+    assert_eq!(f.available().counts(), &[1, 0]);
+    let gen = f.generation();
+
+    assert_eq!(
+        f.quarantine(ContainerId(9)),
+        Err(FabricError::UnknownContainer(ContainerId(9)))
+    );
+    f.quarantine(ContainerId(0)).unwrap();
+    assert_eq!(f.available().counts(), &[0, 0]);
+    assert!(f.generation() > gen, "removing an atom must invalidate caches");
+    assert_eq!(f.usable_container_count(), 1);
+    assert_eq!(f.stats().containers_quarantined, 1);
+    // Idempotent.
+    f.quarantine(ContainerId(0)).unwrap();
+    assert_eq!(f.stats().containers_quarantined, 1);
+}
+
+#[test]
+fn backoff_delays_a_queued_load() {
+    let mut f = Fabric::new(FabricConfig::prototype(2), &universe(1));
+    f.enqueue_load_after(AtomTypeId(0), 5_000);
+    assert!(f.advance_events(4_999).is_empty());
+    assert_eq!(f.in_flight(), None, "backoff window still closed");
+    assert_eq!(f.next_event_at(), Some(5_000));
+    let events = f.advance_events(5_000 + per_atom());
+    assert_eq!(
+        events,
+        vec![FabricEvent::Completed(rispp_fabric::LoadCompleted {
+            atom: AtomTypeId(0),
+            container: ContainerId(0),
+            at: 5_000 + per_atom(),
+        })]
+    );
+}
+
+#[test]
+fn loading_container_is_never_an_eviction_victim() {
+    // Regression guard: a container in `Loading` state must never be
+    // overwritten by a subsequent load (the serial port guarantees the
+    // in-flight transfer completes before the next victim is picked).
+    let mut f = Fabric::new(FabricConfig::prototype(2), &universe(3));
+    f.enqueue_load(AtomTypeId(0));
+    f.enqueue_load(AtomTypeId(1));
+    f.enqueue_load(AtomTypeId(2));
+    f.advance_to(per_atom() / 2);
+    assert!(
+        matches!(f.containers()[0].state(), ContainerState::Loading { atom, .. } if atom == AtomTypeId(0)),
+        "first load must still be streaming"
+    );
+    let events = f.advance_to(10_000_000);
+    assert_eq!(events.len(), 3, "every load must complete: {events:?}");
+    assert_eq!(f.stats().loads_completed, 3);
+    // The third load evicted a *Loaded* container (exactly one eviction);
+    // at no point was a streaming transfer clobbered.
+    assert_eq!(f.stats().evictions, 1);
+    assert_eq!(f.available().total_atoms(), 2);
+}
+
+proptest! {
+    /// Identical (seed, rates, load script) → identical event streams and
+    /// statistics, step for step. This is the foundation of sweep
+    /// determinism under fault injection.
+    #[test]
+    fn identical_seeds_produce_identical_runs(
+        seed in 0u64..u64::MAX,
+        rate_ppm in 0u32..200_000,
+        loads in proptest::collection::vec(0u16..3, 1..25),
+        step in 20_000u64..150_000,
+    ) {
+        let u = universe(3);
+        let model = FaultModel::uniform_ppm(rate_ppm, seed);
+        let mut a = Fabric::with_fault_model(FabricConfig::prototype(2), &u, model);
+        let mut b = Fabric::with_fault_model(FabricConfig::prototype(2), &u, model);
+        for (i, &atom) in loads.iter().enumerate() {
+            a.enqueue_load(AtomTypeId(atom));
+            b.enqueue_load(AtomTypeId(atom));
+            let now = (i as u64 + 1) * step;
+            prop_assert_eq!(a.advance_events(now), b.advance_events(now));
+            prop_assert_eq!(a.available(), b.available());
+            prop_assert_eq!(a.next_event_at(), b.next_event_at());
+        }
+        prop_assert_eq!(a.advance_events(50_000_000), b.advance_events(50_000_000));
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    /// Under any fault mix the fabric's books stay balanced: every enqueued
+    /// load is completed, aborted, or cancelled, and the available set
+    /// always matches the per-container states.
+    #[test]
+    fn fault_accounting_is_conserved(
+        seed in 0u64..u64::MAX,
+        rate_ppm in 0u32..500_000,
+        loads in proptest::collection::vec(0u16..3, 1..25),
+    ) {
+        let u = universe(3);
+        let model = FaultModel::uniform_ppm(rate_ppm, seed);
+        let mut f = Fabric::with_fault_model(FabricConfig::prototype(3), &u, model);
+        for (i, &atom) in loads.iter().enumerate() {
+            f.enqueue_load(AtomTypeId(atom));
+            f.advance_events((i as u64 + 1) * 60_000);
+            let mut recount = [0u16; 3];
+            for c in f.containers() {
+                if let Some(a) = c.loaded_atom() {
+                    recount[a.index()] += 1;
+                }
+            }
+            prop_assert_eq!(f.available().counts(), &recount[..]);
+        }
+        f.advance_events(100_000_000);
+        let s = f.stats();
+        prop_assert!(f.is_idle());
+        prop_assert_eq!(
+            s.loads_enqueued,
+            s.loads_completed + s.loads_aborted + s.loads_cancelled
+        );
+        prop_assert!(s.containers_quarantined <= 3);
+    }
+}

@@ -61,6 +61,13 @@ pub trait ExecutionSystem {
     /// Completed reconfiguration loads and the cycles the reconfiguration
     /// port was busy, cumulative since the start of the run.
     fn reconfiguration_stats(&self) -> (u64, u64);
+
+    /// Cumulative fault-injection and self-healing counters. Backends
+    /// without a fault model (the baselines, software-only execution and
+    /// most custom backends) keep the default: all zero.
+    fn recovery_stats(&self) -> rispp_core::RecoveryStats {
+        rispp_core::RecoveryStats::default()
+    }
 }
 
 /// The RISPP run-time system as an [`ExecutionSystem`]: a thin adapter
@@ -143,6 +150,10 @@ impl ExecutionSystem for RisppBackend<'_> {
     fn reconfiguration_stats(&self) -> (u64, u64) {
         let s = self.manager.fabric().stats();
         (s.loads_completed, s.port_busy_cycles)
+    }
+
+    fn recovery_stats(&self) -> rispp_core::RecoveryStats {
+        self.manager.recovery_stats()
     }
 }
 

@@ -102,7 +102,11 @@ impl<'a> MolenSystem<'a> {
                 .info(rispp_model::AtomTypeId(idx as u16))
                 .map(|i| i.bitstream_bytes)
                 .unwrap_or(0);
-            cycles += u64::from(count) * self.port.load_cycles(bytes);
+            let per_load = self
+                .port
+                .load_cycles(bytes)
+                .expect("prototype port bandwidth is positive");
+            cycles += u64::from(count) * per_load;
         }
         cycles
     }

@@ -1,4 +1,5 @@
-use rispp_core::{RunTimeManager, SchedulerKind};
+use rispp_core::{RecoveryPolicy, RecoveryStats, RunTimeManager, SchedulerKind};
+use rispp_fabric::FaultModel;
 use rispp_model::SiLibrary;
 use rispp_monitor::ForecastPolicy;
 
@@ -37,6 +38,38 @@ impl SystemKind {
     }
 }
 
+/// Fault-injection parameters of a simulation run. Integer fields keep
+/// the configuration `Copy + Eq + Hash`, so sweep jobs stay cheap to
+/// duplicate across worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultConfig {
+    /// Uniform fault rate in parts per million, expanded to a full
+    /// [`FaultModel`] via [`FaultModel::uniform_ppm`]. Zero is the null
+    /// model: bit-identical to running without fault injection.
+    pub rate_ppm: u32,
+    /// Seed of the fabric's fault-drawing RNG stream.
+    pub seed: u64,
+    /// Consecutive aborted loads tolerated per container before the tile
+    /// is quarantined.
+    pub max_retries: u32,
+}
+
+impl FaultConfig {
+    /// Default seed of the fault stream (`--fault-seed` default).
+    pub const DEFAULT_SEED: u64 = 0xDA7E_2008;
+
+    /// A fault configuration at `rate` (clamped to `[0, 1]`, rounded to
+    /// ppm) with the default seed and retry budget.
+    #[must_use]
+    pub fn uniform(rate: f64) -> Self {
+        FaultConfig {
+            rate_ppm: FaultModel::uniform(rate, Self::DEFAULT_SEED).crc_abort_ppm,
+            seed: Self::DEFAULT_SEED,
+            max_retries: RecoveryPolicy::default().max_retries,
+        }
+    }
+}
+
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
@@ -57,6 +90,9 @@ pub struct SimConfig {
     /// Reconfiguration-port bandwidth override in bytes per second
     /// (`None`: the prototype's SelectMAP/ICAP port).
     pub port_bandwidth: Option<u64>,
+    /// Seeded fault injection (RISPP only; the baselines model ideal
+    /// hardware). `None` disables injection entirely.
+    pub fault: Option<FaultConfig>,
 }
 
 impl SimConfig {
@@ -71,6 +107,7 @@ impl SimConfig {
             bucket_cycles: DEFAULT_BUCKET_CYCLES,
             oracle: false,
             port_bandwidth: None,
+            fault: None,
         }
     }
 
@@ -85,6 +122,7 @@ impl SimConfig {
             bucket_cycles: DEFAULT_BUCKET_CYCLES,
             oracle: false,
             port_bandwidth: None,
+            fault: None,
         }
     }
 
@@ -99,6 +137,7 @@ impl SimConfig {
             bucket_cycles: DEFAULT_BUCKET_CYCLES,
             oracle: false,
             port_bandwidth: None,
+            fault: None,
         }
     }
 
@@ -130,6 +169,15 @@ impl SimConfig {
         self
     }
 
+    /// Attaches seeded fault injection (builder style). Only the RISPP
+    /// backend injects faults; a `rate_ppm` of zero is the null model and
+    /// leaves every result bit-identical to `None`.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
     /// Builds the configured execution system over `library`.
     ///
     /// This is the factory behind [`simulate`]: every [`SystemKind`] maps
@@ -146,6 +194,14 @@ impl SimConfig {
                     .forecast(self.forecast);
                 if let Some(bw) = self.port_bandwidth {
                     builder = builder.port_bandwidth(bw);
+                }
+                if let Some(fc) = self.fault {
+                    builder = builder
+                        .fault_model(FaultModel::uniform_ppm(fc.rate_ppm, fc.seed))
+                        .recovery(RecoveryPolicy {
+                            max_retries: fc.max_retries,
+                            ..RecoveryPolicy::default()
+                        });
                 }
                 Box::new(RisppBackend::new(builder.build(), kind).with_oracle(self.oracle))
             }
@@ -184,6 +240,64 @@ fn poll_loads(
     }
 }
 
+/// Checks the backend's self-healing counters and reports any advance as
+/// typed fault events. Fault-free backends never advance a counter, so
+/// this emits nothing and the event stream stays bit-identical to a run
+/// without fault injection.
+fn poll_recovery(
+    system: &dyn ExecutionSystem,
+    seen: &mut RecoveryStats,
+    now: u64,
+    observers: &mut [&mut (dyn SimObserver + '_)],
+) {
+    let cur = system.recovery_stats();
+    if cur == *seen {
+        return;
+    }
+    if cur.faults_injected > seen.faults_injected {
+        emit(
+            observers,
+            SimEvent::FaultInjected {
+                count: cur.faults_injected - seen.faults_injected,
+                total: cur.faults_injected,
+                cycles_lost: cur.fault_cycles_lost,
+                now,
+            },
+        );
+    }
+    if cur.load_retries > seen.load_retries {
+        emit(
+            observers,
+            SimEvent::LoadRetried {
+                count: cur.load_retries - seen.load_retries,
+                total: cur.load_retries,
+                now,
+            },
+        );
+    }
+    if cur.containers_quarantined > seen.containers_quarantined {
+        emit(
+            observers,
+            SimEvent::ContainerQuarantined {
+                count: cur.containers_quarantined - seen.containers_quarantined,
+                total: cur.containers_quarantined,
+                now,
+            },
+        );
+    }
+    if cur.degraded_to_software > seen.degraded_to_software {
+        emit(
+            observers,
+            SimEvent::DegradedToSoftware {
+                count: cur.degraded_to_software - seen.degraded_to_software,
+                total: cur.degraded_to_software,
+                now,
+            },
+        );
+    }
+    *seen = cur;
+}
+
 /// Replays `trace` against an arbitrary [`ExecutionSystem`], emitting the
 /// typed event stream to `observers`.
 ///
@@ -204,6 +318,7 @@ pub fn simulate_with(
 ) {
     let mut now = 0u64;
     let mut loads_seen = 0u64;
+    let mut recovery_seen = RecoveryStats::default();
     for inv in trace.invocations() {
         emit(
             observers,
@@ -219,6 +334,7 @@ pub fn simulate_with(
         // the advanced time even when no segment ever updates `now`.
         now += inv.prologue_cycles;
         poll_loads(system, &mut loads_seen, now, observers);
+        poll_recovery(system, &mut recovery_seen, now, observers);
         for b in &inv.bursts {
             if b.count == 0 {
                 continue;
@@ -237,8 +353,10 @@ pub fn simulate_with(
                 now = seg.start + seg.count * per;
             }
             poll_loads(system, &mut loads_seen, now, observers);
+            poll_recovery(system, &mut recovery_seen, now, observers);
         }
         system.exit_hot_spot(now);
+        poll_recovery(system, &mut recovery_seen, now, observers);
     }
     let (loads, cycles) = system.reconfiguration_stats();
     if loads > loads_seen {
@@ -251,6 +369,7 @@ pub fn simulate_with(
             },
         );
     }
+    poll_recovery(system, &mut recovery_seen, now, observers);
     emit(
         observers,
         SimEvent::RunFinished {

@@ -129,6 +129,35 @@ pub fn event_log_jsonl(events: &[SimEvent]) -> String {
                     r#"{{"event":"load_completed","completed":{completed},"total":{total},"now":{now}}}"#
                 );
             }
+            SimEvent::FaultInjected {
+                count,
+                total,
+                cycles_lost,
+                now,
+            } => {
+                let _ = writeln!(
+                    out,
+                    r#"{{"event":"fault_injected","count":{count},"total":{total},"cycles_lost":{cycles_lost},"now":{now}}}"#
+                );
+            }
+            SimEvent::LoadRetried { count, total, now } => {
+                let _ = writeln!(
+                    out,
+                    r#"{{"event":"load_retried","count":{count},"total":{total},"now":{now}}}"#
+                );
+            }
+            SimEvent::ContainerQuarantined { count, total, now } => {
+                let _ = writeln!(
+                    out,
+                    r#"{{"event":"container_quarantined","count":{count},"total":{total},"now":{now}}}"#
+                );
+            }
+            SimEvent::DegradedToSoftware { count, total, now } => {
+                let _ = writeln!(
+                    out,
+                    r#"{{"event":"degraded_to_software","count":{count},"total":{total},"now":{now}}}"#
+                );
+            }
             SimEvent::RunFinished {
                 total_cycles,
                 reconfigurations,

@@ -65,7 +65,7 @@ mod trace;
 
 pub use backend::{ExecutionSystem, RisppBackend, SoftwareBackend};
 pub use baseline::{molen_select, MolenSystem};
-pub use engine::{simulate, simulate_observed, simulate_with, SimConfig, SystemKind};
+pub use engine::{simulate, simulate_observed, simulate_with, FaultConfig, SimConfig, SystemKind};
 pub use observer::{ProgressObserver, SimEvent, SimObserver, TraceLogObserver};
 pub use stats::{LatencyEvent, RunStats, DEFAULT_BUCKET_CYCLES};
 pub use sweep::{SweepJob, SweepRunner, THREADS_ENV};

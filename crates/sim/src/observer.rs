@@ -45,6 +45,48 @@ pub enum SimEvent {
         /// Replay cycle at which the advance was observed.
         now: u64,
     },
+    /// The backend reported new injected faults (CRC-aborted loads, SEU
+    /// upsets, permanent tile failures) since the previous poll.
+    FaultInjected {
+        /// Faults injected since the previous event.
+        count: u64,
+        /// Cumulative faults injected so far.
+        total: u64,
+        /// Cumulative reconfiguration-port cycles lost to faulted loads.
+        cycles_lost: u64,
+        /// Replay cycle at which the advance was observed.
+        now: u64,
+    },
+    /// The backend's recovery policy re-enqueued loads (abort retries or
+    /// SEU scrub reloads) since the previous poll.
+    LoadRetried {
+        /// Retries issued since the previous event.
+        count: u64,
+        /// Cumulative retries so far.
+        total: u64,
+        /// Replay cycle at which the advance was observed.
+        now: u64,
+    },
+    /// Containers were taken out of service (permanent failures or
+    /// retry-exhausted quarantines) since the previous poll.
+    ContainerQuarantined {
+        /// Containers quarantined since the previous event.
+        count: u64,
+        /// Cumulative containers quarantined so far.
+        total: u64,
+        /// Replay cycle at which the advance was observed.
+        now: u64,
+    },
+    /// Hot-spot re-plans on the shrunken fabric came back with no hardware
+    /// at all, leaving the hot spot on the cISA software path.
+    DegradedToSoftware {
+        /// Degradations since the previous event.
+        count: u64,
+        /// Cumulative degradations so far.
+        total: u64,
+        /// Replay cycle at which the advance was observed.
+        now: u64,
+    },
     /// The trace is fully replayed.
     RunFinished {
         /// Total execution time in cycles.
@@ -92,6 +134,21 @@ impl SimObserver for RunStats {
                 self.total_cycles = total_cycles;
                 self.reconfigurations = reconfigurations;
                 self.reconfiguration_cycles = reconfiguration_cycles;
+            }
+            SimEvent::FaultInjected {
+                total, cycles_lost, ..
+            } => {
+                self.faults_injected = total;
+                self.fault_cycles_lost = cycles_lost;
+            }
+            SimEvent::LoadRetried { total, .. } => {
+                self.load_retries = total;
+            }
+            SimEvent::ContainerQuarantined { total, .. } => {
+                self.containers_quarantined = total;
+            }
+            SimEvent::DegradedToSoftware { total, .. } => {
+                self.degraded_to_software = total;
             }
             SimEvent::HotSpotEntered { .. } | SimEvent::LoadCompleted { .. } => {}
         }

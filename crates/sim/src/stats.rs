@@ -41,6 +41,20 @@ pub struct RunStats {
     pub reconfigurations: u64,
     /// Cycles the reconfiguration port was busy.
     pub reconfiguration_cycles: u64,
+    /// Faults injected by the fabric's fault model (CRC-aborted loads, SEU
+    /// upsets, permanent tile failures). Zero in a fault-free run.
+    pub faults_injected: u64,
+    /// Loads re-enqueued by the recovery policy (abort retries and SEU
+    /// scrub reloads).
+    pub load_retries: u64,
+    /// Containers taken out of service during the run.
+    pub containers_quarantined: u64,
+    /// Hot-spot re-plans that came back with no hardware at all (pure cISA
+    /// degradation on the shrunken fabric).
+    pub degraded_to_software: u64,
+    /// Reconfiguration-port cycles wasted on loads that never became
+    /// usable.
+    pub fault_cycles_lost: u64,
 }
 
 impl RunStats {
@@ -70,6 +84,11 @@ impl RunStats {
             },
             reconfigurations: 0,
             reconfiguration_cycles: 0,
+            faults_injected: 0,
+            load_retries: 0,
+            containers_quarantined: 0,
+            degraded_to_software: 0,
+            fault_cycles_lost: 0,
         }
     }
 

@@ -10,8 +10,9 @@ use rispp_model::{
 };
 use rispp_monitor::HotSpotId;
 use rispp_sim::{
-    simulate, simulate_with, Burst, ExecutionSystem, Invocation, RunStats, SimConfig, SimEvent,
-    SimObserver, SoftwareBackend, SystemKind, Trace, TraceLogObserver, DEFAULT_BUCKET_CYCLES,
+    simulate, simulate_with, Burst, ExecutionSystem, FaultConfig, Invocation, RunStats, SimConfig,
+    SimEvent, SimObserver, SoftwareBackend, SystemKind, Trace, TraceLogObserver,
+    DEFAULT_BUCKET_CYCLES,
 };
 
 fn library() -> SiLibrary {
@@ -290,6 +291,54 @@ fn zero_count_and_empty_invocations_cost_only_their_prologues() {
             config.system.label()
         );
         assert_eq!(stats.total_executions(), 0, "{}", config.system.label());
+    }
+}
+
+#[test]
+fn zero_fault_rate_is_bit_identical_for_every_backend() {
+    // Pin the `fault_rate = 0` contract: attaching the null fault model
+    // must leave results AND the full event stream bit-identical to not
+    // attaching one, for every SystemKind / SchedulerKind pair.
+    let lib = library();
+    let t = trace(4);
+    let null = FaultConfig {
+        rate_ppm: 0,
+        seed: 0xDEAD_BEEF,
+        max_retries: 3,
+    };
+    for config in all_configs() {
+        let plain = simulate(&lib, &t, &config);
+        let faulted_cfg = config.with_fault(null);
+        let faulted = simulate(&lib, &t, &faulted_cfg);
+        assert_eq!(plain, faulted, "{}", config.system.label());
+        assert_eq!(faulted.faults_injected, 0, "{}", config.system.label());
+        assert_eq!(faulted.load_retries, 0, "{}", config.system.label());
+        assert_eq!(
+            faulted.containers_quarantined, 0,
+            "{}",
+            config.system.label()
+        );
+        assert_eq!(faulted.degraded_to_software, 0, "{}", config.system.label());
+        assert_eq!(faulted.fault_cycles_lost, 0, "{}", config.system.label());
+
+        let mut plain_log = TraceLogObserver::new();
+        {
+            let mut system = config.build_system(&lib);
+            let mut observers: [&mut dyn SimObserver; 1] = [&mut plain_log];
+            simulate_with(system.as_mut(), &t, &mut observers);
+        }
+        let mut faulted_log = TraceLogObserver::new();
+        {
+            let mut system = faulted_cfg.build_system(&lib);
+            let mut observers: [&mut dyn SimObserver; 1] = [&mut faulted_log];
+            simulate_with(system.as_mut(), &t, &mut observers);
+        }
+        assert_eq!(
+            plain_log.events(),
+            faulted_log.events(),
+            "{}: event streams must match at fault rate 0",
+            config.system.label()
+        );
     }
 }
 

@@ -1,0 +1,158 @@
+//! Determinism and soundness of fault-injected simulation runs:
+//! identical `(seed, rate, trace)` inputs must yield identical
+//! `RunStats` and event streams, a faulty run must always complete the
+//! full trace (forward progress), and injected faults can never make a
+//! run *faster* than its fault-free twin.
+
+use proptest::prelude::*;
+use rispp_core::SchedulerKind;
+use rispp_model::{AtomTypeInfo, AtomUniverse, Molecule, SiId, SiLibrary, SiLibraryBuilder};
+use rispp_monitor::HotSpotId;
+use rispp_sim::{
+    simulate, simulate_with, Burst, FaultConfig, Invocation, SimConfig, SimObserver, Trace,
+    TraceLogObserver,
+};
+
+/// A library whose full Molecule supremum (3 + 1 + 1 atoms) fits in the
+/// 6-container fabric used below: no evictions ever happen, so a
+/// fault-free run reaches a fixed point where hardware only improves.
+/// This makes the "faults never speed a run up" property sound.
+fn library() -> SiLibrary {
+    let universe = AtomUniverse::from_types([
+        AtomTypeInfo::new("A1"),
+        AtomTypeInfo::new("A2"),
+        AtomTypeInfo::new("A3"),
+    ])
+    .unwrap();
+    let mut b = SiLibraryBuilder::new(universe);
+    b.special_instruction("X", 1_200)
+        .unwrap()
+        .molecule(Molecule::from_counts([1, 0, 0]), 150)
+        .unwrap()
+        .molecule(Molecule::from_counts([2, 1, 0]), 40)
+        .unwrap();
+    b.special_instruction("Y", 900)
+        .unwrap()
+        .molecule(Molecule::from_counts([0, 1, 0]), 80)
+        .unwrap();
+    b.special_instruction("Z", 600)
+        .unwrap()
+        .molecule(Molecule::from_counts([0, 0, 1]), 70)
+        .unwrap();
+    b.build().unwrap()
+}
+
+fn trace(frames: usize) -> Trace {
+    (0..frames)
+        .map(|f| Invocation {
+            hot_spot: HotSpotId((f % 2) as u16),
+            prologue_cycles: 500,
+            bursts: vec![
+                Burst {
+                    si: SiId(0),
+                    count: 300,
+                    overhead: 15,
+                },
+                Burst {
+                    si: SiId(1),
+                    count: 120,
+                    overhead: 15,
+                },
+                Burst {
+                    si: SiId(2),
+                    count: 60,
+                    overhead: 15,
+                },
+            ],
+            hints: vec![(SiId(0), 300), (SiId(1), 120), (SiId(2), 60)],
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Identical (fault seed, rate, trace) → identical `RunStats` and
+    /// identical event streams, for every scheduler.
+    #[test]
+    fn identical_fault_configs_produce_identical_runs(
+        seed in 0u64..u64::MAX,
+        rate_ppm in 0u32..300_000,
+        frames in 1usize..5,
+    ) {
+        let lib = library();
+        let t = trace(frames);
+        for kind in SchedulerKind::ALL {
+            let config = SimConfig::rispp(6, kind).with_fault(FaultConfig {
+                rate_ppm,
+                seed,
+                max_retries: 3,
+            });
+            let a = simulate(&lib, &t, &config);
+            let b = simulate(&lib, &t, &config);
+            prop_assert_eq!(&a, &b, "{}: RunStats must be reproducible", kind);
+
+            let mut log_a = TraceLogObserver::new();
+            {
+                let mut system = config.build_system(&lib);
+                let mut obs: [&mut dyn SimObserver; 1] = [&mut log_a];
+                simulate_with(system.as_mut(), &t, &mut obs);
+            }
+            let mut log_b = TraceLogObserver::new();
+            {
+                let mut system = config.build_system(&lib);
+                let mut obs: [&mut dyn SimObserver; 1] = [&mut log_b];
+                simulate_with(system.as_mut(), &t, &mut obs);
+            }
+            prop_assert_eq!(log_a.events(), log_b.events(), "{}: event streams", kind);
+        }
+    }
+
+    /// Forward progress and the speedup bound: a faulty run always
+    /// completes every trace execution, and never finishes in fewer
+    /// cycles than its fault-free twin (faults can only cost time).
+    #[test]
+    fn faults_never_speed_a_run_up(
+        seed in 0u64..u64::MAX,
+        rate_ppm in 1u32..400_000,
+        frames in 1usize..5,
+    ) {
+        let lib = library();
+        let t = trace(frames);
+        for kind in SchedulerKind::ALL {
+            let clean = simulate(&lib, &t, &SimConfig::rispp(6, kind));
+            let faulty = simulate(
+                &lib,
+                &t,
+                &SimConfig::rispp(6, kind).with_fault(FaultConfig {
+                    rate_ppm,
+                    seed,
+                    max_retries: 3,
+                }),
+            );
+            // Forward progress: the whole trace executed despite faults.
+            prop_assert_eq!(
+                faulty.total_executions(),
+                t.total_si_executions(),
+                "{}: executions dropped under faults",
+                kind
+            );
+            prop_assert!(
+                faulty.total_cycles >= clean.total_cycles,
+                "{}: faulty run reported MORE speedup ({} cycles) than the \
+                 fault-free run ({} cycles)",
+                kind,
+                faulty.total_cycles,
+                clean.total_cycles
+            );
+            // And it can never be slower than pure software either: the
+            // manager only picks hardware that beats the trap latency.
+            let software = simulate(&lib, &t, &SimConfig::software_only());
+            prop_assert!(
+                faulty.total_cycles <= software.total_cycles,
+                "{}: degradation fell below the software floor",
+                kind
+            );
+        }
+    }
+}

@@ -5,7 +5,9 @@
 use rispp_core::SchedulerKind;
 use rispp_model::{AtomTypeInfo, AtomUniverse, Molecule, SiId, SiLibrary, SiLibraryBuilder};
 use rispp_monitor::HotSpotId;
-use rispp_sim::{simulate, Burst, Invocation, RunStats, SimConfig, SweepJob, SweepRunner, Trace};
+use rispp_sim::{
+    simulate, Burst, FaultConfig, Invocation, RunStats, SimConfig, SweepJob, SweepRunner, Trace,
+};
 
 fn library() -> SiLibrary {
     let universe = AtomUniverse::from_types([
@@ -65,7 +67,9 @@ fn trace(frames: usize) -> Trace {
 
 /// All jobs of the test matrix over the two traces: every scheduler plus
 /// the Molen and software baselines, with detail enabled on half the jobs
-/// so bucket/timeline collection is covered too.
+/// so bucket/timeline collection is covered too. Two fault-injected HEF
+/// jobs (different seeds) pin the per-fabric RNG streams: fault draws
+/// must be a function of the job, never of worker scheduling.
 fn jobs<'t>(small: &'t Trace, large: &'t Trace) -> Vec<SweepJob<'t>> {
     let mut jobs = Vec::new();
     for trace in [small, large] {
@@ -75,6 +79,14 @@ fn jobs<'t>(small: &'t Trace, large: &'t Trace) -> Vec<SweepJob<'t>> {
         }
         jobs.push(SweepJob::new(SimConfig::molen(4), trace));
         jobs.push(SweepJob::new(SimConfig::software_only(), trace));
+        for seed in [7u64, 0xDA7E_2008] {
+            let faulted = SimConfig::rispp(4, SchedulerKind::Hef).with_fault(FaultConfig {
+                rate_ppm: 120_000,
+                seed,
+                max_retries: 3,
+            });
+            jobs.push(SweepJob::new(faulted, trace));
+        }
     }
     jobs
 }

@@ -14,6 +14,20 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> fault-sweep smoke (rispp-cli resilience)"
+# Seeded so the run provably exercises the whole recovery path: the CSV row
+# must show injected faults AND quarantined containers, and the run must
+# still complete (exit 0 = forward progress via the cISA fallback).
+smoke=$(./target/release/rispp-cli resilience --frames 2 --fault-rate 0.05 \
+        --fault-seed 1 --csv | tail -1)
+echo "    $smoke"
+faults=$(echo "$smoke" | cut -d, -f4)
+quarantined=$(echo "$smoke" | cut -d, -f6)
+if [ "${faults:-0}" -eq 0 ] || [ "${quarantined:-0}" -eq 0 ]; then
+  echo "ci: resilience smoke failed — expected nonzero faults and quarantines, got $smoke" >&2
+  exit 1
+fi
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
