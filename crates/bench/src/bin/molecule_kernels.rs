@@ -1,0 +1,170 @@
+//! Micro-benchmarks the word-packed (SWAR) [`Molecule`] kernels against
+//! the scalar reference implementation in [`rispp_model::scalar`].
+//!
+//! Times `union`, `residual` and `total_atoms` at arities 4/8/16/32 (the
+//! inline small-buffer range) and reports per-op nanoseconds for both
+//! paths. With `--json` the results are written as a machine-readable
+//! record (default `BENCH_kernels.json`) so CI and the README can track
+//! kernel-level speedups separately from end-to-end sweep throughput.
+//!
+//! Usage: `molecule_kernels [iterations] [--json [PATH]]`
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use rispp_model::{scalar, Molecule};
+
+/// Deterministic xorshift so every run benches identical inputs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Atom counts in `0..48`, the realistic per-SI demand range.
+    fn counts(&mut self, arity: usize) -> Vec<u16> {
+        (0..arity).map(|_| (self.next() % 48) as u16).collect()
+    }
+}
+
+/// Times `f` over `iters` iterations (after a 10% warmup) and returns
+/// nanoseconds per call.
+fn bench_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let started = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    started.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+struct Record {
+    op: &'static str,
+    arity: usize,
+    scalar_ns: f64,
+    swar_ns: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iters: u32 = 200_000;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--json" {
+            let path = args.get(i + 1).filter(|a| !a.starts_with("--")).cloned();
+            if path.is_some() {
+                i += 1;
+            }
+            json_path = Some(path.unwrap_or_else(|| "BENCH_kernels.json".to_string()));
+        } else if let Ok(n) = args[i].parse() {
+            iters = n;
+        } else {
+            eprintln!("usage: molecule_kernels [iterations] [--json [PATH]]");
+            std::process::exit(2);
+        }
+        i += 1;
+    }
+
+    let mut rng = Rng(0x5eed_cafe_f00d_d00d);
+    let mut records = Vec::new();
+    println!("{:<14} {:>6} {:>12} {:>12} {:>9}", "op", "arity", "scalar_ns", "swar_ns", "speedup");
+    for &arity in &[4usize, 8, 16, 32] {
+        let a = rng.counts(arity);
+        let b = rng.counts(arity);
+        let ma = Molecule::from_counts(a.iter().copied());
+        let mb = Molecule::from_counts(b.iter().copied());
+
+        let ops: [(&'static str, f64, f64); 5] = [
+            (
+                "union",
+                bench_ns(iters, || {
+                    black_box(scalar::union(black_box(&a), black_box(&b)));
+                }),
+                bench_ns(iters, || {
+                    black_box(black_box(&ma).union(black_box(&mb)));
+                }),
+            ),
+            (
+                "residual",
+                bench_ns(iters, || {
+                    black_box(scalar::residual(black_box(&a), black_box(&b)));
+                }),
+                bench_ns(iters, || {
+                    black_box(black_box(&ma).residual(black_box(&mb)));
+                }),
+            ),
+            (
+                "total_atoms",
+                bench_ns(iters, || {
+                    black_box(scalar::total_atoms(black_box(&a)));
+                }),
+                bench_ns(iters, || {
+                    black_box(black_box(&ma).total_atoms());
+                }),
+            ),
+            // The fused reductions are what the selector/scheduler hot
+            // paths actually call per candidate — no result molecule is
+            // materialised on either side.
+            (
+                "union_atoms",
+                bench_ns(iters, || {
+                    black_box(scalar::union_atoms(black_box(&a), black_box(&b)));
+                }),
+                bench_ns(iters, || {
+                    black_box(black_box(&ma).union_atoms(black_box(&mb)));
+                }),
+            ),
+            (
+                "residual_atoms",
+                bench_ns(iters, || {
+                    black_box(scalar::residual_atoms(black_box(&a), black_box(&b)));
+                }),
+                bench_ns(iters, || {
+                    black_box(black_box(&ma).residual_atoms(black_box(&mb)));
+                }),
+            ),
+        ];
+        for (op, scalar_ns, swar_ns) in ops {
+            println!(
+                "{op:<14} {arity:>6} {scalar_ns:>12.2} {swar_ns:>12.2} {:>8.2}x",
+                scalar_ns / swar_ns.max(1e-9)
+            );
+            records.push(Record {
+                op,
+                arity,
+                scalar_ns,
+                swar_ns,
+            });
+        }
+    }
+
+    if let Some(path) = json_path {
+        let mut body = String::new();
+        for (i, r) in records.iter().enumerate() {
+            if i > 0 {
+                body.push_str(",\n");
+            }
+            body.push_str(&format!(
+                "    {{\"op\": \"{}\", \"arity\": {}, \"scalar_ns\": {:.2}, \"swar_ns\": {:.2}}}",
+                r.op, r.arity, r.scalar_ns, r.swar_ns
+            ));
+        }
+        let json = format!(
+            "{{\n  \"benchmark\": \"molecule_kernels\",\n  \"iterations\": {iters},\n  \"results\": [\n{body}\n  ]\n}}\n"
+        );
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Phase profiler: splits one fig7-style run into time spent in
+//! `enter_hot_spot` (selection + scheduling) vs `execute_burst` (fabric
+//! stepping) vs engine overhead, by wrapping the backend in a timing
+//! shim. Wall-clock based — use it to find which phase to optimise, not
+//! for absolute numbers. `gprofng`-class profilers are unreliable in
+//! this container; this binary is the substitute.
+
+use std::borrow::Cow;
+use std::time::{Duration, Instant};
+
+use rispp_bench::experiments::quick_workload;
+use rispp_core::{BurstSegment, SchedulerKind};
+use rispp_model::SiId;
+use rispp_sim::{simulate_with, ExecutionSystem, SimConfig};
+
+struct Timed<'a> {
+    inner: Box<dyn ExecutionSystem + 'a>,
+    enter: Duration,
+    burst: Duration,
+    exit: Duration,
+    calls: u64,
+    segments: u64,
+    enters: u64,
+}
+
+impl ExecutionSystem for Timed<'_> {
+    fn label(&self) -> Cow<'static, str> {
+        self.inner.label()
+    }
+    fn enter_hot_spot(&mut self, invocation: &rispp_sim::Invocation, now: u64) {
+        let t = Instant::now();
+        self.inner.enter_hot_spot(invocation, now);
+        self.enter += t.elapsed();
+        self.enters += 1;
+    }
+    fn execute_burst(
+        &mut self,
+        si: SiId,
+        count: u32,
+        overhead: u32,
+        start: u64,
+    ) -> Vec<BurstSegment> {
+        let t = Instant::now();
+        let r = self.inner.execute_burst(si, count, overhead, start);
+        self.burst += t.elapsed();
+        self.calls += 1;
+        self.segments += r.len() as u64;
+        r
+    }
+    fn exit_hot_spot(&mut self, now: u64) {
+        let t = Instant::now();
+        self.inner.exit_hot_spot(now);
+        self.exit += t.elapsed();
+    }
+    fn reconfiguration_stats(&self) -> (u64, u64) {
+        self.inner.reconfiguration_stats()
+    }
+}
+
+fn main() {
+    let frames: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40);
+    let workload = quick_workload(frames);
+    let trace = workload.trace();
+    let library = rispp_h264::h264_si_library();
+
+    for kind in SchedulerKind::ALL {
+        let mut enter = Duration::ZERO;
+        let mut burst = Duration::ZERO;
+        let mut exit = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for ac in 5..=24u16 {
+            let config = SimConfig::rispp(ac, kind);
+            let mut sys = Timed {
+                inner: config.build_system(&library),
+                enter: Duration::ZERO,
+                burst: Duration::ZERO,
+                exit: Duration::ZERO,
+                calls: 0,
+                segments: 0,
+                enters: 0,
+            };
+            let t = Instant::now();
+            simulate_with(&mut sys, trace, &mut []);
+            total += t.elapsed();
+            enter += sys.enter;
+            burst += sys.burst;
+            exit += sys.exit;
+            if ac == 20 {
+                eprintln!("  ac=20 {}: {} enters, {} bursts, {} segments", kind.abbreviation(), sys.enters, sys.calls, sys.segments);
+            }
+        }
+        println!(
+            "{:5} total {:8.1}ms  enter {:8.1}ms ({:4.1}%)  burst {:8.1}ms ({:4.1}%)  exit {:6.1}ms  engine {:6.1}ms",
+            kind.abbreviation(),
+            total.as_secs_f64() * 1e3,
+            enter.as_secs_f64() * 1e3,
+            enter.as_secs_f64() / total.as_secs_f64() * 100.0,
+            burst.as_secs_f64() * 1e3,
+            burst.as_secs_f64() / total.as_secs_f64() * 100.0,
+            exit.as_secs_f64() * 1e3,
+            (total - enter - burst - exit).as_secs_f64() * 1e3,
+        );
+    }
+    // Molen baseline for reference.
+    let mut total = Duration::ZERO;
+    for ac in 5..=24u16 {
+        let config = SimConfig::molen(ac);
+        let mut sys = config.build_system(&library);
+        let t = Instant::now();
+        simulate_with(sys.as_mut(), trace, &mut []);
+        total += t.elapsed();
+    }
+    println!("Molen total {:8.1}ms", total.as_secs_f64() * 1e3);
+}

@@ -50,7 +50,7 @@ impl AtomScheduler for AsfScheduler {
                 .iter()
                 .enumerate()
                 .filter(|(_, c)| c.si == sel.si)
-                .min_by_key(|(_, c)| (ctx.additional_atoms(c), c.latency))
+                .min_by_key(|&(i, c)| (ctx.add_atoms(i), c.latency))
                 .map(|(i, _)| i);
             if let Some(i) = smallest {
                 ctx.commit(i);

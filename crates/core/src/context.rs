@@ -1,5 +1,3 @@
-use std::cmp::Ordering;
-
 use rispp_model::{AtomTypeId, Molecule, SiId};
 
 use crate::types::{Schedule, ScheduleRequest, ScheduleStep, SelectedMolecule};
@@ -34,6 +32,9 @@ pub struct UpgradeBuffers {
     candidates: Vec<Candidate>,
     best_latency: Vec<u32>,
     steps: Vec<ScheduleStep>,
+    add_atoms: Vec<u32>,
+    improvement: Vec<u32>,
+    changed: Vec<(usize, u16, u16)>,
 }
 
 impl UpgradeBuffers {
@@ -56,6 +57,19 @@ impl UpgradeBuffers {
 /// schedulers: the candidate set `M′` (eq. 3), the cleaning rule (eq. 4),
 /// and the commit step that appends the residual Atoms of a chosen
 /// candidate to the schedule.
+///
+/// # Incremental candidate scores
+///
+/// The context maintains, in lockstep with `candidates`, the two scores the
+/// scheduler inner loops rank by: `add_atoms[i] = |a⃗ ⊖ oᵢ|` (additionally
+/// required atoms) and `improvement[i] = bestLatency[SI(oᵢ)] − latency(oᵢ)`
+/// (saturating). The caches are keyed by [`generation`](Self::generation):
+/// every commit bumps the generation and *incrementally* re-scores only
+/// what the commit touched — `add_atoms` by the delta over the components
+/// of `a⃗` that actually changed, `improvement` only for candidates of the
+/// committed SI — instead of a full rescan per round. Debug builds verify
+/// the caches against freshly computed scores on every
+/// [`clean`](Self::clean).
 #[derive(Debug)]
 pub struct UpgradeContext<'a, 'lib> {
     request: &'a ScheduleRequest<'lib>,
@@ -66,6 +80,15 @@ pub struct UpgradeContext<'a, 'lib> {
     best_latency: Vec<u32>,
     candidates: Vec<Candidate>,
     steps: Vec<ScheduleStep>,
+    /// Cached `|a⃗ ⊖ oᵢ|` per candidate (parallel to `candidates`).
+    add_atoms: Vec<u32>,
+    /// Cached `bestLatency[SI(oᵢ)] ⊖ latency(oᵢ)` per candidate.
+    improvement: Vec<u32>,
+    /// Scratch: `(component, old, new)` of `a⃗` changed by the last commit.
+    changed: Vec<(usize, u16, u16)>,
+    /// Availability generation: bumped by every commit that the score
+    /// caches were re-keyed to.
+    generation: u64,
 }
 
 impl<'a, 'lib> UpgradeContext<'a, 'lib> {
@@ -74,7 +97,7 @@ impl<'a, 'lib> UpgradeContext<'a, 'lib> {
     /// lines 1–9).
     #[must_use]
     pub fn new(request: &'a ScheduleRequest<'lib>) -> Self {
-        Self::init(request, Vec::new(), Vec::new(), Vec::new())
+        Self::init(request, &mut UpgradeBuffers::new())
     }
 
     /// Like [`UpgradeContext::new`], but borrows the vectors inside
@@ -82,20 +105,16 @@ impl<'a, 'lib> UpgradeContext<'a, 'lib> {
     /// [`UpgradeContext::into_schedule`] to return them.
     #[must_use]
     pub fn from_buffers(request: &'a ScheduleRequest<'lib>, buffers: &mut UpgradeBuffers) -> Self {
-        Self::init(
-            request,
-            std::mem::take(&mut buffers.best_latency),
-            std::mem::take(&mut buffers.candidates),
-            std::mem::take(&mut buffers.steps),
-        )
+        Self::init(request, buffers)
     }
 
-    fn init(
-        request: &'a ScheduleRequest<'lib>,
-        mut best_latency: Vec<u32>,
-        mut candidates: Vec<Candidate>,
-        mut steps: Vec<ScheduleStep>,
-    ) -> Self {
+    fn init(request: &'a ScheduleRequest<'lib>, buffers: &mut UpgradeBuffers) -> Self {
+        let mut best_latency = std::mem::take(&mut buffers.best_latency);
+        let mut candidates = std::mem::take(&mut buffers.candidates);
+        let mut steps = std::mem::take(&mut buffers.steps);
+        let mut add_atoms = std::mem::take(&mut buffers.add_atoms);
+        let mut improvement = std::mem::take(&mut buffers.improvement);
+        let mut changed = std::mem::take(&mut buffers.changed);
         let library = request.library();
         let sup = request.supremum();
         let available = request.available();
@@ -124,12 +143,25 @@ impl<'a, 'lib> UpgradeContext<'a, 'lib> {
         candidates.sort_by_key(|c| (c.si, c.variant_index));
         steps.clear();
 
+        // Initial score caches (generation 0); commits keep them current.
+        add_atoms.clear();
+        improvement.clear();
+        for c in &candidates {
+            add_atoms.push(available.residual_atoms(&c.atoms));
+            improvement.push(best_latency[c.si.index()].saturating_sub(c.latency));
+        }
+        changed.clear();
+
         UpgradeContext {
             request,
             scheduled: available.clone(),
             best_latency,
             candidates,
             steps,
+            add_atoms,
+            improvement,
+            changed,
+            generation: 0,
         }
     }
 
@@ -154,25 +186,81 @@ impl<'a, 'lib> UpgradeContext<'a, 'lib> {
     /// Applies the cleaning rule of eq. (4): drops candidates that are
     /// already available/scheduled (`m ≤ a⃗`) or that do not improve on the
     /// SI's current best latency. Returns the remaining candidates.
+    ///
+    /// Runs entirely on the incremental score caches: `m ≤ a⃗` (in the
+    /// partial lattice order — incomparable candidates survive) is exactly
+    /// `|a⃗ ⊖ m| = 0`, and "does not improve" is exactly a zero cached
+    /// improvement, so no lattice operation is re-evaluated here.
     pub fn clean(&mut self) -> &[Candidate] {
-        // Split borrows so `retain` can read `scheduled`/`best_latency`
-        // while draining `candidates` — no per-round clone of `a⃗`.
-        let UpgradeContext {
-            scheduled,
-            best_latency,
-            candidates,
-            ..
-        } = self;
-        // `partial_cmp` spells out that the lattice order is partial: a
-        // candidate survives when it is *not* dominated by `scheduled`,
-        // which includes the incomparable case.
-        candidates.retain(|c| {
-            !matches!(
-                c.atoms.partial_cmp(scheduled),
-                Some(Ordering::Less | Ordering::Equal)
-            ) && c.latency < best_latency[c.si.index()]
-        });
+        self.debug_validate_caches();
+        // Order-preserving compaction of the candidate list and its two
+        // parallel score caches in lockstep.
+        let mut write = 0;
+        for read in 0..self.candidates.len() {
+            if self.add_atoms[read] > 0 && self.improvement[read] > 0 {
+                self.candidates.swap(write, read);
+                self.add_atoms.swap(write, read);
+                self.improvement.swap(write, read);
+                write += 1;
+            }
+        }
+        self.candidates.truncate(write);
+        self.add_atoms.truncate(write);
+        self.improvement.truncate(write);
         &self.candidates
+    }
+
+    /// Verifies the incremental score caches against freshly computed
+    /// values (debug builds only): every test run proves the cached scores
+    /// bit-identical to a full rescan.
+    #[inline]
+    fn debug_validate_caches(&self) {
+        if cfg!(debug_assertions) {
+            for (i, c) in self.candidates.iter().enumerate() {
+                debug_assert_eq!(
+                    self.add_atoms[i],
+                    self.scheduled.residual_atoms(&c.atoms),
+                    "stale add_atoms cache at generation {}",
+                    self.generation
+                );
+                debug_assert_eq!(
+                    self.improvement[i],
+                    self.best_latency[c.si.index()].saturating_sub(c.latency),
+                    "stale improvement cache at generation {}",
+                    self.generation
+                );
+            }
+        }
+    }
+
+    /// The availability generation the score caches are keyed to: bumped on
+    /// every commit (each commit changes `a⃗` and/or a best latency).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Cached `|a⃗ ⊖ oᵢ|` of the candidate at `index`: the additional atoms
+    /// it needs, maintained incrementally across commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn add_atoms(&self, index: usize) -> u32 {
+        self.add_atoms[index]
+    }
+
+    /// Cached latency improvement of the candidate at `index` over its SI's
+    /// current best latency (saturating at zero), maintained incrementally
+    /// across commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn improvement(&self, index: usize) -> u32 {
+        self.improvement[index]
     }
 
     /// The candidate list without cleaning (test/diagnostic use).
@@ -197,28 +285,60 @@ impl<'a, 'lib> UpgradeContext<'a, 'lib> {
     /// Panics if `index` is out of range.
     pub fn commit(&mut self, index: usize) {
         let candidate = self.candidates.remove(index);
+        self.add_atoms.remove(index);
+        self.improvement.remove(index);
         self.commit_molecule(candidate.si, candidate.variant_index, &candidate.atoms, candidate.latency);
     }
 
     fn commit_molecule(&mut self, si: SiId, variant_index: usize, atoms: &Molecule, latency: u32) {
-        let residual = self.scheduled.residual(atoms);
-        let units = residual.to_unit_indices();
-        let arity = self.scheduled.arity();
-        for (i, unit) in units.iter().enumerate() {
-            self.steps.push(ScheduleStep {
-                atom: AtomTypeId(*unit as u16),
-                completes: (i + 1 == units.len()).then_some((si, variant_index)),
-            });
+        // Walk the residual a⃗ ⊖ atoms component by component: emit the
+        // schedule steps, update a⃗ in place and record which components
+        // changed — no residual/union Molecule and no unit-index list is
+        // materialised on this (per-hot-spot-entry) path.
+        self.changed.clear();
+        let mut remaining = self.scheduled.residual_atoms(atoms);
+        for (i, &want) in atoms.counts().iter().enumerate() {
+            let have = self.scheduled.count(i);
+            let missing = want.saturating_sub(have);
+            if missing == 0 {
+                continue;
+            }
+            for _ in 0..missing {
+                remaining -= 1;
+                self.steps.push(ScheduleStep {
+                    atom: AtomTypeId(i as u16),
+                    completes: (remaining == 0).then_some((si, variant_index)),
+                });
+            }
+            // a⃗ ← a⃗ ∪ atoms at this component (have + missing = want).
+            self.scheduled.set_count(i, want);
+            self.changed.push((i, have, want));
         }
-        if units.is_empty() {
-            // Molecule already covered; it still becomes the SI's best if
-            // faster (can happen when a larger molecule of another SI
-            // supplied the atoms).
-        }
-        let _ = arity;
-        self.scheduled = self.scheduled.union(atoms);
         let best = &mut self.best_latency[si.index()];
-        *best = (*best).min(latency);
+        let new_best = (*best).min(latency);
+        let best_changed = new_best != *best;
+        *best = new_best;
+
+        // Re-key the score caches to the new availability generation by
+        // re-scoring only what this commit touched: the changed components
+        // of a⃗ (add_atoms deltas) and the committed SI (improvement).
+        self.generation += 1;
+        let changed = std::mem::take(&mut self.changed);
+        for (idx, c) in self.candidates.iter().enumerate() {
+            let mut shrink = 0u32;
+            for &(i, old, new) in &changed {
+                let need = c.atoms.count(i);
+                // The component grew old → new, so the candidate's missing
+                // count at it shrinks by (need−old)⁺ − (need−new)⁺.
+                shrink +=
+                    u32::from(need.saturating_sub(old)) - u32::from(need.saturating_sub(new));
+            }
+            self.add_atoms[idx] -= shrink;
+            if best_changed && c.si == si {
+                self.improvement[idx] = new_best.saturating_sub(c.latency);
+            }
+        }
+        self.changed = changed;
     }
 
     /// Commits a Molecule that is not (or no longer) in the candidate list,
@@ -243,16 +363,14 @@ impl<'a, 'lib> UpgradeContext<'a, 'lib> {
         // the library needs no clone while `commit_molecule` mutates `self`.
         let request = self.request;
         loop {
+            // `is_subset` is the one-directional `≤` test: a selected
+            // molecule still missing is exactly one *not* dominated by `a⃗`
+            // (incomparable included).
             let next = request
                 .selected()
                 .iter()
                 .copied()
-                .filter(|&sel| {
-                    !matches!(
-                        request.molecule(sel).partial_cmp(&self.scheduled),
-                        Some(Ordering::Less | Ordering::Equal)
-                    )
-                })
+                .filter(|&sel| !request.molecule(sel).is_subset(&self.scheduled))
                 .min_by_key(|&sel| self.scheduled.residual_atoms(request.molecule(sel)));
             let Some(sel) = next else {
                 break;
@@ -281,12 +399,21 @@ impl<'a, 'lib> UpgradeContext<'a, 'lib> {
             mut best_latency,
             mut candidates,
             steps,
+            mut add_atoms,
+            mut improvement,
+            mut changed,
             ..
         } = self;
         candidates.clear();
         best_latency.clear();
+        add_atoms.clear();
+        improvement.clear();
+        changed.clear();
         buffers.candidates = candidates;
         buffers.best_latency = best_latency;
+        buffers.add_atoms = add_atoms;
+        buffers.improvement = improvement;
+        buffers.changed = changed;
         Schedule::from_steps(steps)
     }
 

@@ -39,7 +39,7 @@ pub(crate) fn upgrade_si_to_selected(
     sel: SelectedMolecule,
 ) {
     loop {
-        if request.molecule(sel) <= ctx.scheduled_atoms() {
+        if request.molecule(sel).is_subset(ctx.scheduled_atoms()) {
             return;
         }
         ctx.clean();
@@ -48,7 +48,7 @@ pub(crate) fn upgrade_si_to_selected(
             .iter()
             .enumerate()
             .filter(|(_, c)| c.si == sel.si)
-            .min_by_key(|(_, c)| (ctx.additional_atoms(c), c.latency))
+            .min_by_key(|&(i, c)| (ctx.add_atoms(i), c.latency))
             .map(|(i, _)| i);
         match next {
             Some(i) => ctx.commit(i),

@@ -42,14 +42,18 @@ impl AtomScheduler for HefScheduler {
             // (finish() completes them for condition (2) afterwards).
             let mut best: Option<(usize, u64, u64)> = None; // (index, gain, cost)
             for (i, c) in ctx.candidates().iter().enumerate() {
-                let cost = u64::from(ctx.additional_atoms(c));
+                let cost = u64::from(ctx.add_atoms(i));
                 debug_assert!(cost > 0, "cleaning must remove available candidates");
-                let gain = request.expected(c.si)
-                    * u64::from(ctx.best_latency(c.si).saturating_sub(c.latency));
+                let gain = request.expected(c.si) * u64::from(ctx.improvement(i));
                 let better = match best {
                     None => gain > 0,
-                    // (gain/cost) > (best_gain/best_cost) without division.
-                    Some((_, bg, bc)) => gain.saturating_mul(bc) > bg.saturating_mul(cost),
+                    // (gain/cost) > (best_gain/best_cost) without division;
+                    // the cross products of two u64s need (and always fit)
+                    // u128 — saturating u64 multiplies could collapse both
+                    // sides to u64::MAX and mis-order near-overflow gains.
+                    Some((_, bg, bc)) => {
+                        u128::from(gain) * u128::from(bc) > u128::from(bg) * u128::from(cost)
+                    }
                 };
                 if better {
                     best = Some((i, gain, cost));
@@ -190,6 +194,43 @@ mod tests {
                         let exact = (g1 as f64 / c1 as f64) > (g2 as f64 / c2 as f64);
                         let crossed = g1 * c2 > g2 * c1;
                         assert_eq!(exact, crossed);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn division_free_comparison_is_exact_near_u64_max() {
+        // Cross products of u64 operands always fit u128, so the widened
+        // comparison is exact where the old `saturating_mul` form collapsed
+        // both sides to u64::MAX and reported "not better".
+        let cross = |g1: u64, c1: u64, g2: u64, c2: u64| {
+            u128::from(g1) * u128::from(c2) > u128::from(g2) * u128::from(c1)
+        };
+        // g1/c1 = u64::MAX/2 < g2/c2 = u64::MAX/2 + 1, yet both saturated
+        // cross products equal u64::MAX (2·(MAX/2+1) and 1·MAX overflow or
+        // saturate identically under u64 saturating_mul).
+        let (g1, c1) = (u64::MAX, 2);
+        let (g2, c2) = (u64::MAX / 2 + 1, 1);
+        assert!(g1.saturating_mul(c2) == g2.saturating_mul(c1)); // old: tie
+        assert!(!cross(g1, c1, g2, c2) && cross(g2, c2, g1, c1)); // exact
+        // Boundary grid around the extremes stays consistent with the
+        // rational order g/c evaluated independently by long division:
+        // compare integer quotients first, then the remainders (again as
+        // exact fractions r/c, recursing once suffices since r < c).
+        let rational_gt = |g1: u64, c1: u64, g2: u64, c2: u64| {
+            let (q1, r1) = (g1 / c1, g1 % c1);
+            let (q2, r2) = (g2 / c2, g2 % c2);
+            q1 > q2
+                || (q1 == q2 && u128::from(r1) * u128::from(c2) > u128::from(r2) * u128::from(c1))
+        };
+        let interesting = [1u64, 2, 3, u64::MAX / 2, u64::MAX / 2 + 1, u64::MAX - 1, u64::MAX];
+        for &g1 in &interesting {
+            for &c1 in &[1u64, 2, 3, u64::MAX] {
+                for &g2 in &interesting {
+                    for &c2 in &[1u64, 2, 3, u64::MAX] {
+                        assert_eq!(cross(g1, c1, g2, c2), rational_gt(g1, c1, g2, c2));
                     }
                 }
             }

@@ -110,6 +110,11 @@ pub struct RunTimeManager<'a> {
     current_hot_spot: Option<HotSpotId>,
     selected: Vec<SelectedMolecule>,
     best_cache: Vec<BestVariantCache>,
+    /// Per-SI, per-variant [`Molecule::nonzero_mask`] of the variant's
+    /// atoms, so burst execution marks LRU usage from one precomputed word.
+    /// Empty when the universe is wider than 64 types (falls back to the
+    /// count-slice path).
+    used_masks: Vec<Vec<u64>>,
     demand_buf: Vec<(SiId, u64)>,
     expected_buf: Vec<u64>,
     sched_buffers: UpgradeBuffers,
@@ -424,6 +429,7 @@ impl<'a> RunTimeManager<'a> {
     /// # Panics
     ///
     /// Panics if `si` is outside the library.
+    #[must_use]
     pub fn execute_burst(
         &mut self,
         si: SiId,
@@ -431,24 +437,58 @@ impl<'a> RunTimeManager<'a> {
         overhead: u32,
         start: u64,
     ) -> Vec<BurstSegment> {
+        let mut segments = Vec::new();
+        self.execute_burst_into(si, count, overhead, start, &mut segments);
+        segments
+    }
+
+    /// Allocation-free variant of [`RunTimeManager::execute_burst`]: clears
+    /// `segments` and writes the burst's segments into it, so a caller
+    /// looping over many bursts can reuse one buffer instead of allocating
+    /// a `Vec` per burst (the single hottest line of a trace replay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `si` is outside the library.
+    pub fn execute_burst_into(
+        &mut self,
+        si: SiId,
+        count: u32,
+        overhead: u32,
+        start: u64,
+        segments: &mut Vec<BurstSegment>,
+    ) {
+        segments.clear();
         let lib = self.library;
         let def = lib.si(si).expect("si within library");
-        let mut segments = Vec::new();
         let mut t = start;
         let mut remaining = u64::from(count);
         while remaining > 0 {
-            self.sync_fabric(t);
-            let (latency, variant_index, atoms) = match self.best_available_variant(si) {
-                Some((idx, latency)) if latency < def.software_latency() => {
-                    (latency, Some(idx), Some(&def.variants()[idx].atoms))
+            // One event scan per segment: process due events (rare), or
+            // just land the clock on `t` and reuse the scan's result as
+            // the segment-splitting horizon.
+            let next_event = match self.fabric.next_event_at() {
+                Some(event) if event <= t => {
+                    self.sync_fabric(t);
+                    self.fabric.next_event_at()
                 }
-                _ => (def.software_latency(), None, None),
+                other => {
+                    self.fabric.advance_clock(t);
+                    other
+                }
             };
-            if let Some(atoms) = atoms {
-                self.fabric.mark_used(atoms, t);
+            let (latency, variant_index) = match self.best_available_variant(si) {
+                Some((idx, latency)) if latency < def.software_latency() => (latency, Some(idx)),
+                _ => (def.software_latency(), None),
+            };
+            if let Some(idx) = variant_index {
+                match self.used_masks.get(si.index()).and_then(|m| m.get(idx)) {
+                    Some(&mask) => self.fabric.mark_used_types(mask, t),
+                    None => self.fabric.mark_used(&def.variants()[idx].atoms, t),
+                }
             }
             let per = u64::from(latency) + u64::from(overhead);
-            let n = match self.fabric.next_event_at() {
+            let n = match next_event {
                 Some(event) if event > t => {
                     let until_event = (event - t).div_ceil(per);
                     until_event.min(remaining)
@@ -465,7 +505,6 @@ impl<'a> RunTimeManager<'a> {
         if let Some(hs) = self.current_hot_spot {
             self.monitor.record_executions(hs, si, u64::from(count));
         }
-        segments
     }
 
     /// Leaves the current hot spot, folding measured execution counts into
@@ -606,6 +645,21 @@ impl<'a> RunTimeManagerBuilder<'a> {
             current_hot_spot: None,
             selected: Vec::new(),
             best_cache: vec![BestVariantCache::default(); self.library.len()],
+            used_masks: if self.library.arity() <= 64 {
+                (0..self.library.len())
+                    .map(|i| {
+                        self.library
+                            .si(SiId(i as u16))
+                            .expect("index within library")
+                            .variants()
+                            .iter()
+                            .map(|v| v.atoms.nonzero_mask())
+                            .collect()
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            },
             demand_buf: Vec::new(),
             expected_buf: Vec::new(),
             sched_buffers: UpgradeBuffers::new(),
@@ -756,7 +810,7 @@ mod tests {
         let lib = library();
         let mut mgr = RunTimeManager::builder(&lib).containers(4).build();
         mgr.enter_hot_spot(HotSpotId(0), &[(SiId(0), 10)], 0).unwrap();
-        mgr.execute_burst(SiId(0), 123, 0, 0);
+        let _ = mgr.execute_burst(SiId(0), 123, 0, 0);
         assert_eq!(mgr.monitor().live_count(HotSpotId(0), SiId(0)), 123);
     }
 

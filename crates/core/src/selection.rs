@@ -84,11 +84,20 @@ impl GreedySelector {
             wb.cmp(&wa).then(a.0.cmp(&b.0))
         });
 
+        // SiId → expected executions, so the phase-2 upgrade loop does one
+        // slot read per selection instead of scanning the demand list.
+        let mut expected_by_si = vec![0u64; library.len()];
+        for &(si, e) in &demands {
+            expected_by_si[si.index()] = e;
+        }
+
         let arity = library.arity();
         let mut selection: Vec<SelectedMolecule> = Vec::new();
         let mut sup = Molecule::zero(arity);
 
-        // Phase 1: smallest molecule per SI while it fits.
+        // Phase 1: smallest molecule per SI while it fits. The budget check
+        // runs on the fused `|sup ∪ atoms|` kernel; the union is only
+        // materialised for accepted SIs.
         for &(si_id, _) in &demands {
             let si = library.si(si_id).expect("filtered");
             let (idx, variant) = si
@@ -97,45 +106,71 @@ impl GreedySelector {
                 .enumerate()
                 .min_by_key(|(_, v)| (v.atoms.total_atoms(), v.latency))
                 .expect("validated library has variants");
-            let candidate_sup = sup.union(&variant.atoms);
-            if candidate_sup.total_atoms() <= budget {
+            if sup.union_atoms(&variant.atoms) <= budget {
                 selection.push(SelectedMolecule::new(si_id, idx));
-                sup = candidate_sup;
+                sup = sup.union(&variant.atoms);
             }
         }
+        drop(sup);
 
-        // Phase 2: best upgrade per additional container.
+        // Phase 2: best upgrade per additional container. The supremum with
+        // one selection replaced is evaluated as
+        // `prefix[i] ∪ suffix[i+1] ∪ new_atoms`, so each round costs
+        // O(n + n·variants) Molecule unions instead of the O(n²·variants)
+        // of recomputing the full supremum per candidate; candidates are
+        // sized with the fused `union_atoms` kernel, which never writes a
+        // result Molecule. The prefix/suffix buffers persist across rounds.
+        let atoms_of = |s: &SelectedMolecule| {
+            &library.si(s.si).expect("selected").variants()[s.variant_index].atoms
+        };
+        let mut prefix: Vec<Molecule> = Vec::with_capacity(selection.len() + 1);
+        let mut suffix: Vec<Molecule> = Vec::with_capacity(selection.len() + 1);
         loop {
+            let n = selection.len();
+            prefix.clear();
+            prefix.push(Molecule::zero(arity));
+            for s in &selection {
+                let joined = prefix.last().expect("non-empty").union(atoms_of(s));
+                prefix.push(joined);
+            }
+            suffix.clear();
+            suffix.resize(n + 1, Molecule::zero(arity));
+            for i in (0..n).rev() {
+                suffix[i] = suffix[i + 1].union(atoms_of(&selection[i]));
+            }
+            // `prefix[n]` is the current supremum — no separate tracking.
+            let sup_atoms = prefix[n].total_atoms();
+
             let mut best: Option<(usize, usize, u64, u32)> = None; // (sel idx, variant, gain, cost)
             for (sel_idx, sel) in selection.iter().enumerate() {
                 let si = library.si(sel.si).expect("selected");
-                let expected = demands
-                    .iter()
-                    .find(|&&(id, _)| id == sel.si)
-                    .map(|&(_, e)| e)
-                    .unwrap_or(0);
+                let expected = expected_by_si[sel.si.index()];
                 let current_latency = si.variants()[sel.variant_index].latency;
+                let others = prefix[sel_idx].union(&suffix[sel_idx + 1]);
                 for (v_idx, v) in si.variants().iter().enumerate() {
                     if v.latency >= current_latency {
                         continue;
                     }
-                    let new_sup = sup_with(library, &selection, sel_idx, v_idx, arity);
-                    if new_sup.total_atoms() > budget {
+                    let new_sup_atoms = others.union_atoms(&v.atoms);
+                    if new_sup_atoms > budget {
                         continue;
                     }
                     let gain = expected * u64::from(current_latency - v.latency);
                     if gain == 0 {
                         continue;
                     }
-                    let cost = new_sup.total_atoms().saturating_sub(sup.total_atoms());
+                    let cost = new_sup_atoms.saturating_sub(sup_atoms);
                     let better = match best {
                         None => true,
                         Some((_, _, bg, bc)) => {
                             // gain/cost > bg/bc with cost 0 treated as cost 1
                             // for the ratio but always preferred outright.
-                            let c = u64::from(cost.max(1));
-                            let b = u64::from(bc.max(1));
-                            gain.saturating_mul(b) > bg.saturating_mul(c)
+                            // Exact u128 cross products — saturating u64
+                            // multiplies could collapse both sides to
+                            // u64::MAX and mis-order near-overflow gains.
+                            let c = u128::from(cost.max(1));
+                            let b = u128::from(bc.max(1));
+                            u128::from(gain) * b > u128::from(bg) * c
                         }
                     };
                     if better {
@@ -144,15 +179,7 @@ impl GreedySelector {
                 }
             }
             match best {
-                Some((sel_idx, v_idx, _, _)) => {
-                    selection[sel_idx].variant_index = v_idx;
-                    sup = Molecule::supremum(
-                        selection
-                            .iter()
-                            .map(|s| &library.si(s.si).expect("selected").variants()[s.variant_index].atoms),
-                    )
-                    .unwrap_or_else(|| Molecule::zero(arity));
-                }
+                Some((sel_idx, v_idx, _, _)) => selection[sel_idx].variant_index = v_idx,
                 None => break,
             }
         }
@@ -277,24 +304,6 @@ fn weight(library: &SiLibrary, (si_id, expected): (SiId, u64)) -> u64 {
         .min()
         .unwrap_or(si.software_latency());
     expected * u64::from(si.software_latency().saturating_sub(best_hw))
-}
-
-fn sup_with(
-    library: &SiLibrary,
-    selection: &[SelectedMolecule],
-    replace_idx: usize,
-    new_variant: usize,
-    arity: usize,
-) -> Molecule {
-    Molecule::supremum(selection.iter().enumerate().map(|(i, s)| {
-        let v = if i == replace_idx {
-            new_variant
-        } else {
-            s.variant_index
-        };
-        &library.si(s.si).expect("selected").variants()[v].atoms
-    }))
-    .unwrap_or_else(|| Molecule::zero(arity))
 }
 
 #[cfg(test)]

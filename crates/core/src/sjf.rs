@@ -43,7 +43,7 @@ impl AtomScheduler for SjfScheduler {
                 .iter()
                 .enumerate()
                 .filter(|(_, c)| c.si == sel.si)
-                .min_by_key(|(_, c)| (ctx.additional_atoms(c), c.latency))
+                .min_by_key(|&(i, c)| (ctx.add_atoms(i), c.latency))
                 .map(|(i, _)| i);
             if let Some(i) = smallest {
                 ctx.commit(i);
@@ -59,11 +59,10 @@ impl AtomScheduler for SjfScheduler {
                 .candidates()
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, c)| {
-                    let add = ctx.additional_atoms(c);
-                    let improvement = ctx.best_latency(c.si).saturating_sub(c.latency);
-                    // Negative improvement never survives cleaning.
-                    (add, std::cmp::Reverse(improvement), c.si)
+                .min_by_key(|&(i, c)| {
+                    // Cached scores; zero improvement never survives
+                    // cleaning.
+                    (ctx.add_atoms(i), std::cmp::Reverse(ctx.improvement(i)), c.si)
                 })
                 .map(|(i, _)| i);
             match best {

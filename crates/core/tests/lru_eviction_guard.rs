@@ -1,7 +1,9 @@
-//! Regression guards for the LRU eviction bookkeeping: `last_used` must be
-//! refreshed on *every* SI execution path — single-step hardware execution,
-//! burst segments, and executions that start on the software trap before a
-//! mid-burst upgrade — so a hot Atom is never mistaken for a cold one.
+//! Regression guards for the LRU eviction bookkeeping: the *effective*
+//! last-used stamp (per-type use marks folded with the container's own
+//! load-completion mark) must be refreshed on *every* SI execution path —
+//! single-step hardware execution, burst segments, and executions that
+//! start on the software trap before a mid-burst upgrade — so a hot Atom
+//! is never mistaken for a cold one.
 
 use rispp_core::RunTimeManager;
 use rispp_model::{AtomTypeInfo, AtomUniverse, Molecule, SiId, SiLibrary, SiLibraryBuilder};
@@ -22,13 +24,14 @@ fn library() -> SiLibrary {
     b.build().unwrap()
 }
 
-/// `last_used` of every container holding the executed variant's atoms.
+/// Effective last-used stamp of every container holding the executed
+/// variant's atoms.
 fn used_stamps(mgr: &RunTimeManager<'_>, atom_index: usize) -> Vec<u64> {
     mgr.fabric()
         .containers()
         .iter()
         .filter(|c| c.loaded_atom().map(rispp_model::AtomTypeId::index) == Some(atom_index))
-        .map(rispp_fabric::AtomContainer::last_used)
+        .map(|c| mgr.fabric().effective_last_used(c))
         .collect()
 }
 
@@ -58,7 +61,10 @@ fn software_trap_does_not_touch_last_used_but_counts_executions() {
     let e = mgr.execute_si(SiId(0), 50);
     assert!(!e.is_hardware());
     assert!(
-        mgr.fabric().containers().iter().all(|c| c.last_used() == 0),
+        mgr.fabric()
+            .containers()
+            .iter()
+            .all(|c| mgr.fabric().effective_last_used(c) == 0),
         "a trapped execution touches no hardware"
     );
     // The monitor still sees the execution (task II must not lose traps).

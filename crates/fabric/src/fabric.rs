@@ -164,6 +164,11 @@ pub struct Fabric {
     available: Molecule,
     generation: u64,
     protected: Molecule,
+    /// Last cycle each atom *type* was executed. A container's effective
+    /// LRU stamp is the later of its own load-completion mark and its
+    /// loaded type's entry here, which makes [`Fabric::mark_used`] O(arity)
+    /// instead of O(containers) per burst segment.
+    type_used: Vec<u64>,
     now: u64,
     stats: FabricStats,
     fault: Option<FaultState>,
@@ -195,6 +200,7 @@ impl Fabric {
             available: Molecule::zero(arity),
             generation: 0,
             protected: Molecule::zero(arity),
+            type_used: vec![0; arity],
             now: 0,
             stats: FabricStats::default(),
             fault: None,
@@ -382,13 +388,45 @@ impl Fabric {
 
     /// Records that atoms of the executing Molecule were used at `now`;
     /// feeds the least-recently-used eviction tie-breaker.
+    ///
+    /// Only the per-type timestamps are touched (O(arity), independent of
+    /// the container count); [`Fabric::effective_last_used`] folds them back
+    /// into per-container stamps on the cold eviction path.
     pub fn mark_used(&mut self, atoms: &Molecule, now: u64) {
-        for c in &mut self.containers {
-            if let Some(atom) = c.loaded_atom() {
-                if atoms.count(atom.index()) > 0 {
-                    c.mark_used(now);
-                }
+        for (i, &count) in atoms.counts().iter().enumerate() {
+            if count > 0 {
+                self.type_used[i] = now;
             }
+        }
+    }
+
+    /// Mask-based variant of [`Fabric::mark_used`] for burst hot paths:
+    /// bit `i` of `mask` marks atom type `i` as executed at `now` (see
+    /// [`Molecule::nonzero_mask`]). Runs in O(types used by the Molecule)
+    /// — typically one or two — instead of O(arity).
+    pub fn mark_used_types(&mut self, mut mask: u64, now: u64) {
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            debug_assert!(i < self.type_used.len(), "mask bit outside universe");
+            if let Some(slot) = self.type_used.get_mut(i) {
+                *slot = now;
+            }
+            mask &= mask - 1;
+        }
+    }
+
+    /// Effective least-recently-used stamp of a container: the later of the
+    /// container's own mark (set when its load completed) and the last
+    /// execution of its loaded atom's type. Matches per-container marking
+    /// exactly because an execution at cycle `t` uses — and under the old
+    /// scheme would have stamped — every container already loaded with that
+    /// type at `t`, while containers finishing later keep the newer
+    /// load-completion mark.
+    #[must_use]
+    pub fn effective_last_used(&self, container: &AtomContainer) -> u64 {
+        match container.loaded_atom() {
+            Some(atom) => container.last_used().max(self.type_used[atom.index()]),
+            None => container.last_used(),
         }
     }
 
@@ -457,6 +495,23 @@ impl Fabric {
     #[must_use]
     pub fn next_event_at(&self) -> Option<u64> {
         self.next_internal_event().map(|(t, _)| t)
+    }
+
+    /// Advances the clock to `now` without scanning for events — the fast
+    /// path of burst execution once the caller has checked (via
+    /// [`Fabric::next_event_at`]) that nothing is due by `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` moves backwards; debug builds also verify that no
+    /// due event is being skipped.
+    pub fn advance_clock(&mut self, now: u64) {
+        assert!(now >= self.now, "time must be monotone");
+        debug_assert!(
+            self.next_event_at().is_none_or(|e| e > now),
+            "advance_clock would skip a due fabric event"
+        );
+        self.now = now;
     }
 
     /// Picks the next internal event: minimum cycle, ties broken by
@@ -545,9 +600,9 @@ impl Fabric {
                     let c = &mut self.containers[i];
                     c.finish_load();
                     c.mark_used(t);
-                    self.available = self
-                        .available
-                        .saturating_add(&Molecule::unit(self.available.arity(), fl.atom.index()));
+                    let idx = fl.atom.index();
+                    let have = self.available.count(idx);
+                    self.available.set_count(idx, have.saturating_add(1));
                     self.generation += 1;
                     self.stats.loads_completed += 1;
                     if let Some(f) = &mut self.fault {
@@ -590,9 +645,9 @@ impl Fabric {
     }
 
     fn remove_available(&mut self, atom: AtomTypeId) {
-        let mut counts: Vec<u16> = self.available.counts().to_vec();
-        counts[atom.index()] -= 1;
-        self.available = Molecule::from_counts(counts);
+        let idx = atom.index();
+        let have = self.available.count(idx);
+        self.available.set_count(idx, have - 1);
         self.generation += 1;
     }
 
@@ -694,14 +749,14 @@ impl Fabric {
             .containers
             .iter()
             .filter(evictable)
-            .min_by_key(|c| c.last_used())
+            .min_by_key(|c| self.effective_last_used(c))
         {
             return Some(c.id());
         }
         self.containers
             .iter()
             .filter(|c| c.loaded_atom().is_some())
-            .min_by_key(|c| c.last_used())
+            .min_by_key(|c| self.effective_last_used(c))
             .map(AtomContainer::id)
     }
 }

@@ -43,5 +43,7 @@ mod si;
 
 pub use atom::{AtomTypeId, AtomTypeInfo, AtomUniverse};
 pub use error::ModelError;
-pub use molecule::Molecule;
+#[doc(hidden)]
+pub use molecule::scalar;
+pub use molecule::{Molecule, INLINE_LANES};
 pub use si::{MoleculeVariant, SiDefinition, SiId, SiLibrary, SiLibraryBuilder};

@@ -1,8 +1,28 @@
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::Index;
 
 use crate::ModelError;
+
+/// Number of `u16` components a [`Molecule`] stores inline, without heap
+/// allocation. Molecules of arity above this cap spill to a `Vec<u16>`.
+pub const INLINE_LANES: usize = 32;
+
+/// Internal storage: inline small-buffer up to [`INLINE_LANES`] components,
+/// heap spill above.
+///
+/// Invariants (relied on by the SWAR kernels and `PartialEq`/`Hash`):
+///
+/// * a Molecule of arity ≤ [`INLINE_LANES`] is *always* `Inline` (canonical
+///   representation — equality can compare `counts()` slices);
+/// * `Inline` lanes at positions ≥ `len` are always zero (zero-tail), so a
+///   partially filled final 4-lane word can be processed as-is.
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, lanes: [u16; INLINE_LANES] },
+    Spill(Vec<u16>),
+}
 
 /// A Molecule: a vector in `ℕⁿ` giving the desired number of instances of
 /// each Atom type (paper Section 4.1).
@@ -14,6 +34,14 @@ use crate::ModelError;
 /// residual operator `⊖` — the minimum set of atoms that additionally have
 /// to be offered — as [`Molecule::residual`].
 ///
+/// # Representation and kernels
+///
+/// Counts are stored inline (no heap allocation) up to [`INLINE_LANES`]
+/// components and spill to a `Vec<u16>` above that. All lattice operations
+/// run as branchless SWAR kernels over `u64` words holding four `u16` lanes
+/// each (see the [`scalar`] module for the reference implementation they
+/// are tested against).
+///
 /// # Examples
 ///
 /// ```
@@ -23,18 +51,30 @@ use crate::ModelError;
 /// let wanted = Molecule::from_counts([1, 3]);
 /// assert_eq!(available.residual(&wanted).total_atoms(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone)]
 pub struct Molecule {
-    counts: Vec<u16>,
+    repr: Repr,
 }
 
 impl Molecule {
+    /// Maximum arity stored without heap allocation ([`INLINE_LANES`]).
+    pub const INLINE_CAP: usize = INLINE_LANES;
+
     /// Creates the zero Molecule (the neutral element of `∪`) of the given
     /// arity.
     #[must_use]
     pub fn zero(arity: usize) -> Self {
-        Molecule {
-            counts: vec![0; arity],
+        if arity <= INLINE_LANES {
+            Molecule {
+                repr: Repr::Inline {
+                    len: arity as u8,
+                    lanes: [0; INLINE_LANES],
+                },
+            }
+        } else {
+            Molecule {
+                repr: Repr::Spill(vec![0; arity]),
+            }
         }
     }
 
@@ -46,54 +86,103 @@ impl Molecule {
     #[must_use]
     pub fn unit(arity: usize, index: usize) -> Self {
         assert!(index < arity, "unit index {index} out of arity {arity}");
-        let mut counts = vec![0; arity];
-        counts[index] = 1;
-        Molecule { counts }
+        let mut m = Molecule::zero(arity);
+        m.set_count(index, 1);
+        m
     }
 
     /// Creates a Molecule from explicit per-type instance counts.
     #[must_use]
     pub fn from_counts<I: IntoIterator<Item = u16>>(counts: I) -> Self {
+        let mut lanes = [0u16; INLINE_LANES];
+        let mut len = 0usize;
+        let mut iter = counts.into_iter();
+        for v in iter.by_ref() {
+            if len == INLINE_LANES {
+                // Exceeds the inline cap: move to the spill representation.
+                let (lo, _) = iter.size_hint();
+                let mut spill = Vec::with_capacity(INLINE_LANES + 1 + lo);
+                spill.extend_from_slice(&lanes);
+                spill.push(v);
+                spill.extend(iter);
+                return Molecule {
+                    repr: Repr::Spill(spill),
+                };
+            }
+            lanes[len] = v;
+            len += 1;
+        }
         Molecule {
-            counts: counts.into_iter().collect(),
+            repr: Repr::Inline {
+                len: len as u8,
+                lanes,
+            },
         }
     }
 
     /// Number of distinct atom types this Molecule is defined over.
     #[must_use]
     pub fn arity(&self) -> usize {
-        self.counts.len()
+        match &self.repr {
+            Repr::Inline { len, .. } => usize::from(*len),
+            Repr::Spill(v) => v.len(),
+        }
     }
 
     /// The raw per-type instance counts.
     #[must_use]
     pub fn counts(&self) -> &[u16] {
-        &self.counts
+        match &self.repr {
+            Repr::Inline { len, lanes } => &lanes[..usize::from(*len)],
+            Repr::Spill(v) => v,
+        }
     }
 
     /// Instance count of atom type `index`, or 0 when out of range.
     #[must_use]
     pub fn count(&self, index: usize) -> u16 {
-        self.counts.get(index).copied().unwrap_or(0)
+        self.counts().get(index).copied().unwrap_or(0)
+    }
+
+    /// Sets the instance count of atom type `index` in place — the
+    /// allocation-free primitive behind inventory tracking (e.g. the
+    /// fabric's available-atom vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= arity`.
+    pub fn set_count(&mut self, index: usize, value: u16) {
+        let arity = self.arity();
+        match &mut self.repr {
+            Repr::Inline { lanes, .. } => {
+                assert!(index < arity, "index {index} out of arity {arity}");
+                lanes[index] = value;
+            }
+            Repr::Spill(v) => v[index] = value,
+        }
     }
 
     /// The determinant `|m|`: the total number of atoms required to
     /// implement this Molecule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count exceeds `u32::MAX` (requires arity > 65537).
     #[must_use]
     pub fn total_atoms(&self) -> u32 {
-        self.counts.iter().map(|&c| u32::from(c)).sum()
+        u32::try_from(swar::total_atoms(self.counts())).expect("total atom count overflows u32")
     }
 
     /// Number of distinct atom *types* used (non-zero components).
     #[must_use]
     pub fn atom_type_count(&self) -> usize {
-        self.counts.iter().filter(|&&c| c > 0).count()
+        self.counts().iter().filter(|&&c| c > 0).count()
     }
 
     /// Whether no atoms at all are required.
     #[must_use]
     pub fn is_zero(&self) -> bool {
-        self.counts.iter().all(|&c| c == 0)
+        swar::total_atoms(self.counts()) == 0
     }
 
     /// The Meta-Molecule `m ∪ o` (component-wise maximum): atoms required to
@@ -114,7 +203,7 @@ impl Molecule {
     ///
     /// Returns [`ModelError::ArityMismatch`] when the arities differ.
     pub fn checked_union(&self, other: &Molecule) -> Result<Molecule, ModelError> {
-        self.zip_with(other, |a, b| a.max(b))
+        self.binary(other, swar::union_into)
     }
 
     /// The Meta-Molecule `m ∩ o` (component-wise minimum): atoms that are
@@ -136,7 +225,7 @@ impl Molecule {
     ///
     /// Returns [`ModelError::ArityMismatch`] when the arities differ.
     pub fn checked_intersect(&self, other: &Molecule) -> Result<Molecule, ModelError> {
-        self.zip_with(other, |a, b| a.min(b))
+        self.binary(other, swar::intersect_into)
     }
 
     /// The residual `self ⊖ other`: the minimum set of atoms that
@@ -163,7 +252,7 @@ impl Molecule {
     ///
     /// Returns [`ModelError::ArityMismatch`] when the arities differ.
     pub fn checked_residual(&self, other: &Molecule) -> Result<Molecule, ModelError> {
-        self.zip_with(other, |a, o| o.saturating_sub(a))
+        self.binary(other, swar::residual_into)
     }
 
     /// `|self ⊖ other|` without materialising the residual Molecule:
@@ -177,11 +266,51 @@ impl Molecule {
     #[must_use]
     pub fn residual_atoms(&self, other: &Molecule) -> u32 {
         assert_eq!(self.arity(), other.arity(), "molecule arity mismatch");
-        self.counts
+        swar::residual_atoms(self.counts(), other.counts()) as u32
+    }
+
+    /// `|self ∪ other|` without materialising the union Molecule:
+    /// equivalent to `self.union(other).total_atoms()` but copy-free.
+    /// Molecule selection scores every upgrade candidate by the size of
+    /// the would-be supremum each round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    #[must_use]
+    pub fn union_atoms(&self, other: &Molecule) -> u32 {
+        assert_eq!(self.arity(), other.arity(), "molecule arity mismatch");
+        swar::union_atoms(self.counts(), other.counts()) as u32
+    }
+
+    /// Bitmask of the atom types present: bit `i` is set iff
+    /// `count(i) > 0`. Hot paths that only need *which* types a Molecule
+    /// uses (e.g. the fabric's per-type LRU marking) precompute this once
+    /// per variant instead of rescanning the count slice per execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity exceeds 64; callers over wider universes must
+    /// stay on [`Molecule::counts`].
+    #[must_use]
+    pub fn nonzero_mask(&self) -> u64 {
+        assert!(self.arity() <= 64, "nonzero_mask requires arity <= 64");
+        self.counts()
             .iter()
-            .zip(&other.counts)
-            .map(|(&a, &o)| u32::from(o.saturating_sub(a)))
-            .sum()
+            .enumerate()
+            .fold(0u64, |m, (i, &c)| if c > 0 { m | (1 << i) } else { m })
+    }
+
+    /// Whether `self ≤ other` in the component-wise lattice order, i.e.
+    /// `other` already covers every atom instance `self` requires.
+    ///
+    /// Equivalent to `self.partial_cmp(other)` being `Less` or `Equal`, in
+    /// particular Molecules of differing arity are *not* subsets of each
+    /// other. One directed SWAR pass — cheaper than `partial_cmp` when only
+    /// the `≤` direction matters (the cleaning rule of eq. 4).
+    #[must_use]
+    pub fn is_subset(&self, other: &Molecule) -> bool {
+        self.arity() == other.arity() && swar::is_subset(self.counts(), other.counts())
     }
 
     /// Component-wise saturating addition; used to track loaded atoms.
@@ -191,7 +320,7 @@ impl Molecule {
     /// Panics if the arities differ.
     #[must_use]
     pub fn saturating_add(&self, other: &Molecule) -> Molecule {
-        self.zip_with(other, |a, b| a.saturating_add(b))
+        self.binary(other, swar::saturating_add_into)
             .expect("molecule arity mismatch")
     }
 
@@ -231,8 +360,9 @@ impl Molecule {
     /// exactly this multiset.
     #[must_use]
     pub fn to_unit_indices(&self) -> Vec<usize> {
-        let mut units = Vec::with_capacity(self.total_atoms() as usize);
-        for (i, &c) in self.counts.iter().enumerate() {
+        let counts = self.counts();
+        let mut units = Vec::with_capacity(swar::total_atoms(counts) as usize);
+        for (i, &c) in counts.iter().enumerate() {
             for _ in 0..c {
                 units.push(i);
             }
@@ -240,10 +370,14 @@ impl Molecule {
         units
     }
 
-    fn zip_with(
+    /// Runs `kernel` over both count slices into a fresh zero Molecule of
+    /// the shared arity (inline — no heap allocation — at arity ≤
+    /// [`INLINE_LANES`]).
+    #[inline]
+    fn binary(
         &self,
         other: &Molecule,
-        f: impl Fn(u16, u16) -> u16,
+        kernel: fn(&[u16], &[u16], &mut [u16]),
     ) -> Result<Molecule, ModelError> {
         if self.arity() != other.arity() {
             return Err(ModelError::ArityMismatch {
@@ -251,14 +385,44 @@ impl Molecule {
                 right: other.arity(),
             });
         }
-        Ok(Molecule {
-            counts: self
-                .counts
-                .iter()
-                .zip(&other.counts)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-        })
+        let mut out = Molecule::zero(self.arity());
+        match &mut out.repr {
+            Repr::Inline { len, lanes } => {
+                kernel(self.counts(), other.counts(), &mut lanes[..usize::from(*len)]);
+            }
+            Repr::Spill(v) => kernel(self.counts(), other.counts(), v),
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Debug for Molecule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Molecule")
+            .field("counts", &self.counts())
+            .finish()
+    }
+}
+
+impl Default for Molecule {
+    fn default() -> Self {
+        Molecule::zero(0)
+    }
+}
+
+/// Equality compares the logical count vectors; the inline/spill split is
+/// canonical (arity decides it), so comparing `counts()` slices is exact.
+impl PartialEq for Molecule {
+    fn eq(&self, other: &Self) -> bool {
+        self.counts() == other.counts()
+    }
+}
+
+impl Eq for Molecule {}
+
+impl Hash for Molecule {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.counts().hash(state);
     }
 }
 
@@ -271,21 +435,7 @@ impl PartialOrd for Molecule {
         if self.arity() != other.arity() {
             return None;
         }
-        let mut le = true;
-        let mut ge = true;
-        for (&a, &b) in self.counts.iter().zip(&other.counts) {
-            le &= a <= b;
-            ge &= a >= b;
-            if !le && !ge {
-                return None;
-            }
-        }
-        match (le, ge) {
-            (true, true) => Some(Ordering::Equal),
-            (true, false) => Some(Ordering::Less),
-            (false, true) => Some(Ordering::Greater),
-            (false, false) => None,
-        }
+        swar::partial_cmp(self.counts(), other.counts())
     }
 }
 
@@ -293,7 +443,7 @@ impl Index<usize> for Molecule {
     type Output = u16;
 
     fn index(&self, index: usize) -> &u16 {
-        &self.counts[index]
+        &self.counts()[index]
     }
 }
 
@@ -306,13 +456,338 @@ impl FromIterator<u16> for Molecule {
 impl fmt::Display for Molecule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, c) in self.counts.iter().enumerate() {
+        for (i, c) in self.counts().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
             write!(f, "{c}")?;
         }
         write!(f, ")")
+    }
+}
+
+/// Branchless SWAR kernels over `u64` words holding four `u16` lanes each.
+///
+/// All slice kernels share the same shape: full 4-lane words are processed
+/// with the word formulas below; a partial final word is zero-padded into a
+/// temporary `[u16; 4]` and runs through the *same* formula (every word
+/// formula maps zero lanes to zero lanes, so padding never leaks into live
+/// lanes).
+///
+/// Word formulas (Hacker's Delight, partitioned arithmetic; `H` masks the
+/// per-lane sign bits):
+///
+/// * lane-wise wrapping subtraction: `((x | H) − (y & !H)) ⊕ ((x ⊕ !y) & H)`
+/// * lane-wise wrapping addition: `((x & !H) + (y & !H)) ⊕ ((x ⊕ y) & H)`
+/// * lane borrow (x < y): sign bits of `(!x & y) | ((!x | y) & (x − y))`
+/// * lane select for min/max: `x ⊕ ((x ⊕ y) & mask)`.
+mod swar {
+    use std::cmp::Ordering;
+
+    /// Per-lane sign-bit mask.
+    const H: u64 = 0x8000_8000_8000_8000;
+    /// Mask keeping lanes 0 and 2 (for pairwise horizontal sums).
+    const EVEN: u64 = 0x0000_FFFF_0000_FFFF;
+
+    /// Packs four `u16` lanes into one `u64` word (lane 0 in the low bits).
+    /// The compiler fuses this into a single 64-bit load on little-endian
+    /// targets; the pack/unpack pair is endianness-agnostic by construction.
+    #[inline(always)]
+    fn pack(c: &[u16; 4]) -> u64 {
+        u64::from(c[0])
+            | u64::from(c[1]) << 16
+            | u64::from(c[2]) << 32
+            | u64::from(c[3]) << 48
+    }
+
+    /// Inverse of [`pack`].
+    #[inline(always)]
+    fn unpack(w: u64) -> [u16; 4] {
+        [w as u16, (w >> 16) as u16, (w >> 32) as u16, (w >> 48) as u16]
+    }
+
+    /// Lane-wise wrapping subtraction `x − y` without cross-lane borrows.
+    #[inline(always)]
+    fn psub(x: u64, y: u64) -> u64 {
+        ((x | H) - (y & !H)) ^ ((x ^ !y) & H)
+    }
+
+    /// Lane-wise wrapping addition without cross-lane carries.
+    #[inline(always)]
+    fn padd(x: u64, y: u64) -> u64 {
+        ((x & !H) + (y & !H)) ^ ((x ^ y) & H)
+    }
+
+    /// Sign-bit set in every lane where `x < y` (unsigned), clear elsewhere.
+    #[inline(always)]
+    fn lt_bits(x: u64, y: u64) -> u64 {
+        // Borrow-out predicate of x − y, evaluated lane-wise.
+        ((!x & y) | ((!x | y) & psub(x, y))) & H
+    }
+
+    /// `0xFFFF` in every lane where `x < y`, zero elsewhere.
+    #[inline(always)]
+    fn lt_mask(x: u64, y: u64) -> u64 {
+        // Sign bits shifted to lane bit 0 occupy disjoint 16-bit lanes, so
+        // the multiply spreads each into a full-lane mask without carries.
+        (lt_bits(x, y) >> 15) * 0xFFFF
+    }
+
+    /// Lane-wise maximum.
+    #[inline(always)]
+    fn pmax(x: u64, y: u64) -> u64 {
+        x ^ ((x ^ y) & lt_mask(x, y))
+    }
+
+    /// Lane-wise minimum.
+    #[inline(always)]
+    fn pmin(x: u64, y: u64) -> u64 {
+        y ^ ((x ^ y) & lt_mask(x, y))
+    }
+
+    /// Lane-wise saturating subtraction `y − x` (note the operand order:
+    /// this is the residual direction `other ⊖ self`).
+    #[inline(always)]
+    fn psat_sub_rev(x: u64, y: u64) -> u64 {
+        psub(y, x) & !lt_mask(y, x)
+    }
+
+    /// Lane-wise saturating addition.
+    #[inline(always)]
+    fn psat_add(x: u64, y: u64) -> u64 {
+        let s = padd(x, y);
+        // A lane overflowed iff its wrapped sum is below either operand.
+        s | lt_mask(s, x)
+    }
+
+    /// Sum of the four `u16` lanes of `w`.
+    #[inline(always)]
+    fn lane_sum(w: u64) -> u64 {
+        let pair = (w & EVEN) + ((w >> 16) & EVEN);
+        (pair & 0xFFFF_FFFF) + (pair >> 32)
+    }
+
+    /// Applies word function `f` lane-wise over `a`/`b` into `out`.
+    /// All three slices must share one length.
+    #[inline(always)]
+    fn zip_words(a: &[u16], b: &[u16], out: &mut [u16], f: impl Fn(u64, u64) -> u64) {
+        debug_assert!(a.len() == b.len() && a.len() == out.len());
+        let mut wa = a.chunks_exact(4);
+        let mut wb = b.chunks_exact(4);
+        let mut wo = out.chunks_exact_mut(4);
+        for ((ca, cb), co) in (&mut wa).zip(&mut wb).zip(&mut wo) {
+            let w = f(
+                pack(ca.try_into().expect("exact chunk")),
+                pack(cb.try_into().expect("exact chunk")),
+            );
+            co.copy_from_slice(&unpack(w));
+        }
+        let (ra, rb, ro) = (wa.remainder(), wb.remainder(), wo.into_remainder());
+        if !ra.is_empty() {
+            let mut ta = [0u16; 4];
+            let mut tb = [0u16; 4];
+            ta[..ra.len()].copy_from_slice(ra);
+            tb[..rb.len()].copy_from_slice(rb);
+            let w = unpack(f(pack(&ta), pack(&tb)));
+            ro.copy_from_slice(&w[..ro.len()]);
+        }
+    }
+
+    /// Folds word function `f` over `a`/`b`, summing `g` of each result.
+    #[inline(always)]
+    fn fold_words(a: &[u16], b: &[u16], f: impl Fn(u64, u64) -> u64) -> u64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut wa = a.chunks_exact(4);
+        let mut wb = b.chunks_exact(4);
+        let mut total = 0u64;
+        for (ca, cb) in (&mut wa).zip(&mut wb) {
+            total += lane_sum(f(
+                pack(ca.try_into().expect("exact chunk")),
+                pack(cb.try_into().expect("exact chunk")),
+            ));
+        }
+        let (ra, rb) = (wa.remainder(), wb.remainder());
+        if !ra.is_empty() {
+            let mut ta = [0u16; 4];
+            let mut tb = [0u16; 4];
+            ta[..ra.len()].copy_from_slice(ra);
+            tb[..rb.len()].copy_from_slice(rb);
+            total += lane_sum(f(pack(&ta), pack(&tb)));
+        }
+        total
+    }
+
+    /// Component-wise maximum into `out`.
+    pub(super) fn union_into(a: &[u16], b: &[u16], out: &mut [u16]) {
+        zip_words(a, b, out, pmax);
+    }
+
+    /// Component-wise minimum into `out`.
+    pub(super) fn intersect_into(a: &[u16], b: &[u16], out: &mut [u16]) {
+        zip_words(a, b, out, pmin);
+    }
+
+    /// Component-wise saturating `o − a` (residual direction) into `out`.
+    pub(super) fn residual_into(a: &[u16], o: &[u16], out: &mut [u16]) {
+        zip_words(a, o, out, psat_sub_rev);
+    }
+
+    /// Component-wise saturating addition into `out`.
+    pub(super) fn saturating_add_into(a: &[u16], b: &[u16], out: &mut [u16]) {
+        zip_words(a, b, out, psat_add);
+    }
+
+    /// `Σᵢ max(oᵢ − aᵢ, 0)` without materialising the residual.
+    pub(super) fn residual_atoms(a: &[u16], o: &[u16]) -> u64 {
+        fold_words(a, o, psat_sub_rev)
+    }
+
+    /// `Σᵢ max(aᵢ, bᵢ)` without materialising the union.
+    pub(super) fn union_atoms(a: &[u16], b: &[u16]) -> u64 {
+        fold_words(a, b, pmax)
+    }
+
+    /// Sum of all components.
+    pub(super) fn total_atoms(a: &[u16]) -> u64 {
+        let mut words = a.chunks_exact(4);
+        let mut total = 0u64;
+        for c in &mut words {
+            total += lane_sum(pack(c.try_into().expect("exact chunk")));
+        }
+        total + words.remainder().iter().map(|&c| u64::from(c)).sum::<u64>()
+    }
+
+    /// Whether `aᵢ ≤ bᵢ` for every component (slices of equal length).
+    pub(super) fn is_subset(a: &[u16], b: &[u16]) -> bool {
+        debug_assert_eq!(a.len(), b.len());
+        let mut wa = a.chunks_exact(4);
+        let mut wb = b.chunks_exact(4);
+        let mut violation = 0u64;
+        for (ca, cb) in (&mut wa).zip(&mut wb) {
+            // a ⊆ b is violated in a lane iff b < a there.
+            violation |= lt_bits(
+                pack(cb.try_into().expect("exact chunk")),
+                pack(ca.try_into().expect("exact chunk")),
+            );
+        }
+        let (ra, rb) = (wa.remainder(), wb.remainder());
+        if !ra.is_empty() {
+            let mut ta = [0u16; 4];
+            let mut tb = [0u16; 4];
+            ta[..ra.len()].copy_from_slice(ra);
+            tb[..rb.len()].copy_from_slice(rb);
+            violation |= lt_bits(pack(&tb), pack(&ta));
+        }
+        violation == 0
+    }
+
+    /// Component-wise partial order over slices of equal length.
+    pub(super) fn partial_cmp(a: &[u16], b: &[u16]) -> Option<Ordering> {
+        debug_assert_eq!(a.len(), b.len());
+        let mut gt = 0u64; // lanes where a > b exist
+        let mut lt = 0u64; // lanes where a < b exist
+        let mut wa = a.chunks_exact(4);
+        let mut wb = b.chunks_exact(4);
+        for (ca, cb) in (&mut wa).zip(&mut wb) {
+            let (x, y) = (
+                pack(ca.try_into().expect("exact chunk")),
+                pack(cb.try_into().expect("exact chunk")),
+            );
+            lt |= lt_bits(x, y);
+            gt |= lt_bits(y, x);
+            if lt != 0 && gt != 0 {
+                return None;
+            }
+        }
+        let (ra, rb) = (wa.remainder(), wb.remainder());
+        if !ra.is_empty() {
+            let mut ta = [0u16; 4];
+            let mut tb = [0u16; 4];
+            ta[..ra.len()].copy_from_slice(ra);
+            tb[..rb.len()].copy_from_slice(rb);
+            let (x, y) = (pack(&ta), pack(&tb));
+            lt |= lt_bits(x, y);
+            gt |= lt_bits(y, x);
+        }
+        match (lt == 0, gt == 0) {
+            (true, true) => Some(Ordering::Equal),
+            (false, true) => Some(Ordering::Less),
+            (true, false) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+}
+
+/// Scalar reference implementations of the Molecule lattice operations.
+///
+/// These are the original (pre-SWAR) formulations, kept as the executable
+/// specification the word-packed kernels in [`Molecule`] are property-tested
+/// against (see `crates/model/tests/swar_equivalence.rs`). Not part of the
+/// supported API.
+#[doc(hidden)]
+pub mod scalar {
+    use std::cmp::Ordering;
+
+    /// Component-wise maximum.
+    pub fn union(a: &[u16], b: &[u16]) -> Vec<u16> {
+        a.iter().zip(b).map(|(&x, &y)| x.max(y)).collect()
+    }
+
+    /// Component-wise minimum.
+    pub fn intersect(a: &[u16], b: &[u16]) -> Vec<u16> {
+        a.iter().zip(b).map(|(&x, &y)| x.min(y)).collect()
+    }
+
+    /// Component-wise saturating `o − a` (the residual `a ⊖ o`).
+    pub fn residual(a: &[u16], o: &[u16]) -> Vec<u16> {
+        a.iter().zip(o).map(|(&x, &y)| y.saturating_sub(x)).collect()
+    }
+
+    /// Component-wise saturating addition.
+    pub fn saturating_add(a: &[u16], b: &[u16]) -> Vec<u16> {
+        a.iter().zip(b).map(|(&x, &y)| x.saturating_add(y)).collect()
+    }
+
+    /// Sum of all components.
+    pub fn total_atoms(a: &[u16]) -> u64 {
+        a.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// `Σᵢ max(oᵢ − aᵢ, 0)`.
+    pub fn residual_atoms(a: &[u16], o: &[u16]) -> u64 {
+        a.iter()
+            .zip(o)
+            .map(|(&x, &y)| u64::from(y.saturating_sub(x)))
+            .sum()
+    }
+
+    /// `Σᵢ max(aᵢ, bᵢ)`.
+    pub fn union_atoms(a: &[u16], b: &[u16]) -> u64 {
+        a.iter().zip(b).map(|(&x, &y)| u64::from(x.max(y))).sum()
+    }
+
+    /// Whether `aᵢ ≤ bᵢ` for every component.
+    pub fn is_subset(a: &[u16], b: &[u16]) -> bool {
+        a.iter().zip(b).all(|(&x, &y)| x <= y)
+    }
+
+    /// Component-wise partial order.
+    pub fn partial_cmp(a: &[u16], b: &[u16]) -> Option<Ordering> {
+        let mut le = true;
+        let mut ge = true;
+        for (&x, &y) in a.iter().zip(b) {
+            le &= x <= y;
+            ge &= x >= y;
+            if !le && !ge {
+                return None;
+            }
+        }
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
     }
 }
 
@@ -360,6 +835,15 @@ mod tests {
         assert_eq!(m(&[1, 2]).partial_cmp(&m(&[2, 1])), None);
         assert_eq!(m(&[1, 2]).partial_cmp(&m(&[1, 2])), Some(Ordering::Equal));
         assert_eq!(m(&[1]).partial_cmp(&m(&[1, 0])), None);
+    }
+
+    #[test]
+    fn is_subset_matches_partial_order() {
+        assert!(m(&[1, 2]).is_subset(&m(&[1, 3])));
+        assert!(m(&[1, 2]).is_subset(&m(&[1, 2])));
+        assert!(!m(&[1, 2]).is_subset(&m(&[2, 1])));
+        assert!(!m(&[2, 1]).is_subset(&m(&[1, 2])));
+        assert!(!m(&[1]).is_subset(&m(&[1, 0])));
     }
 
     #[test]
@@ -429,11 +913,74 @@ mod tests {
     #[test]
     fn saturating_add_tracks_inventory() {
         assert_eq!(m(&[1, 2]).saturating_add(&m(&[3, 0])), m(&[4, 2]));
+        // Per-lane saturation, no carry into the neighbouring component.
+        assert_eq!(
+            m(&[u16::MAX, 0]).saturating_add(&m(&[1, 7])),
+            m(&[u16::MAX, 7])
+        );
     }
 
     #[test]
     fn from_iterator_collects() {
         let x: Molecule = [1u16, 2, 3].into_iter().collect();
         assert_eq!(x, m(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn set_count_updates_in_place() {
+        let mut x = Molecule::zero(5);
+        x.set_count(3, 7);
+        assert_eq!(x.counts(), &[0, 0, 0, 7, 0]);
+        x.set_count(3, 0);
+        assert!(x.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of arity")]
+    fn set_count_out_of_range_panics() {
+        Molecule::zero(2).set_count(2, 1);
+    }
+
+    #[test]
+    fn spill_representation_above_inline_cap() {
+        let arity = INLINE_LANES + 3;
+        let counts: Vec<u16> = (0..arity as u16).collect();
+        let big = Molecule::from_counts(counts.iter().copied());
+        assert_eq!(big.arity(), arity);
+        assert_eq!(big.counts(), &counts[..]);
+        assert_eq!(
+            u64::from(big.total_atoms()),
+            counts.iter().map(|&c| u64::from(c)).sum::<u64>()
+        );
+        let z = Molecule::zero(arity);
+        assert_eq!(z.union(&big), big);
+        assert_eq!(z.residual(&big), big);
+        assert!(z.is_subset(&big));
+        assert_eq!(z.partial_cmp(&big), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn lane_boundary_values_survive_all_ops() {
+        // Exercise lane extremes around the SWAR sign bits at every lane
+        // position of a word, plus a partial tail word.
+        let a = m(&[0, u16::MAX, 0x8000, 0x7FFF, 1, 0x8001]);
+        let b = m(&[u16::MAX, 0, 0x7FFF, 0x8000, 0x8000, 0x8001]);
+        assert_eq!(
+            a.union(&b).counts(),
+            &[u16::MAX, u16::MAX, 0x8000, 0x8000, 0x8000, 0x8001]
+        );
+        assert_eq!(
+            a.intersect(&b).counts(),
+            &[0, 0, 0x7FFF, 0x7FFF, 1, 0x8001]
+        );
+        assert_eq!(
+            a.residual(&b).counts(),
+            &[u16::MAX, 0, 0, 1, 0x7FFF, 0]
+        );
+        assert_eq!(a.partial_cmp(&b), None);
+        assert_eq!(
+            u64::from(a.residual_atoms(&b)),
+            scalar::residual_atoms(a.counts(), b.counts())
+        );
     }
 }

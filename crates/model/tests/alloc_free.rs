@@ -1,0 +1,100 @@
+//! Counting-allocator harness: the `Molecule` lattice kernels must not
+//! touch the heap at arity ≤ [`INLINE_LANES`] (the small-buffer cap). The
+//! scheduler hot paths call `union`/`residual` millions of times per
+//! sweep; this test pins the "allocation-free at realistic arity"
+//! guarantee so a representation change that silently reintroduces a
+//! `Vec` per operation fails CI instead of showing up as a throughput
+//! regression.
+//!
+//! All assertions live in one `#[test]` so the global counter is not
+//! perturbed by a concurrently running sibling test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rispp_model::{Molecule, INLINE_LANES};
+
+/// Forwards to the system allocator, counting every allocation path
+/// (`alloc`, `alloc_zeroed`, `realloc`).
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn allocations(f: impl FnOnce()) -> usize {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn inline_kernels_are_allocation_free() {
+    for arity in [1, 4, 11, INLINE_LANES] {
+        let a = Molecule::from_counts((0..arity).map(|i| (i % 7) as u16));
+        let b = Molecule::from_counts((0..arity).map(|i| ((arity - i) % 5) as u16));
+        assert_eq!(
+            allocations(|| {
+                black_box(black_box(&a).union(black_box(&b)));
+            }),
+            0,
+            "union allocated at arity {arity}"
+        );
+        assert_eq!(
+            allocations(|| {
+                black_box(black_box(&a).residual(black_box(&b)));
+            }),
+            0,
+            "residual allocated at arity {arity}"
+        );
+        assert_eq!(
+            allocations(|| {
+                black_box(black_box(&a).intersect(black_box(&b)));
+                black_box(black_box(&a).saturating_add(black_box(&b)));
+                black_box(black_box(&a).union_atoms(black_box(&b)));
+                black_box(black_box(&a).residual_atoms(black_box(&b)));
+                black_box(black_box(&a).total_atoms());
+                black_box(black_box(&a).partial_cmp(black_box(&b)));
+                black_box(black_box(&a).nonzero_mask());
+            }),
+            0,
+            "a lattice kernel allocated at arity {arity}"
+        );
+    }
+
+    // Sanity check that the counter actually observes heap traffic: the
+    // spill representation (arity > INLINE_LANES) must allocate.
+    let arity = INLINE_LANES + 1;
+    let a = Molecule::from_counts((0..arity).map(|i| (i % 7) as u16));
+    let b = Molecule::from_counts((0..arity).map(|i| ((arity - i) % 5) as u16));
+    assert!(
+        allocations(|| {
+            black_box(black_box(&a).union(black_box(&b)));
+        }) > 0,
+        "counter failed to observe the spill-path allocation"
+    );
+}

@@ -109,6 +109,11 @@ pub struct ExecutionMonitor {
     policy: ForecastPolicy,
     table: HashMap<(HotSpotId, SiId), SiState>,
     active: Option<HotSpotId>,
+    /// Execution counts of the *active* hot spot, accumulated flat
+    /// (indexed by SI id) and folded into `table` when the hot spot ends
+    /// or switches. Replaces a hash-map probe per recorded burst on the
+    /// replay hot path with an array add.
+    live: Vec<u64>,
 }
 
 impl ExecutionMonitor {
@@ -119,6 +124,21 @@ impl ExecutionMonitor {
             policy,
             table: HashMap::new(),
             active: None,
+            live: Vec::new(),
+        }
+    }
+
+    /// Folds the flat live counters of the active hot spot into the table.
+    fn flush_live(&mut self) {
+        let Some(hs) = self.active else { return };
+        for (idx, count) in self.live.iter_mut().enumerate() {
+            if *count > 0 {
+                self.table
+                    .entry((hs, SiId(idx as u16)))
+                    .or_default()
+                    .current += *count;
+                *count = 0;
+            }
         }
     }
 
@@ -136,6 +156,7 @@ impl ExecutionMonitor {
 
     /// Marks the start of a hot-spot execution; resets its live counters.
     pub fn begin_hot_spot(&mut self, hot_spot: HotSpotId) {
+        self.flush_live();
         self.active = Some(hot_spot);
         for ((hs, _), state) in self.table.iter_mut() {
             if *hs == hot_spot {
@@ -153,13 +174,22 @@ impl ExecutionMonitor {
     /// hardware counters of \[24\] are add-accumulate, so bulk recording is
     /// behaviourally identical to repeated single recording).
     pub fn record_executions(&mut self, hot_spot: HotSpotId, si: SiId, count: u64) {
-        let state = self.table.entry((hot_spot, si)).or_default();
-        state.current += count;
+        if self.active == Some(hot_spot) {
+            let idx = si.index();
+            if idx >= self.live.len() {
+                self.live.resize(idx + 1, 0);
+            }
+            self.live[idx] += count;
+        } else {
+            let state = self.table.entry((hot_spot, si)).or_default();
+            state.current += count;
+        }
     }
 
     /// Marks the end of a hot-spot execution and folds the measured counts
     /// into the per-SI expectations according to the forecast policy.
     pub fn end_hot_spot(&mut self, hot_spot: HotSpotId) {
+        self.flush_live();
         if self.active == Some(hot_spot) {
             self.active = None;
         }
@@ -214,10 +244,17 @@ impl ExecutionMonitor {
     /// Live (not yet folded) count of `si` in the current iteration.
     #[must_use]
     pub fn live_count(&self, hot_spot: HotSpotId, si: SiId) -> u64 {
-        self.table
-            .get(&(hot_spot, si))
-            .map(|s| s.current)
-            .unwrap_or(0)
+        let pending = if self.active == Some(hot_spot) {
+            self.live.get(si.index()).copied().unwrap_or(0)
+        } else {
+            0
+        };
+        pending
+            + self
+                .table
+                .get(&(hot_spot, si))
+                .map(|s| s.current)
+                .unwrap_or(0)
     }
 
     /// Number of completed iterations observed for `hot_spot` (max over its

@@ -55,6 +55,25 @@ pub trait ExecutionSystem {
     fn execute_burst(&mut self, si: SiId, count: u32, overhead: u32, start: u64)
         -> Vec<BurstSegment>;
 
+    /// Buffer-reusing variant of
+    /// [`execute_burst`](ExecutionSystem::execute_burst): clears `out` and
+    /// writes the burst's segments into it. The replay loop calls this with
+    /// one long-lived buffer so a multi-million-burst trace does not
+    /// allocate per burst. The default forwards to `execute_burst`, so
+    /// existing backends keep working unchanged; built-in backends override
+    /// it to skip the intermediate `Vec`.
+    fn execute_burst_into(
+        &mut self,
+        si: SiId,
+        count: u32,
+        overhead: u32,
+        start: u64,
+        out: &mut Vec<BurstSegment>,
+    ) {
+        out.clear();
+        out.extend(self.execute_burst(si, count, overhead, start));
+    }
+
     /// Leaves the current hot spot at cycle `now`.
     fn exit_hot_spot(&mut self, now: u64);
 
@@ -67,6 +86,16 @@ pub trait ExecutionSystem {
     /// most custom backends) keep the default: all zero.
     fn recovery_stats(&self) -> rispp_core::RecoveryStats {
         rispp_core::RecoveryStats::default()
+    }
+
+    /// Whether the system may still generate reconfiguration or recovery
+    /// events on its own (loads queued or in flight, scheduled faults).
+    /// The replay loop samples this *before* each burst and skips the
+    /// per-burst counter polls while it is `false`: a system that was
+    /// quiet going into a burst cannot have advanced a counter during it.
+    /// The conservative default keeps custom backends polled every burst.
+    fn has_pending_activity(&self) -> bool {
+        true
     }
 }
 
@@ -143,6 +172,17 @@ impl ExecutionSystem for RisppBackend<'_> {
         self.manager.execute_burst(si, count, overhead, start)
     }
 
+    fn execute_burst_into(
+        &mut self,
+        si: SiId,
+        count: u32,
+        overhead: u32,
+        start: u64,
+        out: &mut Vec<BurstSegment>,
+    ) {
+        self.manager.execute_burst_into(si, count, overhead, start, out);
+    }
+
     fn exit_hot_spot(&mut self, now: u64) {
         self.manager.exit_hot_spot(now);
     }
@@ -154,6 +194,12 @@ impl ExecutionSystem for RisppBackend<'_> {
 
     fn recovery_stats(&self) -> rispp_core::RecoveryStats {
         self.manager.recovery_stats()
+    }
+
+    fn has_pending_activity(&self) -> bool {
+        // Covers port completions, backoff-delayed starts, SEU upsets and
+        // scheduled tile failures alike: any future internal fabric event.
+        self.manager.fabric().next_event_at().is_some()
     }
 }
 
@@ -174,6 +220,17 @@ impl ExecutionSystem for MolenSystem<'_> {
         start: u64,
     ) -> Vec<BurstSegment> {
         MolenSystem::execute_burst(self, si, count, overhead, start)
+    }
+
+    fn execute_burst_into(
+        &mut self,
+        si: SiId,
+        count: u32,
+        overhead: u32,
+        start: u64,
+        out: &mut Vec<BurstSegment>,
+    ) {
+        MolenSystem::execute_burst_into(self, si, count, overhead, start, out);
     }
 
     fn exit_hot_spot(&mut self, now: u64) {
@@ -222,9 +279,30 @@ impl ExecutionSystem for SoftwareBackend<'_> {
         vec![BurstSegment::software(start, u64::from(count), latency)]
     }
 
+    fn execute_burst_into(
+        &mut self,
+        si: SiId,
+        count: u32,
+        _overhead: u32,
+        start: u64,
+        out: &mut Vec<BurstSegment>,
+    ) {
+        let latency = self
+            .library
+            .si(si)
+            .expect("si within library")
+            .software_latency();
+        out.clear();
+        out.push(BurstSegment::software(start, u64::from(count), latency));
+    }
+
     fn exit_hot_spot(&mut self, _now: u64) {}
 
     fn reconfiguration_stats(&self) -> (u64, u64) {
         (0, 0)
+    }
+
+    fn has_pending_activity(&self) -> bool {
+        false
     }
 }

@@ -198,6 +198,7 @@ impl<'a> MolenSystem<'a> {
     /// each followed by `overhead` base-processor cycles. Latency switches
     /// from software to the accelerator exactly when the accelerator's
     /// reconfiguration completes (no intermediate steps).
+    #[must_use]
     pub fn execute_burst(
         &mut self,
         si: SiId,
@@ -205,9 +206,24 @@ impl<'a> MolenSystem<'a> {
         overhead: u32,
         start: u64,
     ) -> Vec<BurstSegment> {
+        let mut segments = Vec::new();
+        self.execute_burst_into(si, count, overhead, start, &mut segments);
+        segments
+    }
+
+    /// Buffer-reusing variant of [`MolenSystem::execute_burst`]: clears
+    /// `segments` and writes the burst's segments into it.
+    pub fn execute_burst_into(
+        &mut self,
+        si: SiId,
+        count: u32,
+        overhead: u32,
+        start: u64,
+        segments: &mut Vec<BurstSegment>,
+    ) {
+        segments.clear();
         let def = self.library.si(si).expect("si within library");
         let software = def.software_latency();
-        let mut segments = Vec::new();
         let mut t = start;
         let mut remaining = u64::from(count);
         while remaining > 0 {
@@ -234,7 +250,6 @@ impl<'a> MolenSystem<'a> {
         if let Some(r) = &mut self.resident[si.index()] {
             r.last_used = t;
         }
-        segments
     }
 
     /// Leaves the current hot spot (no adaptation: Molen is static).
@@ -399,7 +414,7 @@ mod tests {
         let lib = library();
         let mut molen = MolenSystem::new(&lib, 6);
         molen.enter_hot_spot(HotSpotId(0), &[(SiId(0), 1000)], 0);
-        molen.execute_burst(SiId(0), 100, 10, 0);
+        let _ = molen.execute_burst(SiId(0), 100, 10, 0);
         let (loads_after_first, _) = molen.reconfiguration_stats();
         // Switch to hot spot 1 (SI Y) and back; X (3 slots) + Y (3 slots)
         // both fit in 6 slots, so no reload of X on return.

@@ -319,6 +319,16 @@ pub fn simulate_with(
     let mut now = 0u64;
     let mut loads_seen = 0u64;
     let mut recovery_seen = RecoveryStats::default();
+    // One segment buffer for the whole replay; refilled per burst.
+    let mut segments = Vec::new();
+    // Observers interested in the per-segment stream, resolved once —
+    // the segment dispatch below runs millions of times per replay.
+    let seg_observers: Vec<usize> = observers
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.wants_segments())
+        .map(|(i, _)| i)
+        .collect();
     for inv in trace.invocations() {
         emit(
             observers,
@@ -335,25 +345,36 @@ pub fn simulate_with(
         now += inv.prologue_cycles;
         poll_loads(system, &mut loads_seen, now, observers);
         poll_recovery(system, &mut recovery_seen, now, observers);
+        // Quietness is monotone within one burst loop: the system only
+        // acquires new pending activity in `enter_hot_spot` (planning) or
+        // while processing events it already had pending. So once the
+        // pre-burst sample reads `false`, the remaining bursts of this
+        // invocation skip the sample *and* the poll pair below.
+        let mut watch = true;
         for b in &inv.bursts {
             if b.count == 0 {
                 continue;
             }
-            let segments = system.execute_burst(b.si, b.count, b.overhead, now);
+            // Sampled *before* the burst: a system that is quiet going in
+            // cannot advance a counter during the burst.
+            watch = watch && system.has_pending_activity();
+            system.execute_burst_into(b.si, b.count, b.overhead, now, &mut segments);
             for seg in &segments {
                 let per = u64::from(seg.latency) + u64::from(b.overhead);
-                emit(
-                    observers,
-                    SimEvent::SegmentExecuted {
-                        si: b.si,
-                        segment: *seg,
-                        overhead: b.overhead,
-                    },
-                );
+                let event = SimEvent::SegmentExecuted {
+                    si: b.si,
+                    segment: *seg,
+                    overhead: b.overhead,
+                };
+                for &i in &seg_observers {
+                    observers[i].on_event(&event);
+                }
                 now = seg.start + seg.count * per;
             }
-            poll_loads(system, &mut loads_seen, now, observers);
-            poll_recovery(system, &mut recovery_seen, now, observers);
+            if watch {
+                poll_loads(system, &mut loads_seen, now, observers);
+                poll_recovery(system, &mut recovery_seen, now, observers);
+            }
         }
         system.exit_hot_spot(now);
         poll_recovery(system, &mut recovery_seen, now, observers);

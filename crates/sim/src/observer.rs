@@ -106,6 +106,17 @@ pub enum SimEvent {
 pub trait SimObserver {
     /// Handles one event.
     fn on_event(&mut self, event: &SimEvent);
+
+    /// Whether this observer wants the per-segment stream
+    /// ([`SimEvent::SegmentExecuted`]) — by far the highest-frequency
+    /// event of a replay (one per burst segment, millions per run).
+    /// Observers that only react to coarse events (e.g. progress
+    /// reporting on [`SimEvent::RunFinished`]) override this to `false`
+    /// and the replay loop skips the dispatch entirely; every other
+    /// event kind is still delivered.
+    fn wants_segments(&self) -> bool {
+        true
+    }
 }
 
 impl SimObserver for RunStats {
@@ -224,6 +235,10 @@ impl<F: FnMut(usize, usize)> SimObserver for ProgressObserver<F> {
             let done = self.finished.fetch_add(1, Ordering::Relaxed) + 1;
             (self.report)(done, self.total);
         }
+    }
+
+    fn wants_segments(&self) -> bool {
+        false
     }
 }
 

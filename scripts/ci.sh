@@ -28,6 +28,31 @@ if [ "${faults:-0}" -eq 0 ] || [ "${quarantined:-0}" -eq 0 ]; then
   exit 1
 fi
 
+echo "==> cargo bench --no-run --workspace"
+cargo bench --no-run --workspace
+
+if [ "${RISPP_CI_SKIP_PERF:-0}" != "1" ]; then
+  echo "==> fig7 throughput smoke vs committed BENCH_sweep.json"
+  # Wall-clock gate: the sweep must stay within 20% of the committed
+  # record (same frames, single worker thread, best of two runs to damp
+  # scheduler noise). Set RISPP_CI_SKIP_PERF=1 on machines whose absolute
+  # speed is not comparable to the one that recorded the baseline.
+  frames=$(grep -o '"frames": [0-9]*' BENCH_sweep.json | awk '{print $2}')
+  baseline=$(grep -o '"jobs_per_s": [0-9.]*' BENCH_sweep.json | awk '{print $2}')
+  best=0
+  for _ in 1 2; do
+    RISPP_THREADS=1 ./target/release/fig7 "$frames" --json target/ci_sweep.json \
+      >/dev/null 2>&1
+    run=$(grep -o '"jobs_per_s": [0-9.]*' target/ci_sweep.json | awk '{print $2}')
+    best=$(awk -v a="$best" -v b="$run" 'BEGIN{print (b>a)?b:a}')
+  done
+  echo "    committed ${baseline} jobs/s, measured best-of-2 ${best} jobs/s"
+  awk -v b="$baseline" -v m="$best" 'BEGIN{exit !(m >= 0.8 * b)}' || {
+    echo "ci: sweep throughput regression — ${best} jobs/s is below 80% of the committed ${baseline} (set RISPP_CI_SKIP_PERF=1 to skip on incomparable hardware)" >&2
+    exit 1
+  }
+fi
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
