@@ -7,15 +7,44 @@ use rispp_fabric::ReconfigPortConfig;
 use rispp_h264::{h264_si_library, EncoderConfig, EncoderWorkload, SiKind};
 use rispp_model::Molecule;
 use rispp_sim::{
-    simulate as run_simulation, simulate_observed, FaultConfig, ProgressObserver, SimConfig,
-    SimObserver, SweepJob, SweepRunner, SystemKind, TraceLogObserver,
+    simulate as run_simulation, simulate_observed, FaultConfig, MetricsObserver,
+    PerfettoTraceObserver, ProgressObserver, SimConfig, SimEvent, SimObserver, SweepJob,
+    SweepRunner, SystemKind, TraceLogObserver,
 };
+use rispp_telemetry::JsonValue;
 
 use crate::args::Options;
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("error: {message}");
     ExitCode::FAILURE
+}
+
+/// Collects [`SimEvent::Decision`] payloads for the `--explain` rendering.
+#[derive(Default)]
+struct DecisionLog(Vec<rispp_core::DecisionExplain>);
+
+impl SimObserver for DecisionLog {
+    fn on_event(&mut self, event: &SimEvent) {
+        if let SimEvent::Decision(d) = event {
+            self.0.push((**d).clone());
+        }
+    }
+
+    fn wants_segments(&self) -> bool {
+        false
+    }
+}
+
+/// Writes `contents` to `path`, treating `.prom`/`.txt` suffixes on a
+/// metrics path as a request for the Prometheus text format.
+fn write_metrics(path: &str, snapshot: &rispp_telemetry::MetricsSnapshot) -> Result<(), String> {
+    let text = if path.ends_with(".prom") || path.ends_with(".txt") {
+        snapshot.to_prometheus_text()
+    } else {
+        snapshot.to_json()
+    };
+    std::fs::write(path, text).map_err(|e| format!("cannot write metrics `{path}`: {e}"))
 }
 
 /// Parses the shared fault-injection options `--fault-rate RATE`
@@ -172,7 +201,8 @@ pub fn schedule(args: &[String]) -> ExitCode {
 
 /// `rispp-cli simulate [--frames N] [--acs N] [--system KIND] [--oracle]
 /// [--bandwidth MBPS] [--fault-rate R] [--fault-seed S] [--max-retries N]
-/// [--csv] [--log-events PATH]`.
+/// [--csv] [--log-events PATH] [--metrics-out PATH] [--trace-out PATH]
+/// [--explain]`.
 pub fn simulate(args: &[String]) -> ExitCode {
     let options = match Options::parse(args) {
         Ok(o) => o,
@@ -219,26 +249,89 @@ pub fn simulate(args: &[String]) -> ExitCode {
         Err(e) => return fail(&e),
     }
 
+    let metrics_out = options.value("metrics-out").map(str::to_owned);
+    let trace_out = options.value("trace-out").map(str::to_owned);
+    let explain = options.flag("explain");
+    // Decision capture feeds --explain, the metrics registry and the trace
+    // instants; the fabric journal feeds container timelines. Both stay
+    // off (and cost nothing) unless some telemetry sink asked for them.
+    if explain || metrics_out.is_some() || trace_out.is_some() {
+        config = config.with_explain(true);
+    }
+    if metrics_out.is_some() || trace_out.is_some() {
+        config = config.with_journal(true);
+    }
+
     eprintln!("encoding {frames} CIF frames...");
     let mut encoder_config = EncoderConfig::paper_cif();
     encoder_config.frames = frames;
     let workload = EncoderWorkload::generate(&encoder_config);
     let library = h264_si_library();
-    let stats = match options.value("log-events") {
-        None => run_simulation(&library, workload.trace(), &config),
-        Some(path) => {
-            let mut log = TraceLogObserver::new();
-            let stats = {
-                let mut extra: [&mut dyn SimObserver; 1] = [&mut log];
-                simulate_observed(&library, workload.trace(), &config, &mut extra)
-            };
-            if let Err(e) = std::fs::write(path, log.to_jsonl()) {
-                return fail(&format!("cannot write event log `{path}`: {e}"));
-            }
-            eprintln!("wrote {} events to {path}", log.events().len());
-            stats
+
+    let mut metrics = metrics_out.as_ref().map(|_| MetricsObserver::new());
+    let mut perfetto = trace_out.as_ref().map(|_| PerfettoTraceObserver::new());
+    let mut decisions = explain.then(DecisionLog::default);
+    // --log-events streams write-through: one line of text in memory at a
+    // time, so logging long runs does not buffer millions of events.
+    let mut log = match options.value("log-events") {
+        None => None,
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => Some((
+                path.to_owned(),
+                TraceLogObserver::streaming(std::io::BufWriter::new(file)),
+            )),
+            Err(e) => return fail(&format!("cannot create event log `{path}`: {e}")),
+        },
+    };
+
+    let stats = {
+        let mut extra: Vec<&mut dyn SimObserver> = Vec::new();
+        if let Some(m) = metrics.as_mut() {
+            extra.push(m);
+        }
+        if let Some(p) = perfetto.as_mut() {
+            extra.push(p);
+        }
+        if let Some(d) = decisions.as_mut() {
+            extra.push(d);
+        }
+        if let Some((_, l)) = log.as_mut() {
+            extra.push(l);
+        }
+        if extra.is_empty() {
+            run_simulation(&library, workload.trace(), &config)
+        } else {
+            simulate_observed(&library, workload.trace(), &config, &mut extra)
         }
     };
+
+    if let Some((path, mut l)) = log {
+        if let Err(e) = l.finish() {
+            return fail(&format!("cannot write event log `{path}`: {e}"));
+        }
+        eprintln!("streamed event log to {path}");
+    }
+    if let (Some(path), Some(m)) = (&metrics_out, metrics) {
+        if let Err(e) = write_metrics(path, &m.into_snapshot()) {
+            return fail(&e);
+        }
+        eprintln!("wrote metrics to {path}");
+    }
+    if let (Some(path), Some(p)) = (&trace_out, perfetto) {
+        if let Err(e) = std::fs::write(path, p.into_json()) {
+            return fail(&format!("cannot write trace `{path}`: {e}"));
+        }
+        eprintln!("wrote Perfetto trace to {path} (open at https://ui.perfetto.dev)");
+    }
+    if let Some(d) = decisions {
+        println!(
+            "{} run-time decisions (cycle-stamped, all scored candidates):",
+            d.0.len()
+        );
+        for decision in &d.0 {
+            print!("{decision}");
+        }
+    }
 
     if options.flag("csv") {
         println!("{}", rispp_sim::export::summary_csv_header());
@@ -437,6 +530,184 @@ pub fn resilience(args: &[String]) -> ExitCode {
             software.total_cycles,
             software.total_cycles as f64 / 1e6
         );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rispp-cli profile [--frames N] [--acs N] [--system KIND]
+/// [--metrics-out PATH] [--trace-out PATH]`.
+///
+/// Runs one telemetry-enabled simulation and prints a cycle-domain
+/// profile: where the simulated cycles went per SI, how each Atom
+/// Container spent the run, and what the run-time system decided.
+pub fn profile(args: &[String]) -> ExitCode {
+    let options = match Options::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let frames: u32 = match options.number("frames", 20) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let acs: u16 = match options.number("acs", 15) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let system = match options.value("system") {
+        None => SystemKind::Rispp(SchedulerKind::Hef),
+        Some(name) => match system_kind(name) {
+            Some(s) => s,
+            None => return fail(&format!("unknown system `{name}`")),
+        },
+    };
+    let config = SimConfig {
+        containers: acs,
+        system,
+        ..SimConfig::rispp(acs, SchedulerKind::Hef)
+    }
+    .with_explain(true)
+    .with_journal(true);
+
+    eprintln!("encoding {frames} CIF frames...");
+    let mut encoder_config = EncoderConfig::paper_cif();
+    encoder_config.frames = frames;
+    let workload = EncoderWorkload::generate(&encoder_config);
+    let library = h264_si_library();
+
+    let mut metrics = MetricsObserver::new();
+    let mut perfetto = options.value("trace-out").map(|_| PerfettoTraceObserver::new());
+    let stats = {
+        let mut extra: Vec<&mut dyn SimObserver> = vec![&mut metrics];
+        if let Some(p) = perfetto.as_mut() {
+            extra.push(p);
+        }
+        simulate_observed(&library, workload.trace(), &config, &mut extra)
+    };
+    let snapshot = metrics.into_snapshot();
+
+    println!(
+        "{} on {acs} ACs, {frames} frames: {} cycles ({:.1} M)",
+        stats.system,
+        stats.total_cycles,
+        stats.total_cycles as f64 / 1e6
+    );
+    let total = stats.total_cycles.max(1);
+    println!(
+        "port busy {:.1}%, {} reconfigurations, {} decisions",
+        snapshot.counter("rispp_port_busy_cycles_total") as f64 * 100.0 / total as f64,
+        snapshot.counter("rispp_reconfigurations_total"),
+        snapshot.counter("rispp_decisions_total")
+    );
+
+    println!("\nper-SI cycle profile:");
+    println!("  SI            executions   hw share    cycles     mean lat");
+    for si in library.iter() {
+        let id = si.id().0;
+        let execs = snapshot.counter(&format!("rispp_si_executions_total{{si=\"{id}\"}}"));
+        if execs == 0 {
+            continue;
+        }
+        let hw = snapshot.counter(&format!("rispp_si_hardware_executions_total{{si=\"{id}\"}}"));
+        let (sum, count) = match snapshot.get(&format!("rispp_si_latency_cycles{{si=\"{id}\"}}")) {
+            Some(rispp_telemetry::Metric::Histogram(h)) => (h.sum(), h.count()),
+            _ => (0, 0),
+        };
+        println!(
+            "  {:<12} {:>11}   {:>7.1}% {:>9}   {:>10.1}",
+            si.name(),
+            execs,
+            hw as f64 * 100.0 / execs.max(1) as f64,
+            sum,
+            sum as f64 / count.max(1) as f64
+        );
+    }
+
+    println!("\nper-container time profile (% of run):");
+    println!("   AC      load     ready      idle  quarantined");
+    for c in 0..acs {
+        let pct = |family: &str| {
+            snapshot.counter(&format!("{family}{{container=\"{c}\"}}")) as f64 * 100.0
+                / total as f64
+        };
+        let load = pct("rispp_container_load_cycles_total");
+        let ready = pct("rispp_container_ready_cycles_total");
+        let idle = pct("rispp_container_idle_cycles_total");
+        let quarantined = pct("rispp_container_quarantined_cycles_total");
+        if load + ready + idle + quarantined == 0.0 {
+            continue;
+        }
+        println!(
+            "  {c:>3} {load:>8.1}% {ready:>8.1}% {idle:>8.1}% {quarantined:>11.1}%"
+        );
+    }
+
+    if let Some(path) = options.value("metrics-out") {
+        if let Err(e) = write_metrics(path, &snapshot) {
+            return fail(&e);
+        }
+        eprintln!("wrote metrics to {path}");
+    }
+    if let (Some(path), Some(p)) = (options.value("trace-out"), perfetto) {
+        if let Err(e) = std::fs::write(path, p.into_json()) {
+            return fail(&format!("cannot write trace `{path}`: {e}"));
+        }
+        eprintln!("wrote Perfetto trace to {path} (open at https://ui.perfetto.dev)");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rispp-cli check-trace --file PATH`.
+///
+/// Validates that a `--trace-out` document is well-formed Chrome
+/// trace-event JSON with at least one Atom Container track and at least
+/// one scheduler decision event. Used by the CI telemetry smoke test.
+pub fn check_trace(args: &[String]) -> ExitCode {
+    let options = match Options::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let Some(path) = options.value("file") else {
+        return fail("check-trace requires --file PATH");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read `{path}`: {e}")),
+    };
+    let doc = match JsonValue::parse(&text) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("`{path}` is not valid JSON: {e}")),
+    };
+    let Some(events) = doc.get("traceEvents").and_then(JsonValue::as_array) else {
+        return fail(&format!("`{path}` has no traceEvents array"));
+    };
+    // Container tracks are threads of the "Atom Containers" process (pid 1)
+    // announced via thread_name metadata events.
+    let container_tracks = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(JsonValue::as_str) == Some("M")
+                && e.get("name").and_then(JsonValue::as_str) == Some("thread_name")
+                && e.get("pid").and_then(JsonValue::as_u64) == Some(1)
+        })
+        .count();
+    let decision_events = events
+        .iter()
+        .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("decision"))
+        .count();
+    let spans = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+        .count();
+    println!(
+        "{path}: {} events, {container_tracks} container track(s), {spans} span(s), \
+         {decision_events} decision event(s)",
+        events.len()
+    );
+    if container_tracks == 0 {
+        return fail("no Atom Container tracks in trace");
+    }
+    if decision_events == 0 {
+        return fail("no scheduler decision events in trace");
     }
     ExitCode::SUCCESS
 }

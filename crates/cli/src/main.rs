@@ -1,7 +1,7 @@
 //! `rispp-cli` — command-line interface to the RISPP run-time system.
 //!
 //! Subcommands: `inventory`, `schedule`, `simulate`, `sweep`, `resilience`,
-//! `hw`. Run `rispp-cli help` for details.
+//! `profile`, `check-trace`, `hw`. Run `rispp-cli help` for details.
 
 mod args;
 mod commands;
@@ -16,6 +16,8 @@ fn main() -> ExitCode {
         Some("simulate") => commands::simulate(&argv[1..]),
         Some("sweep") => commands::sweep(&argv[1..]),
         Some("resilience") => commands::resilience(&argv[1..]),
+        Some("profile") => commands::profile(&argv[1..]),
+        Some("check-trace") => commands::check_trace(&argv[1..]),
         Some("hw") => commands::hw(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", HELP);
@@ -46,12 +48,18 @@ SUBCOMMANDS:
 
     simulate [--frames N] [--acs N] [--system KIND] [--oracle]
              [--bandwidth MBPS] [--fault-rate R] [--fault-seed S]
-             [--max-retries N] [--csv]
+             [--max-retries N] [--csv] [--log-events PATH]
+             [--metrics-out PATH] [--trace-out PATH] [--explain]
         Encode synthetic CIF video and replay the workload on one system.
         KIND: hef | asf | fsfr | sjf | molen | onechip | software.
         --fault-rate R (in [0, 1]) enables seeded fault injection: CRC
         load aborts, SEU corruption of loaded Atoms and permanent Atom
         Container failures, all healed by the run-time manager.
+        --log-events streams the typed event log as JSONL (write-through).
+        --metrics-out writes cycle-domain metrics as JSON (or Prometheus
+        text when PATH ends in .prom/.txt); --trace-out writes a Chrome
+        trace-event JSON timeline for https://ui.perfetto.dev; --explain
+        prints every run-time decision with all scored candidates.
 
     sweep [--frames N] [--from N] [--to N]
         The Figure 7 sweep: all four schedulers plus Molen across an
@@ -63,6 +71,16 @@ SUBCOMMANDS:
         0..=0.25, or a single --fault-rate) and report speedup plus the
         self-healing counters: faults injected, load retries, quarantined
         containers and cISA software degradations.
+
+    profile [--frames N] [--acs N] [--system KIND] [--metrics-out PATH]
+            [--trace-out PATH]
+        Run one telemetry-enabled simulation and print a cycle-domain
+        profile: per-SI cycles and hardware share, per-container
+        load/ready/idle time, reconfiguration-port pressure.
+
+    check-trace --file PATH
+        Validate a --trace-out document: well-formed Chrome trace-event
+        JSON with container tracks and scheduler decision events.
 
     hw
         The HEF scheduler hardware report (paper Table 3) and FSM timing.

@@ -1,4 +1,5 @@
 use crate::context::{UpgradeBuffers, UpgradeContext};
+use crate::explain::{CandidateScore, ScheduleExplain};
 use crate::fsfr::{importance_order, upgrade_si_to_selected};
 use crate::scheduler::AtomScheduler;
 use crate::types::{Schedule, ScheduleRequest};
@@ -23,6 +24,15 @@ impl AtomScheduler for AsfScheduler {
         &self,
         request: &ScheduleRequest<'_>,
         buffers: &mut UpgradeBuffers,
+    ) -> Schedule {
+        self.schedule_explained(request, buffers, None)
+    }
+
+    fn schedule_explained(
+        &self,
+        request: &ScheduleRequest<'_>,
+        buffers: &mut UpgradeBuffers,
+        mut explain: Option<&mut ScheduleExplain>,
     ) -> Schedule {
         let mut ctx = UpgradeContext::from_buffers(request, buffers);
 
@@ -53,17 +63,50 @@ impl AtomScheduler for AsfScheduler {
                 .min_by_key(|&(i, c)| (ctx.add_atoms(i), c.latency))
                 .map(|(i, _)| i);
             if let Some(i) = smallest {
+                if let Some(ex) = explain.as_deref_mut() {
+                    record_starter(ex, &ctx, sel.si, i);
+                }
                 ctx.commit(i);
             }
         }
 
         // Phase 2: follow the FSFR path (importance order).
         for sel in importance_order(&ctx, request) {
-            upgrade_si_to_selected(&mut ctx, request, sel);
+            upgrade_si_to_selected(&mut ctx, request, sel, explain.as_deref_mut());
         }
         ctx.finish();
         ctx.into_schedule(buffers)
     }
+}
+
+/// Records an ASF/SJF phase-1 "starter" commit: the chosen candidate plus
+/// every candidate of the same SI that was in the running.
+pub(crate) fn record_starter(
+    ex: &mut ScheduleExplain,
+    ctx: &UpgradeContext<'_, '_>,
+    si: rispp_model::SiId,
+    chosen_index: usize,
+) {
+    let scored: Vec<CandidateScore> = ctx
+        .candidates()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.si == si)
+        .map(|(j, c)| CandidateScore {
+            si: c.si,
+            variant_index: c.variant_index,
+            gain: u64::from(ctx.improvement(j)),
+            cost: u64::from(ctx.add_atoms(j)),
+        })
+        .collect();
+    let c = &ctx.candidates()[chosen_index];
+    let chosen = CandidateScore {
+        si: c.si,
+        variant_index: c.variant_index,
+        gain: u64::from(ctx.improvement(chosen_index)),
+        cost: u64::from(ctx.add_atoms(chosen_index)),
+    };
+    ex.record("starter", scored, Some(chosen));
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 
 
 use crate::context::{UpgradeBuffers, UpgradeContext};
+use crate::explain::{CandidateScore, ScheduleExplain};
 use crate::scheduler::AtomScheduler;
 use crate::types::{Schedule, ScheduleRequest, SelectedMolecule};
 
@@ -32,11 +33,14 @@ pub(crate) fn importance_order(
 
 /// Upgrades one SI stepwise to its selected Molecule: repeatedly commits
 /// the candidate of `si` needing the fewest additional atoms (ties by lower
-/// latency) until the selected Molecule is available/scheduled.
+/// latency) until the selected Molecule is available/scheduled. When
+/// `explain` is supplied, each commit is recorded as an `"importance"` (or
+/// `"direct-load"`) round with the SI's scored candidates.
 pub(crate) fn upgrade_si_to_selected(
     ctx: &mut UpgradeContext<'_, '_>,
     request: &ScheduleRequest<'_>,
     sel: SelectedMolecule,
+    mut explain: Option<&mut ScheduleExplain>,
 ) {
     loop {
         if request.molecule(sel).is_subset(ctx.scheduled_atoms()) {
@@ -51,7 +55,31 @@ pub(crate) fn upgrade_si_to_selected(
             .min_by_key(|&(i, c)| (ctx.add_atoms(i), c.latency))
             .map(|(i, _)| i);
         match next {
-            Some(i) => ctx.commit(i),
+            Some(i) => {
+                if let Some(ex) = explain.as_deref_mut() {
+                    let scored: Vec<CandidateScore> = ctx
+                        .candidates()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| c.si == sel.si)
+                        .map(|(j, c)| CandidateScore {
+                            si: c.si,
+                            variant_index: c.variant_index,
+                            gain: u64::from(ctx.improvement(j)),
+                            cost: u64::from(ctx.add_atoms(j)),
+                        })
+                        .collect();
+                    let c = &ctx.candidates()[i];
+                    let chosen = CandidateScore {
+                        si: c.si,
+                        variant_index: c.variant_index,
+                        gain: u64::from(ctx.improvement(i)),
+                        cost: u64::from(ctx.add_atoms(i)),
+                    };
+                    ex.record("importance", scored, Some(chosen));
+                }
+                ctx.commit(i);
+            }
             None => {
                 // All candidates of this SI were cleaned away (e.g. zero
                 // improvement); load the selected molecule directly. The
@@ -61,6 +89,17 @@ pub(crate) fn upgrade_si_to_selected(
                 let latency = request.library().si(sel.si).expect("validated").variants()
                     [sel.variant_index]
                     .latency;
+                if let Some(ex) = explain.as_deref_mut() {
+                    let chosen = CandidateScore {
+                        si: sel.si,
+                        variant_index: sel.variant_index,
+                        gain: u64::from(
+                            ctx.best_latency(sel.si).saturating_sub(latency),
+                        ),
+                        cost: u64::from(ctx.scheduled_atoms().residual_atoms(atoms)),
+                    };
+                    ex.record("direct-load", Vec::new(), Some(chosen));
+                }
                 ctx.commit_external(sel.si, sel.variant_index, atoms, latency);
                 return;
             }
@@ -78,9 +117,18 @@ impl AtomScheduler for FsfrScheduler {
         request: &ScheduleRequest<'_>,
         buffers: &mut UpgradeBuffers,
     ) -> Schedule {
+        self.schedule_explained(request, buffers, None)
+    }
+
+    fn schedule_explained(
+        &self,
+        request: &ScheduleRequest<'_>,
+        buffers: &mut UpgradeBuffers,
+        mut explain: Option<&mut ScheduleExplain>,
+    ) -> Schedule {
         let mut ctx = UpgradeContext::from_buffers(request, buffers);
         for sel in importance_order(&ctx, request) {
-            upgrade_si_to_selected(&mut ctx, request, sel);
+            upgrade_si_to_selected(&mut ctx, request, sel, explain.as_deref_mut());
         }
         ctx.finish();
         ctx.into_schedule(buffers)

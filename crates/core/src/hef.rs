@@ -1,4 +1,5 @@
 use crate::context::{UpgradeBuffers, UpgradeContext};
+use crate::explain::{CandidateScore, ScheduleExplain};
 use crate::scheduler::AtomScheduler;
 use crate::types::{Schedule, ScheduleRequest};
 
@@ -32,7 +33,17 @@ impl AtomScheduler for HefScheduler {
         request: &ScheduleRequest<'_>,
         buffers: &mut UpgradeBuffers,
     ) -> Schedule {
+        self.schedule_explained(request, buffers, None)
+    }
+
+    fn schedule_explained(
+        &self,
+        request: &ScheduleRequest<'_>,
+        buffers: &mut UpgradeBuffers,
+        mut explain: Option<&mut ScheduleExplain>,
+    ) -> Schedule {
         let mut ctx = UpgradeContext::from_buffers(request, buffers);
+        let mut scored: Vec<CandidateScore> = Vec::new();
         loop {
             if ctx.clean().is_empty() {
                 break;
@@ -45,6 +56,14 @@ impl AtomScheduler for HefScheduler {
                 let cost = u64::from(ctx.add_atoms(i));
                 debug_assert!(cost > 0, "cleaning must remove available candidates");
                 let gain = request.expected(c.si) * u64::from(ctx.improvement(i));
+                if explain.is_some() {
+                    scored.push(CandidateScore {
+                        si: c.si,
+                        variant_index: c.variant_index,
+                        gain,
+                        cost,
+                    });
+                }
                 let better = match best {
                     None => gain > 0,
                     // (gain/cost) > (best_gain/best_cost) without division;
@@ -60,9 +79,29 @@ impl AtomScheduler for HefScheduler {
                 }
             }
             match best {
-                Some((i, _, _)) => ctx.commit(i),
-                None => break,
+                Some((i, gain, cost)) => {
+                    if let Some(ex) = explain.as_deref_mut() {
+                        let c = &ctx.candidates()[i];
+                        let chosen = CandidateScore {
+                            si: c.si,
+                            variant_index: c.variant_index,
+                            gain,
+                            cost,
+                        };
+                        ex.record("upgrade", std::mem::take(&mut scored), Some(chosen));
+                    }
+                    ctx.commit(i);
+                }
+                None => {
+                    if let Some(ex) = explain.as_deref_mut() {
+                        if !scored.is_empty() {
+                            ex.record("upgrade", std::mem::take(&mut scored), None);
+                        }
+                    }
+                    break;
+                }
             }
+            scored.clear();
         }
         ctx.finish();
         ctx.into_schedule(buffers)

@@ -60,6 +60,7 @@
 mod asf;
 mod context;
 mod error;
+mod explain;
 mod fsfr;
 mod hef;
 mod manager;
@@ -72,6 +73,10 @@ mod types;
 pub use asf::AsfScheduler;
 pub use context::{Candidate, UpgradeBuffers, UpgradeContext};
 pub use error::CoreError;
+pub use explain::{
+    CandidateScore, DecisionExplain, ScheduleExplain, ScheduleRound, SelectionExplain,
+    SelectionRound,
+};
 pub use fsfr::FsfrScheduler;
 pub use hef::HefScheduler;
 pub use manager::{BurstSegment, RunTimeManager, RunTimeManagerBuilder, SiExecution};

@@ -3,6 +3,7 @@ use rispp_model::{Molecule, SiId, SiLibrary};
 use rispp_monitor::{ExecutionMonitor, ForecastPolicy, HotSpotId};
 
 use crate::context::UpgradeBuffers;
+use crate::explain::{DecisionExplain, ScheduleExplain, SelectionExplain};
 use crate::recovery::{RecoveryPolicy, RecoveryStats};
 use crate::scheduler::{AtomScheduler, SchedulerKind};
 use crate::selection::{GreedySelector, SelectionRequest};
@@ -126,6 +127,10 @@ pub struct RunTimeManager<'a> {
     last_demands: Vec<(SiId, u64)>,
     load_retries: u64,
     degraded_to_software: u64,
+    /// When set, every selection+schedule decision is captured as a
+    /// [`DecisionExplain`] in `decisions` (drained by the caller).
+    explain_enabled: bool,
+    decisions: Vec<DecisionExplain>,
 }
 
 impl<'a> RunTimeManager<'a> {
@@ -140,6 +145,7 @@ impl<'a> RunTimeManager<'a> {
             port_bandwidth: None,
             fault: None,
             recovery: RecoveryPolicy::default(),
+            explain: false,
         }
     }
 
@@ -237,7 +243,10 @@ impl<'a> RunTimeManager<'a> {
     fn plan_current(&mut self, demands: &[(SiId, u64)]) -> Result<(), CoreError> {
         let usable = self.fabric.usable_container_count();
         let selection_request = SelectionRequest::new(self.library, demands, usable);
-        self.selected = self.selector.select(&selection_request);
+        let mut sel_explain = self.explain_enabled.then(SelectionExplain::default);
+        self.selected = self
+            .selector
+            .select_explained(&selection_request, sel_explain.as_mut());
         if !demands.is_empty()
             && self.selected.is_empty()
             && usable < self.fabric.container_count()
@@ -259,10 +268,24 @@ impl<'a> RunTimeManager<'a> {
             self.fabric.available().clone(),
             expected,
         )?;
-        let schedule = self
-            .scheduler
-            .schedule_with(&request, &mut self.sched_buffers);
+        let mut sched_explain = self
+            .explain_enabled
+            .then(|| ScheduleExplain::new(self.scheduler.name()));
+        let schedule = self.scheduler.schedule_explained(
+            &request,
+            &mut self.sched_buffers,
+            sched_explain.as_mut(),
+        );
         debug_assert!(schedule.validate(&request).is_ok());
+        if let (Some(selection), Some(schedule_ex)) = (sel_explain, sched_explain) {
+            self.decisions.push(DecisionExplain {
+                now: self.fabric.now(),
+                hot_spot: self.current_hot_spot,
+                containers: usable,
+                selection,
+                schedule: schedule_ex,
+            });
+        }
 
         self.fabric.clear_pending();
         self.fabric.set_protected(request.supremum());
@@ -522,6 +545,40 @@ impl<'a> RunTimeManager<'a> {
         self.sync_fabric(now)
     }
 
+    /// Enables (or disables) decision capture: while on, every Molecule
+    /// selection + Atom schedule computed by the manager is recorded as a
+    /// [`DecisionExplain`], drained via [`RunTimeManager::take_decisions`].
+    /// Off by default — the hot path then performs no extra work.
+    pub fn set_explain_enabled(&mut self, enabled: bool) {
+        self.explain_enabled = enabled;
+        if !enabled {
+            self.decisions.clear();
+        }
+    }
+
+    /// Whether decision capture is on.
+    #[must_use]
+    pub fn explain_enabled(&self) -> bool {
+        self.explain_enabled
+    }
+
+    /// Moves all captured decisions (chronological order) into `out`.
+    pub fn take_decisions(&mut self, out: &mut Vec<DecisionExplain>) {
+        out.append(&mut self.decisions);
+    }
+
+    /// Enables (or disables) the fabric's container-transition journal
+    /// (see [`rispp_fabric::Fabric::set_journal_enabled`]).
+    pub fn set_journal_enabled(&mut self, enabled: bool) {
+        self.fabric.set_journal_enabled(enabled);
+    }
+
+    /// Moves buffered fabric journal entries into `out`
+    /// (see [`rispp_fabric::Fabric::drain_journal`]).
+    pub fn drain_fabric_journal(&mut self, out: &mut Vec<rispp_fabric::FabricJournalEntry>) {
+        self.fabric.drain_journal(out);
+    }
+
     /// The active fault-recovery policy.
     #[must_use]
     pub fn recovery_policy(&self) -> RecoveryPolicy {
@@ -568,6 +625,7 @@ pub struct RunTimeManagerBuilder<'a> {
     port_bandwidth: Option<u64>,
     fault: Option<FaultModel>,
     recovery: RecoveryPolicy,
+    explain: bool,
 }
 
 impl<'a> RunTimeManagerBuilder<'a> {
@@ -616,6 +674,14 @@ impl<'a> RunTimeManagerBuilder<'a> {
     #[must_use]
     pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.recovery = policy;
+        self
+    }
+
+    /// Enables decision capture from the start (default: off). See
+    /// [`RunTimeManager::set_explain_enabled`].
+    #[must_use]
+    pub fn explain(mut self, enabled: bool) -> Self {
+        self.explain = enabled;
         self
     }
 
@@ -668,6 +734,8 @@ impl<'a> RunTimeManagerBuilder<'a> {
             last_demands: Vec::new(),
             load_retries: 0,
             degraded_to_software: 0,
+            explain_enabled: self.explain,
+            decisions: Vec::new(),
         }
     }
 }

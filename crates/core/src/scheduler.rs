@@ -1,6 +1,7 @@
 use std::fmt;
 
 use crate::context::UpgradeBuffers;
+use crate::explain::ScheduleExplain;
 use crate::types::{Schedule, ScheduleRequest};
 use crate::{AsfScheduler, FsfrScheduler, HefScheduler, SjfScheduler};
 
@@ -26,6 +27,25 @@ pub trait AtomScheduler: fmt::Debug + Send + Sync {
     /// `schedule` for the same request.
     fn schedule_with(&self, request: &ScheduleRequest<'_>, buffers: &mut UpgradeBuffers)
         -> Schedule;
+
+    /// Like [`schedule_with`](AtomScheduler::schedule_with), but when
+    /// `explain` is supplied, additionally records each decision round
+    /// (scored candidates and the committed winner) into it.
+    ///
+    /// The returned schedule must be **bit-identical** to `schedule_with`
+    /// for the same request — explaining must only observe, never steer.
+    /// The built-in schedulers implement the real loop here and route
+    /// `schedule_with` through it; the default ignores `explain` so
+    /// third-party schedulers that predate decision traces keep working.
+    fn schedule_explained(
+        &self,
+        request: &ScheduleRequest<'_>,
+        buffers: &mut UpgradeBuffers,
+        explain: Option<&mut ScheduleExplain>,
+    ) -> Schedule {
+        let _ = explain;
+        self.schedule_with(request, buffers)
+    }
 }
 
 /// The four scheduling strategies evaluated in the paper.

@@ -1,5 +1,6 @@
 use rispp_model::{Molecule, SiId, SiLibrary};
 
+use crate::explain::{CandidateScore, SelectionExplain, SelectionRound};
 use crate::types::SelectedMolecule;
 
 /// Input to Molecule selection: which SIs the upcoming hot spot needs, how
@@ -68,6 +69,19 @@ impl GreedySelector {
     /// `|sup(selection)| ≤ request.containers()`.
     #[must_use]
     pub fn select(&self, request: &SelectionRequest<'_>) -> Vec<SelectedMolecule> {
+        self.select_explained(request, None)
+    }
+
+    /// Like [`select`](GreedySelector::select), but when `explain` is
+    /// supplied, additionally records the ranked demands, phase-1 picks and
+    /// every phase-2 upgrade round into it. The returned selection is
+    /// bit-identical to `select` — explaining only observes.
+    #[must_use]
+    pub fn select_explained(
+        &self,
+        request: &SelectionRequest<'_>,
+        mut explain: Option<&mut SelectionExplain>,
+    ) -> Vec<SelectedMolecule> {
         let library = request.library();
         let budget = u32::from(request.containers());
 
@@ -109,9 +123,16 @@ impl GreedySelector {
             if sup.union_atoms(&variant.atoms) <= budget {
                 selection.push(SelectedMolecule::new(si_id, idx));
                 sup = sup.union(&variant.atoms);
+            } else if let Some(ex) = explain.as_deref_mut() {
+                ex.rejected.push(si_id);
             }
         }
         drop(sup);
+        if let Some(ex) = explain.as_deref_mut() {
+            ex.containers = request.containers();
+            ex.demands = demands.clone();
+            ex.initial = selection.clone();
+        }
 
         // Phase 2: best upgrade per additional container. The supremum with
         // one selection replaced is evaluated as
@@ -142,6 +163,7 @@ impl GreedySelector {
             let sup_atoms = prefix[n].total_atoms();
 
             let mut best: Option<(usize, usize, u64, u32)> = None; // (sel idx, variant, gain, cost)
+            let mut scored: Vec<CandidateScore> = Vec::new(); // only filled when explaining
             for (sel_idx, sel) in selection.iter().enumerate() {
                 let si = library.si(sel.si).expect("selected");
                 let expected = expected_by_si[sel.si.index()];
@@ -160,6 +182,14 @@ impl GreedySelector {
                         continue;
                     }
                     let cost = new_sup_atoms.saturating_sub(sup_atoms);
+                    if explain.is_some() {
+                        scored.push(CandidateScore {
+                            si: sel.si,
+                            variant_index: v_idx,
+                            gain,
+                            cost: u64::from(cost),
+                        });
+                    }
                     let better = match best {
                         None => true,
                         Some((_, _, bg, bc)) => {
@@ -179,12 +209,28 @@ impl GreedySelector {
                 }
             }
             match best {
-                Some((sel_idx, v_idx, _, _)) => selection[sel_idx].variant_index = v_idx,
+                Some((sel_idx, v_idx, gain, cost)) => {
+                    if let Some(ex) = explain.as_deref_mut() {
+                        ex.rounds.push(SelectionRound {
+                            candidates: std::mem::take(&mut scored),
+                            chosen: Some(CandidateScore {
+                                si: selection[sel_idx].si,
+                                variant_index: v_idx,
+                                gain,
+                                cost: u64::from(cost),
+                            }),
+                        });
+                    }
+                    selection[sel_idx].variant_index = v_idx;
+                }
                 None => break,
             }
         }
 
         selection.sort_by_key(|s| s.si);
+        if let Some(ex) = explain {
+            ex.selection = selection.clone();
+        }
         selection
     }
 }

@@ -1,4 +1,6 @@
+use crate::asf::record_starter;
 use crate::context::{UpgradeBuffers, UpgradeContext};
+use crate::explain::{CandidateScore, ScheduleExplain};
 use crate::scheduler::AtomScheduler;
 use crate::types::{Schedule, ScheduleRequest};
 
@@ -23,6 +25,15 @@ impl AtomScheduler for SjfScheduler {
         request: &ScheduleRequest<'_>,
         buffers: &mut UpgradeBuffers,
     ) -> Schedule {
+        self.schedule_explained(request, buffers, None)
+    }
+
+    fn schedule_explained(
+        &self,
+        request: &ScheduleRequest<'_>,
+        buffers: &mut UpgradeBuffers,
+        mut explain: Option<&mut ScheduleExplain>,
+    ) -> Schedule {
         let mut ctx = UpgradeContext::from_buffers(request, buffers);
 
         // Phase 1 (similar to ASF): smallest molecule per SI, in id order.
@@ -46,6 +57,9 @@ impl AtomScheduler for SjfScheduler {
                 .min_by_key(|&(i, c)| (ctx.add_atoms(i), c.latency))
                 .map(|(i, _)| i);
             if let Some(i) = smallest {
+                if let Some(ex) = explain.as_deref_mut() {
+                    record_starter(ex, &ctx, sel.si, i);
+                }
                 ctx.commit(i);
             }
         }
@@ -66,7 +80,26 @@ impl AtomScheduler for SjfScheduler {
                 })
                 .map(|(i, _)| i);
             match best {
-                Some(i) => ctx.commit(i),
+                Some(i) => {
+                    if let Some(ex) = explain.as_deref_mut() {
+                        let scored: Vec<CandidateScore> = ctx
+                            .candidates()
+                            .iter()
+                            .enumerate()
+                            .map(|(j, c)| CandidateScore {
+                                si: c.si,
+                                variant_index: c.variant_index,
+                                gain: u64::from(ctx.improvement(j)),
+                                cost: u64::from(ctx.add_atoms(j)),
+                            })
+                            .collect();
+                        // `scored` is parallel to the candidate list, so the
+                        // winner is simply `scored[i]`.
+                        let chosen = scored[i];
+                        ex.record("smallest-job", scored, Some(chosen));
+                    }
+                    ctx.commit(i);
+                }
                 None => break,
             }
         }

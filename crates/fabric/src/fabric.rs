@@ -77,6 +77,64 @@ pub enum FabricEvent {
     },
 }
 
+/// One entry in the fabric's optional container-transition journal.
+///
+/// Unlike [`FabricEvent`] — which reports only what the run-time manager
+/// must *react* to — the journal records every container state transition,
+/// including load *starts*, so observers can reconstruct the full
+/// load→ready→faulty timeline of each Atom Container (e.g. for Perfetto
+/// trace export). Disabled by default; see [`Fabric::set_journal_enabled`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricJournalEntry {
+    /// A bitstream transfer began streaming into `container` at `at` and
+    /// will occupy the port until `finish` (unless aborted earlier).
+    LoadStarted {
+        /// Target container.
+        container: ContainerId,
+        /// Atom being loaded.
+        atom: AtomTypeId,
+        /// Cycle the transfer started.
+        at: u64,
+        /// Cycle the transfer is due to complete.
+        finish: u64,
+    },
+    /// The transfer into `container` completed; the atom is usable.
+    LoadFinished {
+        /// Container now holding the atom.
+        container: ContainerId,
+        /// The atom that became usable.
+        atom: AtomTypeId,
+        /// Completion cycle.
+        at: u64,
+    },
+    /// The transfer was rejected (CRC abort or target tile death).
+    LoadAborted {
+        /// Container the load was streaming into.
+        container: ContainerId,
+        /// Atom whose load was rejected.
+        atom: AtomTypeId,
+        /// Abort cycle.
+        at: u64,
+    },
+    /// An SEU corrupted the loaded atom; the container is faulty until
+    /// scrubbed (reloaded).
+    AtomCorrupted {
+        /// Container holding the corrupted configuration.
+        container: ContainerId,
+        /// The corrupted atom.
+        atom: AtomTypeId,
+        /// Cycle of the upset.
+        at: u64,
+    },
+    /// The container was permanently taken out of service.
+    ContainerQuarantined {
+        /// The quarantined container.
+        container: ContainerId,
+        /// Quarantine cycle.
+        at: u64,
+    },
+}
+
 /// Aggregate fabric statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FabricStats {
@@ -172,6 +230,9 @@ pub struct Fabric {
     now: u64,
     stats: FabricStats,
     fault: Option<FaultState>,
+    /// Container-transition journal; empty unless enabled.
+    journal_enabled: bool,
+    journal: Vec<FabricJournalEntry>,
 }
 
 impl Fabric {
@@ -204,6 +265,8 @@ impl Fabric {
             now: 0,
             stats: FabricStats::default(),
             fault: None,
+            journal_enabled: false,
+            journal: Vec::new(),
         }
     }
 
@@ -330,6 +393,36 @@ impl Fabric {
         self.in_flight.is_none() && self.queue.is_empty()
     }
 
+    /// Enables (or disables) the container-transition journal. While
+    /// enabled, every load start/finish/abort, corruption and quarantine is
+    /// appended to an internal buffer that observers drain via
+    /// [`Fabric::drain_journal`]. Off by default so fault-free hot paths
+    /// never allocate for it.
+    pub fn set_journal_enabled(&mut self, enabled: bool) {
+        self.journal_enabled = enabled;
+        if !enabled {
+            self.journal.clear();
+        }
+    }
+
+    /// Whether the container-transition journal is being recorded.
+    #[must_use]
+    pub fn journal_enabled(&self) -> bool {
+        self.journal_enabled
+    }
+
+    /// Moves all buffered journal entries (chronological order) into `out`.
+    pub fn drain_journal(&mut self, out: &mut Vec<FabricJournalEntry>) {
+        out.append(&mut self.journal);
+    }
+
+    #[inline]
+    fn record(&mut self, entry: FabricJournalEntry) {
+        if self.journal_enabled {
+            self.journal.push(entry);
+        }
+    }
+
     /// Marks the given atom set as protected from eviction (normally
     /// `sup(M)` of the Molecules selected for the upcoming hot spot).
     ///
@@ -445,7 +538,7 @@ impl Fabric {
         if self.containers[id.index()].is_quarantined() {
             return Ok(());
         }
-        self.quarantine_container(id.index());
+        self.quarantine_container(id.index(), self.now);
         self.stats.containers_quarantined += 1;
         self.try_start_next(self.now);
         Ok(())
@@ -554,7 +647,7 @@ impl Fabric {
                 // Capture a load streaming into the dying tile before the
                 // quarantine clears it, so the abort is observable.
                 let killed = self.in_flight.filter(|fl| fl.container.index() == i);
-                self.quarantine_container(i);
+                self.quarantine_container(i, t);
                 self.stats.permanent_failures += 1;
                 self.stats.containers_quarantined += 1;
                 events.push(FabricEvent::ContainerFailed {
@@ -577,9 +670,11 @@ impl Fabric {
                 if let Some(atom) = self.containers[i].corrupt() {
                     self.remove_available(atom);
                     self.stats.seu_corruptions += 1;
+                    let container = self.containers[i].id();
+                    self.record(FabricJournalEntry::AtomCorrupted { container, atom, at: t });
                     events.push(FabricEvent::AtomCorrupted {
                         atom,
-                        container: self.containers[i].id(),
+                        container,
                         at: t,
                     });
                 }
@@ -591,6 +686,11 @@ impl Fabric {
                     self.containers[i].abort_load();
                     self.stats.loads_aborted += 1;
                     self.stats.fault_cycles_lost += fl.cycles;
+                    self.record(FabricJournalEntry::LoadAborted {
+                        container: fl.container,
+                        atom: fl.atom,
+                        at: t,
+                    });
                     events.push(FabricEvent::LoadAborted {
                         atom: fl.atom,
                         container: fl.container,
@@ -610,6 +710,11 @@ impl Fabric {
                             f.corrupt_at[i] = Some(t + f.rng.seu_lifetime(f.model.seu_per_gcycle));
                         }
                     }
+                    self.record(FabricJournalEntry::LoadFinished {
+                        container: fl.container,
+                        atom: fl.atom,
+                        at: t,
+                    });
                     events.push(FabricEvent::Completed(LoadCompleted {
                         atom: fl.atom,
                         container: fl.container,
@@ -628,7 +733,7 @@ impl Fabric {
     /// Quarantines container `i` in place: kills a load streaming into it
     /// (accounting the port cycles as lost), removes a loaded atom from the
     /// available set and clears the container's fault schedule.
-    fn quarantine_container(&mut self, i: usize) {
+    fn quarantine_container(&mut self, i: usize, at: u64) {
         if let Some(atom) = self.containers[i].loaded_atom() {
             self.remove_available(atom);
         }
@@ -641,7 +746,16 @@ impl Fabric {
             self.in_flight = None;
             self.stats.loads_aborted += 1;
             self.stats.fault_cycles_lost += fl.cycles;
+            self.record(FabricJournalEntry::LoadAborted {
+                container: fl.container,
+                atom: fl.atom,
+                at,
+            });
         }
+        self.record(FabricJournalEntry::ContainerQuarantined {
+            container: ContainerId(u16::try_from(i).expect("container index fits u16")),
+            at,
+        });
     }
 
     fn remove_available(&mut self, atom: AtomTypeId) {
@@ -699,6 +813,12 @@ impl Fabric {
                 f.corrupt_at[victim.index()] = None;
             }
             self.containers[victim.index()].begin_load(atom, finish);
+            self.record(FabricJournalEntry::LoadStarted {
+                container: victim,
+                atom,
+                at,
+                finish,
+            });
             self.in_flight = Some(InFlight {
                 atom,
                 container: victim,

@@ -44,6 +44,8 @@ mod port;
 pub use clock::ClockDomain;
 pub use container::{AtomContainer, ContainerId, ContainerState};
 pub use error::FabricError;
-pub use fabric::{Fabric, FabricConfig, FabricEvent, FabricStats, LoadCompleted};
+pub use fabric::{
+    Fabric, FabricConfig, FabricEvent, FabricJournalEntry, FabricStats, LoadCompleted,
+};
 pub use fault::FaultModel;
 pub use port::ReconfigPortConfig;

@@ -97,6 +97,24 @@ pub trait ExecutionSystem {
     fn has_pending_activity(&self) -> bool {
         true
     }
+
+    /// Drains any scheduler/selector decision explanations captured since
+    /// the last call into `out`. Backends without decision capture (the
+    /// baselines and most custom backends) keep the default no-op; the
+    /// replay loop turns drained entries into
+    /// [`SimEvent::Decision`](crate::SimEvent::Decision) events.
+    fn drain_decisions(&mut self, out: &mut Vec<rispp_core::DecisionExplain>) {
+        let _ = out;
+    }
+
+    /// Drains any fabric container-lifecycle journal entries recorded since
+    /// the last call into `out`. The default is a no-op; the replay loop
+    /// turns drained entries into
+    /// [`SimEvent::ContainerTransition`](crate::SimEvent::ContainerTransition)
+    /// events.
+    fn drain_fabric_journal(&mut self, out: &mut Vec<rispp_fabric::FabricJournalEntry>) {
+        let _ = out;
+    }
 }
 
 /// The RISPP run-time system as an [`ExecutionSystem`]: a thin adapter
@@ -200,6 +218,14 @@ impl ExecutionSystem for RisppBackend<'_> {
         // Covers port completions, backoff-delayed starts, SEU upsets and
         // scheduled tile failures alike: any future internal fabric event.
         self.manager.fabric().next_event_at().is_some()
+    }
+
+    fn drain_decisions(&mut self, out: &mut Vec<rispp_core::DecisionExplain>) {
+        self.manager.take_decisions(out);
+    }
+
+    fn drain_fabric_journal(&mut self, out: &mut Vec<rispp_fabric::FabricJournalEntry>) {
+        self.manager.drain_fabric_journal(out);
     }
 }
 

@@ -1,11 +1,11 @@
-use rispp_core::{RecoveryPolicy, RecoveryStats, RunTimeManager, SchedulerKind};
-use rispp_fabric::FaultModel;
+use rispp_core::{DecisionExplain, RecoveryPolicy, RecoveryStats, RunTimeManager, SchedulerKind};
+use rispp_fabric::{FabricJournalEntry, FaultModel};
 use rispp_model::SiLibrary;
 use rispp_monitor::ForecastPolicy;
 
 use crate::backend::{ExecutionSystem, RisppBackend, SoftwareBackend};
 use crate::baseline::MolenSystem;
-use crate::observer::{SimEvent, SimObserver};
+use crate::observer::{HotSpotOrigin, SimEvent, SimObserver};
 use crate::stats::{RunStats, DEFAULT_BUCKET_CYCLES};
 use crate::trace::Trace;
 
@@ -93,6 +93,14 @@ pub struct SimConfig {
     /// Seeded fault injection (RISPP only; the baselines model ideal
     /// hardware). `None` disables injection entirely.
     pub fault: Option<FaultConfig>,
+    /// Capture every selection+schedule decision as
+    /// [`SimEvent::Decision`] events (RISPP only). Off by default: the
+    /// decision recorder then does no work at all.
+    pub explain: bool,
+    /// Record the fabric's container-transition journal and emit it as
+    /// [`SimEvent::ContainerTransition`] events (RISPP only). Off by
+    /// default.
+    pub journal: bool,
 }
 
 impl SimConfig {
@@ -108,6 +116,8 @@ impl SimConfig {
             oracle: false,
             port_bandwidth: None,
             fault: None,
+            explain: false,
+            journal: false,
         }
     }
 
@@ -123,6 +133,8 @@ impl SimConfig {
             oracle: false,
             port_bandwidth: None,
             fault: None,
+            explain: false,
+            journal: false,
         }
     }
 
@@ -138,6 +150,8 @@ impl SimConfig {
             oracle: false,
             port_bandwidth: None,
             fault: None,
+            explain: false,
+            journal: false,
         }
     }
 
@@ -178,6 +192,24 @@ impl SimConfig {
         self
     }
 
+    /// Enables scheduler-decision capture (builder style): the RISPP
+    /// backend emits one [`SimEvent::Decision`] per selection+schedule.
+    /// Simulated cycles and [`RunStats`] are bit-identical either way.
+    #[must_use]
+    pub fn with_explain(mut self, explain: bool) -> Self {
+        self.explain = explain;
+        self
+    }
+
+    /// Enables the fabric container-transition journal (builder style):
+    /// the RISPP backend emits [`SimEvent::ContainerTransition`] events.
+    /// Simulated cycles and [`RunStats`] are bit-identical either way.
+    #[must_use]
+    pub fn with_journal(mut self, journal: bool) -> Self {
+        self.journal = journal;
+        self
+    }
+
     /// Builds the configured execution system over `library`.
     ///
     /// This is the factory behind [`simulate`]: every [`SystemKind`] maps
@@ -203,7 +235,11 @@ impl SimConfig {
                             ..RecoveryPolicy::default()
                         });
                 }
-                Box::new(RisppBackend::new(builder.build(), kind).with_oracle(self.oracle))
+                let mut manager = builder.explain(self.explain).build();
+                if self.journal {
+                    manager.set_journal_enabled(true);
+                }
+                Box::new(RisppBackend::new(manager, kind).with_oracle(self.oracle))
             }
             SystemKind::Molen => Box::new(MolenSystem::new(library, self.containers)),
             SystemKind::OneChip => Box::new(MolenSystem::one_chip(library, self.containers)),
@@ -237,6 +273,27 @@ fn poll_loads(
             },
         );
         *loads_seen = loads;
+    }
+}
+
+/// Drains the backend's captured decisions and fabric journal (both
+/// no-ops and allocation-free unless `SimConfig::explain` / `journal`
+/// enabled them) and emits each item as a typed event. The buffers are
+/// reused across calls so the hot path never allocates for disabled
+/// telemetry.
+fn poll_telemetry(
+    system: &mut dyn ExecutionSystem,
+    decisions: &mut Vec<DecisionExplain>,
+    journal: &mut Vec<FabricJournalEntry>,
+    observers: &mut [&mut (dyn SimObserver + '_)],
+) {
+    system.drain_decisions(decisions);
+    for d in decisions.drain(..) {
+        emit(observers, SimEvent::Decision(Box::new(d)));
+    }
+    system.drain_fabric_journal(journal);
+    for entry in journal.drain(..) {
+        emit(observers, SimEvent::ContainerTransition(entry));
     }
 }
 
@@ -321,6 +378,11 @@ pub fn simulate_with(
     let mut recovery_seen = RecoveryStats::default();
     // One segment buffer for the whole replay; refilled per burst.
     let mut segments = Vec::new();
+    // Telemetry drain buffers, reused for the whole replay; both stay
+    // empty (and unallocated) while decision capture / the fabric journal
+    // are disabled.
+    let mut decisions: Vec<DecisionExplain> = Vec::new();
+    let mut journal: Vec<FabricJournalEntry> = Vec::new();
     // Observers interested in the per-segment stream, resolved once —
     // the segment dispatch below runs millions of times per replay.
     let seg_observers: Vec<usize> = observers
@@ -335,9 +397,11 @@ pub fn simulate_with(
             SimEvent::HotSpotEntered {
                 hot_spot: inv.hot_spot,
                 now,
+                origin: HotSpotOrigin::Annotated,
             },
         );
         system.enter_hot_spot(inv, now);
+        poll_telemetry(system, &mut decisions, &mut journal, observers);
         // The prologue advances the clock unconditionally, *before* the
         // burst loop: an invocation whose bursts are all empty (count 0)
         // must still cost its prologue, and `exit_hot_spot` below must see
@@ -374,10 +438,12 @@ pub fn simulate_with(
             if watch {
                 poll_loads(system, &mut loads_seen, now, observers);
                 poll_recovery(system, &mut recovery_seen, now, observers);
+                poll_telemetry(system, &mut decisions, &mut journal, observers);
             }
         }
         system.exit_hot_spot(now);
         poll_recovery(system, &mut recovery_seen, now, observers);
+        poll_telemetry(system, &mut decisions, &mut journal, observers);
     }
     let (loads, cycles) = system.reconfiguration_stats();
     if loads > loads_seen {

@@ -81,96 +81,205 @@ pub fn latency_timeline_csv(stats: &RunStats, library: &SiLibrary) -> String {
     out
 }
 
-/// Renders a recorded event stream as a JSONL log: one JSON object per
-/// line, each with an `"event"` discriminator — the serialisation behind
+/// Version of the JSONL event-log schema emitted by [`event_log_jsonl`].
+/// Bumped whenever a field or variant changes shape; consumers check the
+/// `{"event":"schema","schema_version":N}` header line.
+pub const EVENT_LOG_SCHEMA_VERSION: u32 = 2;
+
+/// Appends the JSONL schema-header line (the first line of every event
+/// log) to `out`.
+pub fn write_schema_header(out: &mut String) {
+    let _ = writeln!(
+        out,
+        r#"{{"event":"schema","schema_version":{EVENT_LOG_SCHEMA_VERSION}}}"#
+    );
+}
+
+/// Renders a recorded event stream as a JSONL log: a schema-header line
+/// followed by one JSON object per event, each with an `"event"`
+/// discriminator — the serialisation behind
 /// [`TraceLogObserver::to_jsonl`](crate::TraceLogObserver::to_jsonl) and
 /// the CLI's `--log-events` flag.
 #[must_use]
 pub fn event_log_jsonl(events: &[SimEvent]) -> String {
     let mut out = String::new();
+    write_schema_header(&mut out);
     for event in events {
-        match *event {
-            SimEvent::HotSpotEntered { hot_spot, now } => {
-                let _ = writeln!(
-                    out,
-                    r#"{{"event":"hot_spot_entered","hot_spot":{},"now":{now}}}"#,
-                    hot_spot.0
-                );
-            }
-            SimEvent::SegmentExecuted {
-                si,
-                segment,
-                overhead,
-            } => {
-                let _ = write!(
-                    out,
-                    r#"{{"event":"segment_executed","si":{},"start":{},"count":{},"latency":{},"overhead":{overhead},"#,
-                    si.index(),
-                    segment.start,
-                    segment.count,
-                    segment.latency,
-                );
-                match segment.variant_index {
-                    Some(v) => {
-                        let _ = writeln!(out, r#""variant":{v}}}"#);
-                    }
-                    None => {
-                        let _ = writeln!(out, r#""variant":null}}"#);
-                    }
-                }
-            }
-            SimEvent::LoadCompleted {
-                completed,
-                total,
-                now,
-            } => {
-                let _ = writeln!(
-                    out,
-                    r#"{{"event":"load_completed","completed":{completed},"total":{total},"now":{now}}}"#
-                );
-            }
-            SimEvent::FaultInjected {
-                count,
-                total,
-                cycles_lost,
-                now,
-            } => {
-                let _ = writeln!(
-                    out,
-                    r#"{{"event":"fault_injected","count":{count},"total":{total},"cycles_lost":{cycles_lost},"now":{now}}}"#
-                );
-            }
-            SimEvent::LoadRetried { count, total, now } => {
-                let _ = writeln!(
-                    out,
-                    r#"{{"event":"load_retried","count":{count},"total":{total},"now":{now}}}"#
-                );
-            }
-            SimEvent::ContainerQuarantined { count, total, now } => {
-                let _ = writeln!(
-                    out,
-                    r#"{{"event":"container_quarantined","count":{count},"total":{total},"now":{now}}}"#
-                );
-            }
-            SimEvent::DegradedToSoftware { count, total, now } => {
-                let _ = writeln!(
-                    out,
-                    r#"{{"event":"degraded_to_software","count":{count},"total":{total},"now":{now}}}"#
-                );
-            }
-            SimEvent::RunFinished {
-                total_cycles,
-                reconfigurations,
-                reconfiguration_cycles,
-            } => {
-                let _ = writeln!(
-                    out,
-                    r#"{{"event":"run_finished","total_cycles":{total_cycles},"reconfigurations":{reconfigurations},"reconfiguration_cycles":{reconfiguration_cycles}}}"#
-                );
-            }
-        }
+        write_event_jsonl(&mut out, event);
     }
     out
+}
+
+/// Appends one event as a single JSONL line to `out` — the streaming
+/// building block behind [`event_log_jsonl`] and
+/// [`TraceLogObserver::streaming`](crate::TraceLogObserver::streaming).
+pub fn write_event_jsonl(out: &mut String, event: &SimEvent) {
+    use rispp_fabric::FabricJournalEntry;
+
+    match event {
+        SimEvent::HotSpotEntered {
+            hot_spot,
+            now,
+            origin,
+        } => {
+            let origin = match origin {
+                crate::HotSpotOrigin::Annotated => "annotated",
+                crate::HotSpotOrigin::Detected => "detected",
+            };
+            let _ = writeln!(
+                out,
+                r#"{{"event":"hot_spot_entered","hot_spot":{},"now":{now},"origin":"{origin}"}}"#,
+                hot_spot.0
+            );
+        }
+        SimEvent::SegmentExecuted {
+            si,
+            segment,
+            overhead,
+        } => {
+            let _ = write!(
+                out,
+                r#"{{"event":"segment_executed","si":{},"start":{},"count":{},"latency":{},"overhead":{overhead},"#,
+                si.index(),
+                segment.start,
+                segment.count,
+                segment.latency,
+            );
+            match segment.variant_index {
+                Some(v) => {
+                    let _ = writeln!(out, r#""variant":{v}}}"#);
+                }
+                None => {
+                    let _ = writeln!(out, r#""variant":null}}"#);
+                }
+            }
+        }
+        SimEvent::LoadCompleted {
+            completed,
+            total,
+            now,
+        } => {
+            let _ = writeln!(
+                out,
+                r#"{{"event":"load_completed","completed":{completed},"total":{total},"now":{now}}}"#
+            );
+        }
+        SimEvent::FaultInjected {
+            count,
+            total,
+            cycles_lost,
+            now,
+        } => {
+            let _ = writeln!(
+                out,
+                r#"{{"event":"fault_injected","count":{count},"total":{total},"cycles_lost":{cycles_lost},"now":{now}}}"#
+            );
+        }
+        SimEvent::LoadRetried { count, total, now } => {
+            let _ = writeln!(
+                out,
+                r#"{{"event":"load_retried","count":{count},"total":{total},"now":{now}}}"#
+            );
+        }
+        SimEvent::ContainerQuarantined { count, total, now } => {
+            let _ = writeln!(
+                out,
+                r#"{{"event":"container_quarantined","count":{count},"total":{total},"now":{now}}}"#
+            );
+        }
+        SimEvent::DegradedToSoftware { count, total, now } => {
+            let _ = writeln!(
+                out,
+                r#"{{"event":"degraded_to_software","count":{count},"total":{total},"now":{now}}}"#
+            );
+        }
+        SimEvent::Decision(d) => {
+            let upgrades = d
+                .schedule
+                .rounds
+                .iter()
+                .filter(|r| r.chosen.is_some())
+                .count();
+            let _ = write!(
+                out,
+                r#"{{"event":"decision","now":{},"containers":{},"scheduler":"{}","selected":{},"rejected":{},"selection_rounds":{},"schedule_rounds":{},"upgrades":{},"hot_spot":"#,
+                d.now,
+                d.containers,
+                d.schedule.scheduler,
+                d.selection.selection.len(),
+                d.selection.rejected.len(),
+                d.selection.rounds.len(),
+                d.schedule.rounds.len(),
+                upgrades,
+            );
+            match d.hot_spot {
+                Some(hs) => {
+                    let _ = writeln!(out, "{}}}", hs.0);
+                }
+                None => {
+                    let _ = writeln!(out, "null}}");
+                }
+            }
+        }
+        SimEvent::ContainerTransition(entry) => {
+            match entry {
+                FabricJournalEntry::LoadStarted {
+                    container,
+                    atom,
+                    at,
+                    finish,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        r#"{{"event":"container_transition","kind":"load_started","container":{},"atom":{},"at":{at},"finish":{finish}}}"#,
+                        container.index(),
+                        atom.index()
+                    );
+                }
+                FabricJournalEntry::LoadFinished { container, atom, at } => {
+                    let _ = writeln!(
+                        out,
+                        r#"{{"event":"container_transition","kind":"load_finished","container":{},"atom":{},"at":{at}}}"#,
+                        container.index(),
+                        atom.index()
+                    );
+                }
+                FabricJournalEntry::LoadAborted { container, atom, at } => {
+                    let _ = writeln!(
+                        out,
+                        r#"{{"event":"container_transition","kind":"load_aborted","container":{},"atom":{},"at":{at}}}"#,
+                        container.index(),
+                        atom.index()
+                    );
+                }
+                FabricJournalEntry::AtomCorrupted { container, atom, at } => {
+                    let _ = writeln!(
+                        out,
+                        r#"{{"event":"container_transition","kind":"atom_corrupted","container":{},"atom":{},"at":{at}}}"#,
+                        container.index(),
+                        atom.index()
+                    );
+                }
+                FabricJournalEntry::ContainerQuarantined { container, at } => {
+                    let _ = writeln!(
+                        out,
+                        r#"{{"event":"container_transition","kind":"container_quarantined","container":{},"at":{at}}}"#,
+                        container.index()
+                    );
+                }
+            }
+        }
+        SimEvent::RunFinished {
+            total_cycles,
+            reconfigurations,
+            reconfiguration_cycles,
+        } => {
+            let _ = writeln!(
+                out,
+                r#"{{"event":"run_finished","total_cycles":{total_cycles},"reconfigurations":{reconfigurations},"reconfiguration_cycles":{reconfiguration_cycles}}}"#
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -278,8 +387,12 @@ mod tests {
             );
         }
         let jsonl = log.to_jsonl();
-        assert_eq!(jsonl.lines().count(), log.events().len());
-        assert!(jsonl.starts_with(r#"{"event":"hot_spot_entered""#));
+        // One line per event plus the schema header.
+        assert_eq!(jsonl.lines().count(), log.events().len() + 1);
+        assert!(jsonl.starts_with(&format!(
+            r#"{{"event":"schema","schema_version":{EVENT_LOG_SCHEMA_VERSION}}}"#
+        )));
+        assert!(jsonl.lines().nth(1).unwrap().starts_with(r#"{"event":"hot_spot_entered""#));
         assert!(jsonl.lines().last().unwrap().starts_with(r#"{"event":"run_finished""#));
         for line in jsonl.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
@@ -293,5 +406,186 @@ mod tests {
         // The log must contain the executed segments and at least one load.
         assert!(jsonl.contains(r#""event":"segment_executed""#));
         assert!(jsonl.contains(r#""event":"load_completed""#));
+    }
+
+    /// Every [`SimEvent`] variant must serialise to one parseable JSON
+    /// object carrying its discriminator and every field a consumer needs.
+    #[test]
+    fn every_event_variant_round_trips_with_all_fields() {
+        use crate::observer::{HotSpotOrigin, SimEvent};
+        use rispp_core::{BurstSegment, DecisionExplain};
+        use rispp_fabric::{ContainerId, FabricJournalEntry};
+        use rispp_model::AtomTypeId;
+        use rispp_telemetry::JsonValue;
+
+        let decision = DecisionExplain {
+            now: 77,
+            hot_spot: Some(HotSpotId(3)),
+            containers: 9,
+            ..DecisionExplain::default()
+        };
+        // (event, discriminator, required fields) — one row per variant.
+        let cases: Vec<(SimEvent, &str, &[&str])> = vec![
+            (
+                SimEvent::HotSpotEntered {
+                    hot_spot: HotSpotId(1),
+                    now: 10,
+                    origin: HotSpotOrigin::Detected,
+                },
+                "hot_spot_entered",
+                &["hot_spot", "now", "origin"],
+            ),
+            (
+                SimEvent::SegmentExecuted {
+                    si: SiId(2),
+                    segment: BurstSegment::hardware(20, 5, 30, 1),
+                    overhead: 4,
+                },
+                "segment_executed",
+                &["si", "start", "count", "latency", "overhead", "variant"],
+            ),
+            (
+                SimEvent::LoadCompleted {
+                    completed: 1,
+                    total: 2,
+                    now: 30,
+                },
+                "load_completed",
+                &["completed", "total", "now"],
+            ),
+            (
+                SimEvent::FaultInjected {
+                    count: 1,
+                    total: 3,
+                    cycles_lost: 500,
+                    now: 40,
+                },
+                "fault_injected",
+                &["count", "total", "cycles_lost", "now"],
+            ),
+            (
+                SimEvent::LoadRetried {
+                    count: 1,
+                    total: 4,
+                    now: 50,
+                },
+                "load_retried",
+                &["count", "total", "now"],
+            ),
+            (
+                SimEvent::ContainerQuarantined {
+                    count: 1,
+                    total: 5,
+                    now: 60,
+                },
+                "container_quarantined",
+                &["count", "total", "now"],
+            ),
+            (
+                SimEvent::DegradedToSoftware {
+                    count: 1,
+                    total: 6,
+                    now: 70,
+                },
+                "degraded_to_software",
+                &["count", "total", "now"],
+            ),
+            (
+                SimEvent::Decision(Box::new(decision)),
+                "decision",
+                &[
+                    "now",
+                    "containers",
+                    "scheduler",
+                    "selected",
+                    "rejected",
+                    "selection_rounds",
+                    "schedule_rounds",
+                    "upgrades",
+                    "hot_spot",
+                ],
+            ),
+            (
+                SimEvent::ContainerTransition(FabricJournalEntry::LoadStarted {
+                    container: ContainerId(0),
+                    atom: AtomTypeId(1),
+                    at: 80,
+                    finish: 90,
+                }),
+                "container_transition",
+                &["kind", "container", "atom", "at", "finish"],
+            ),
+            (
+                SimEvent::ContainerTransition(FabricJournalEntry::LoadFinished {
+                    container: ContainerId(0),
+                    atom: AtomTypeId(1),
+                    at: 90,
+                }),
+                "container_transition",
+                &["kind", "container", "atom", "at"],
+            ),
+            (
+                SimEvent::ContainerTransition(FabricJournalEntry::LoadAborted {
+                    container: ContainerId(0),
+                    atom: AtomTypeId(1),
+                    at: 91,
+                }),
+                "container_transition",
+                &["kind", "container", "atom", "at"],
+            ),
+            (
+                SimEvent::ContainerTransition(FabricJournalEntry::AtomCorrupted {
+                    container: ContainerId(0),
+                    atom: AtomTypeId(1),
+                    at: 92,
+                }),
+                "container_transition",
+                &["kind", "container", "atom", "at"],
+            ),
+            (
+                SimEvent::ContainerTransition(FabricJournalEntry::ContainerQuarantined {
+                    container: ContainerId(0),
+                    at: 93,
+                }),
+                "container_transition",
+                &["kind", "container", "at"],
+            ),
+            (
+                SimEvent::RunFinished {
+                    total_cycles: 100,
+                    reconfigurations: 7,
+                    reconfiguration_cycles: 800,
+                },
+                "run_finished",
+                &["total_cycles", "reconfigurations", "reconfiguration_cycles"],
+            ),
+        ];
+
+        let events: Vec<SimEvent> = cases.iter().map(|(e, _, _)| e.clone()).collect();
+        let jsonl = event_log_jsonl(&events);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), cases.len() + 1);
+
+        let header = JsonValue::parse(lines[0]).expect("schema header parses");
+        assert_eq!(header.get("event").and_then(JsonValue::as_str), Some("schema"));
+        assert_eq!(
+            header.get("schema_version").and_then(JsonValue::as_u64),
+            Some(u64::from(EVENT_LOG_SCHEMA_VERSION))
+        );
+
+        for ((_, discriminator, fields), line) in cases.iter().zip(&lines[1..]) {
+            let value = JsonValue::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(
+                value.get("event").and_then(JsonValue::as_str),
+                Some(*discriminator),
+                "{line}"
+            );
+            for field in *fields {
+                assert!(
+                    value.get(field).is_some(),
+                    "field `{field}` missing from {line}"
+                );
+            }
+        }
     }
 }

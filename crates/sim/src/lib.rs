@@ -61,12 +61,16 @@ pub mod export;
 mod observer;
 mod stats;
 mod sweep;
+mod telemetry;
 mod trace;
 
 pub use backend::{ExecutionSystem, RisppBackend, SoftwareBackend};
 pub use baseline::{molen_select, MolenSystem};
 pub use engine::{simulate, simulate_observed, simulate_with, FaultConfig, SimConfig, SystemKind};
-pub use observer::{ProgressObserver, SimEvent, SimObserver, TraceLogObserver};
+pub use observer::{
+    HotSpotOrigin, ProgressObserver, SimEvent, SimObserver, TraceLogObserver,
+};
 pub use stats::{LatencyEvent, RunStats, DEFAULT_BUCKET_CYCLES};
 pub use sweep::{SweepJob, SweepRunner, THREADS_ENV};
+pub use telemetry::{DetectorObserver, MetricsObserver, NullRecorder, PerfettoTraceObserver};
 pub use trace::{Burst, Invocation, Trace};

@@ -7,17 +7,33 @@
 //! stream for JSONL export ([`crate::export::event_log_jsonl`]) and
 //! [`ProgressObserver`] counts finished runs across a parallel sweep.
 
+use std::fmt;
+use std::io::{self, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use rispp_core::BurstSegment;
+use rispp_core::{BurstSegment, DecisionExplain};
+use rispp_fabric::FabricJournalEntry;
 use rispp_model::SiId;
 use rispp_monitor::HotSpotId;
 
 use crate::stats::RunStats;
 
-/// One typed event of a simulation run, in emission order.
+/// How a [`SimEvent::HotSpotEntered`] transition became known.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotSpotOrigin {
+    /// The trace carried an explicit hot-spot marker (the compile-time
+    /// annotation path of the paper).
+    Annotated,
+    /// The transition was inferred from the SI execution stream by the
+    /// windowed [`rispp_monitor::HotSpotDetector`] (the companion-work
+    /// hardware detector), surfaced by
+    /// [`DetectorObserver`](crate::DetectorObserver).
+    Detected,
+}
+
+/// One typed event of a simulation run, in emission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimEvent {
     /// The system entered a hot spot at cycle `now` (before the prologue).
     HotSpotEntered {
@@ -25,6 +41,9 @@ pub enum SimEvent {
         hot_spot: HotSpotId,
         /// Cycle of entry.
         now: u64,
+        /// Whether the entry came from a trace annotation or was detected
+        /// from the execution stream.
+        origin: HotSpotOrigin,
     },
     /// One homogeneous-latency stretch of a burst finished replaying.
     SegmentExecuted {
@@ -87,6 +106,15 @@ pub enum SimEvent {
         /// Replay cycle at which the advance was observed.
         now: u64,
     },
+    /// One Molecule-selection + Atom-schedule decision of the run-time
+    /// manager, with all scored candidates and the chosen winners (emitted
+    /// only when [`SimConfig::explain`](crate::SimConfig) is on). Boxed:
+    /// the payload is large and rare relative to segment events.
+    Decision(Box<DecisionExplain>),
+    /// One Atom Container state transition from the fabric's journal
+    /// (emitted only when [`SimConfig::journal`](crate::SimConfig) is on).
+    /// Each entry carries its own exact cycle.
+    ContainerTransition(FabricJournalEntry),
     /// The trace is fully replayed.
     RunFinished {
         /// Total execution time in cycles.
@@ -119,17 +147,27 @@ pub trait SimObserver {
     }
 }
 
+impl<O: SimObserver + ?Sized> SimObserver for &mut O {
+    fn on_event(&mut self, event: &SimEvent) {
+        (**self).on_event(event);
+    }
+
+    fn wants_segments(&self) -> bool {
+        (**self).wants_segments()
+    }
+}
+
 impl SimObserver for RunStats {
     fn on_event(&mut self, event: &SimEvent) {
-        match *event {
+        match event {
             SimEvent::SegmentExecuted {
                 si,
                 segment,
                 overhead,
             } => {
-                let per = u64::from(segment.latency) + u64::from(overhead);
+                let per = u64::from(segment.latency) + u64::from(*overhead);
                 self.record_segment(
-                    si,
+                    *si,
                     segment.start,
                     segment.count,
                     per,
@@ -142,62 +180,135 @@ impl SimObserver for RunStats {
                 reconfigurations,
                 reconfiguration_cycles,
             } => {
-                self.total_cycles = total_cycles;
-                self.reconfigurations = reconfigurations;
-                self.reconfiguration_cycles = reconfiguration_cycles;
+                self.total_cycles = *total_cycles;
+                self.reconfigurations = *reconfigurations;
+                self.reconfiguration_cycles = *reconfiguration_cycles;
             }
             SimEvent::FaultInjected {
                 total, cycles_lost, ..
             } => {
-                self.faults_injected = total;
-                self.fault_cycles_lost = cycles_lost;
+                self.faults_injected = *total;
+                self.fault_cycles_lost = *cycles_lost;
             }
             SimEvent::LoadRetried { total, .. } => {
-                self.load_retries = total;
+                self.load_retries = *total;
             }
             SimEvent::ContainerQuarantined { total, .. } => {
-                self.containers_quarantined = total;
+                self.containers_quarantined = *total;
             }
             SimEvent::DegradedToSoftware { total, .. } => {
-                self.degraded_to_software = total;
+                self.degraded_to_software = *total;
             }
-            SimEvent::HotSpotEntered { .. } | SimEvent::LoadCompleted { .. } => {}
+            SimEvent::HotSpotEntered { .. }
+            | SimEvent::LoadCompleted { .. }
+            | SimEvent::Decision(_)
+            | SimEvent::ContainerTransition(_) => {}
         }
     }
 }
 
-/// Records every event of a run for later export as a JSONL event log
-/// (see [`crate::export::event_log_jsonl`]). Opt-in, like
-/// `SimConfig::detail`: attach it only when the log is wanted — a full
-/// H.264 run emits one event per burst segment.
-#[derive(Debug, Clone, Default)]
+/// Records a run's event stream for JSONL export — either buffered in
+/// memory (see [`TraceLogObserver::new`], kept for tests and small runs)
+/// or **streamed** line by line into any [`io::Write`] sink
+/// ([`TraceLogObserver::streaming`]), so logging a 140-frame run holds one
+/// line of text in memory instead of millions of events. Opt-in, like
+/// `SimConfig::detail`: attach it only when the log is wanted.
+#[derive(Default)]
 pub struct TraceLogObserver {
     events: Vec<SimEvent>,
+    sink: Option<Box<dyn Write>>,
+    line: String,
+    error: Option<io::Error>,
+}
+
+impl fmt::Debug for TraceLogObserver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceLogObserver")
+            .field("events", &self.events.len())
+            .field("streaming", &self.sink.is_some())
+            .field("error", &self.error)
+            .finish()
+    }
 }
 
 impl TraceLogObserver {
-    /// Creates an empty log.
+    /// Creates an empty in-memory log.
     #[must_use]
     pub fn new() -> Self {
         TraceLogObserver::default()
     }
 
-    /// The recorded events in emission order.
+    /// Creates a write-through log: every event is rendered as one JSONL
+    /// line (schema header first) and written to `sink` immediately, and
+    /// nothing is buffered in memory. The first I/O error stops further
+    /// writes and is reported by [`TraceLogObserver::finish`].
+    #[must_use]
+    pub fn streaming<W: Write + 'static>(sink: W) -> Self {
+        let mut log = TraceLogObserver {
+            events: Vec::new(),
+            sink: Some(Box::new(sink)),
+            line: String::new(),
+            error: None,
+        };
+        crate::export::write_schema_header(&mut log.line);
+        log.flush_line();
+        log
+    }
+
+    /// Whether this log streams to a sink instead of buffering.
+    #[must_use]
+    pub fn is_streaming(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// The recorded events in emission order (always empty in streaming
+    /// mode — they went to the sink).
     #[must_use]
     pub fn events(&self) -> &[SimEvent] {
         &self.events
     }
 
-    /// Renders the recorded events as one JSON object per line.
+    /// Renders the buffered events as one JSON object per line, schema
+    /// header first.
     #[must_use]
     pub fn to_jsonl(&self) -> String {
         crate::export::event_log_jsonl(&self.events)
+    }
+
+    /// Flushes the sink and reports the first I/O error encountered while
+    /// streaming, if any. A no-op `Ok` for in-memory logs.
+    pub fn finish(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        match self.sink.as_mut() {
+            Some(sink) => sink.flush(),
+            None => Ok(()),
+        }
+    }
+
+    fn flush_line(&mut self) {
+        if self.error.is_some() {
+            self.line.clear();
+            return;
+        }
+        if let Some(sink) = self.sink.as_mut() {
+            if let Err(e) = sink.write_all(self.line.as_bytes()) {
+                self.error = Some(e);
+            }
+        }
+        self.line.clear();
     }
 }
 
 impl SimObserver for TraceLogObserver {
     fn on_event(&mut self, event: &SimEvent) {
-        self.events.push(*event);
+        if self.sink.is_some() {
+            crate::export::write_event_jsonl(&mut self.line, event);
+            self.flush_line();
+        } else {
+            self.events.push(event.clone());
+        }
     }
 }
 
@@ -278,6 +389,7 @@ mod tests {
             SimEvent::HotSpotEntered {
                 hot_spot: HotSpotId(0),
                 now: 0,
+                origin: HotSpotOrigin::Annotated,
             },
             SimEvent::RunFinished {
                 total_cycles: 1,
@@ -300,6 +412,7 @@ mod tests {
             p.on_event(&SimEvent::HotSpotEntered {
                 hot_spot: HotSpotId(0),
                 now: 0,
+                origin: HotSpotOrigin::Annotated,
             });
             p.on_event(&SimEvent::RunFinished {
                 total_cycles: 10,

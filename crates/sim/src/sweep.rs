@@ -20,10 +20,12 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rispp_model::SiLibrary;
+use rispp_telemetry::MetricsSnapshot;
 
 use crate::engine::{simulate, simulate_observed, SimConfig};
 use crate::observer::SimObserver;
 use crate::stats::RunStats;
+use crate::telemetry::MetricsObserver;
 use crate::trace::Trace;
 
 /// Environment variable overriding the sweep worker count.
@@ -193,6 +195,41 @@ impl SweepRunner {
                 boxes.iter_mut().map(|b| b.as_mut()).collect();
             simulate_observed(library, job.trace, &job.config, &mut extra)
         })
+    }
+
+    /// Like [`SweepRunner::run`], but attaches a fresh
+    /// [`MetricsObserver`] to every job and returns the per-job snapshots
+    /// merged into one. Jobs collect independently and the fold happens in
+    /// job order after the sweep (and snapshot merging is associative and
+    /// commutative besides), so the merged snapshot is bit-identical at
+    /// any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trace references SIs outside `library` (propagated from
+    /// [`simulate`]).
+    #[must_use]
+    pub fn run_metered(
+        &self,
+        library: &SiLibrary,
+        jobs: &[SweepJob<'_>],
+    ) -> (Vec<RunStats>, MetricsSnapshot) {
+        let pairs = self.run_map(jobs.len(), |i| {
+            let job = &jobs[i];
+            let mut metrics = MetricsObserver::new();
+            let stats = {
+                let mut extra: [&mut dyn SimObserver; 1] = [&mut metrics];
+                simulate_observed(library, job.trace, &job.config, &mut extra)
+            };
+            (stats, metrics.into_snapshot())
+        });
+        let mut merged = MetricsSnapshot::default();
+        let mut stats = Vec::with_capacity(pairs.len());
+        for (s, snapshot) in pairs {
+            merged.merge(&snapshot);
+            stats.push(s);
+        }
+        (stats, merged)
     }
 }
 

@@ -1,0 +1,211 @@
+//! Telemetry must be a pure observer: attaching recorders, enabling
+//! decision capture (`explain`) or the fabric journal must never perturb
+//! the simulated timeline. These tests pin that guarantee — plus the
+//! determinism of the merged metrics snapshot across sweep thread counts
+//! and the validity of the exported Perfetto trace on a real run.
+
+use proptest::prelude::*;
+
+use rispp_core::SchedulerKind;
+use rispp_model::{AtomTypeInfo, AtomUniverse, Molecule, SiId, SiLibrary, SiLibraryBuilder};
+use rispp_monitor::HotSpotId;
+use rispp_sim::{
+    simulate, simulate_observed, Burst, FaultConfig, Invocation, MetricsObserver, NullRecorder,
+    PerfettoTraceObserver, SimConfig, SimObserver, SweepJob, SweepRunner, Trace,
+};
+use rispp_telemetry::JsonValue;
+
+fn library() -> SiLibrary {
+    let universe = AtomUniverse::from_types([
+        AtomTypeInfo::new("A1"),
+        AtomTypeInfo::new("A2"),
+        AtomTypeInfo::new("A3"),
+    ])
+    .unwrap();
+    let mut b = SiLibraryBuilder::new(universe);
+    b.special_instruction("X", 1_000)
+        .unwrap()
+        .molecule(Molecule::from_counts([1, 0, 0]), 100)
+        .unwrap()
+        .molecule(Molecule::from_counts([2, 1, 0]), 30)
+        .unwrap();
+    b.special_instruction("Y", 800)
+        .unwrap()
+        .molecule(Molecule::from_counts([0, 1, 0]), 90)
+        .unwrap()
+        .molecule(Molecule::from_counts([0, 2, 1]), 40)
+        .unwrap();
+    b.build().unwrap()
+}
+
+fn trace(frames: usize) -> Trace {
+    (0..frames)
+        .map(|f| Invocation {
+            hot_spot: HotSpotId((f % 2) as u16),
+            prologue_cycles: 1_000,
+            bursts: vec![
+                Burst {
+                    si: SiId(0),
+                    count: 300 + (f as u32 % 3) * 40,
+                    overhead: 20,
+                },
+                Burst {
+                    si: SiId(1),
+                    count: 120,
+                    overhead: 15,
+                },
+            ],
+            hints: vec![(SiId(0), 300), (SiId(1), 120)],
+        })
+        .collect()
+}
+
+/// Runs `config` with the full telemetry stack attached (metrics, trace,
+/// null recorder) and capture enabled, returning the stats.
+fn run_with_telemetry(library: &SiLibrary, t: &Trace, config: &SimConfig) -> rispp_sim::RunStats {
+    let telemetry_config = config.with_explain(true).with_journal(true);
+    let mut metrics = MetricsObserver::new();
+    let mut perfetto = PerfettoTraceObserver::new();
+    let mut null = NullRecorder::new();
+    let mut extra: [&mut dyn SimObserver; 3] = [&mut metrics, &mut perfetto, &mut null];
+    simulate_observed(library, t, &telemetry_config, &mut extra)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The simulated timeline with full telemetry (explain + journal +
+    /// recorders) is bit-identical to the bare run, across schedulers,
+    /// container budgets and fault seeds. A `rate_ppm` of zero means the
+    /// fault fabric stays disabled for that case.
+    #[test]
+    fn telemetry_never_perturbs_the_timeline(
+        frames in 1usize..6,
+        containers in 1u16..5,
+        scheduler in any::<prop::sample::Index>(),
+        rate_ppm in 0u32..200_000,
+        seed in 0u64..1_000,
+    ) {
+        let lib = library();
+        let t = trace(frames);
+        let kind = SchedulerKind::ALL[scheduler.index(SchedulerKind::ALL.len())];
+        let mut config = SimConfig::rispp(containers, kind);
+        if rate_ppm > 0 {
+            config = config.with_fault(FaultConfig { rate_ppm, seed, max_retries: 2 });
+        }
+        let bare = simulate(&lib, &t, &config);
+        let instrumented = run_with_telemetry(&lib, &t, &config);
+        prop_assert_eq!(bare, instrumented);
+    }
+}
+
+#[test]
+fn merged_metrics_snapshot_is_identical_across_thread_counts() {
+    let lib = library();
+    let small = trace(2);
+    let large = trace(8);
+    let mut jobs = Vec::new();
+    for t in [&small, &large] {
+        for kind in SchedulerKind::ALL {
+            jobs.push(SweepJob::new(
+                SimConfig::rispp(3, kind).with_explain(true).with_journal(true),
+                t,
+            ));
+        }
+        jobs.push(SweepJob::new(
+            SimConfig::rispp(3, SchedulerKind::Hef)
+                .with_explain(true)
+                .with_journal(true)
+                .with_fault(FaultConfig {
+                    rate_ppm: 150_000,
+                    seed: 0xDA7E,
+                    max_retries: 2,
+                }),
+            t,
+        ));
+    }
+
+    let (base_stats, base_snapshot) = SweepRunner::with_threads(1).run_metered(&lib, &jobs);
+    assert!(!base_snapshot.is_empty());
+    assert_eq!(
+        base_snapshot.counter("rispp_runs_total"),
+        jobs.len() as u64
+    );
+    let total: u64 = base_stats.iter().map(|s| s.total_cycles).sum();
+    assert_eq!(base_snapshot.counter("rispp_simulated_cycles_total"), total);
+
+    for threads in [2usize, 4, 8] {
+        let (stats, snapshot) = SweepRunner::with_threads(threads).run_metered(&lib, &jobs);
+        assert_eq!(stats, base_stats, "stats diverged at {threads} thread(s)");
+        assert_eq!(
+            snapshot, base_snapshot,
+            "merged metrics diverged at {threads} thread(s)"
+        );
+        assert_eq!(
+            snapshot.to_json(),
+            base_snapshot.to_json(),
+            "JSON exposition diverged at {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
+fn exported_perfetto_trace_is_valid_and_complete() {
+    let lib = library();
+    let t = trace(4);
+    let config = SimConfig::rispp(3, SchedulerKind::Hef)
+        .with_explain(true)
+        .with_journal(true);
+    let mut perfetto = PerfettoTraceObserver::new();
+    let stats = {
+        let mut extra: [&mut dyn SimObserver; 1] = [&mut perfetto];
+        simulate_observed(&lib, &t, &config, &mut extra)
+    };
+    let json = perfetto.into_json();
+    let doc = JsonValue::parse(&json).expect("trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+
+    // At least one named Atom Container track (pid 1 thread metadata).
+    let container_tracks = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(JsonValue::as_str) == Some("M")
+                && e.get("name").and_then(JsonValue::as_str) == Some("thread_name")
+                && e.get("pid").and_then(JsonValue::as_u64) == Some(1)
+        })
+        .count();
+    assert!(container_tracks >= 1, "no container tracks: {json}");
+
+    // Load spans appear on container tracks, and no span outlives the run.
+    let mut load_spans = 0;
+    for e in events {
+        if e.get("ph").and_then(JsonValue::as_str) != Some("X") {
+            continue;
+        }
+        let ts = e.get("ts").and_then(JsonValue::as_u64).expect("span ts");
+        let dur = e.get("dur").and_then(JsonValue::as_u64).expect("span dur");
+        assert!(
+            ts + dur <= stats.total_cycles,
+            "span ends after the run: {e:?}"
+        );
+        if e.get("pid").and_then(JsonValue::as_u64) == Some(1)
+            && e.get("name")
+                .and_then(JsonValue::as_str)
+                .is_some_and(|n| n.starts_with("load "))
+        {
+            load_spans += 1;
+        }
+    }
+    assert!(load_spans >= 1, "no load spans on container tracks");
+
+    // At least one scheduler decision instant.
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(JsonValue::as_str) == Some("decision")),
+        "no decision events"
+    );
+}

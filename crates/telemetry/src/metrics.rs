@@ -1,0 +1,474 @@
+//! Deterministic cycle-domain metrics: counters, gauges, histograms.
+//!
+//! All values are integers (cycles, counts) so snapshots are `Eq` and
+//! bit-identical across runs and thread counts. Names follow the
+//! Prometheus convention and may carry a label set inline, e.g.
+//! `rispp_si_executions_total{si="3"}`; the registry itself treats the
+//! whole string as an opaque BTree key, which is what makes ordering —
+//! and therefore every exposition format — deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::perfetto::escape_json_into;
+
+/// Default histogram bucket upper bounds (cycles), roughly powers of four:
+/// wide enough for single-SI latencies (tens of cycles) through whole
+/// reconfiguration stalls (hundreds of thousands).
+pub const DEFAULT_BOUNDS: [u64; 11] = [
+    1, 4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576,
+];
+
+/// A fixed-bound histogram over `u64` observations.
+///
+/// `counts` has one slot per bound plus a final overflow (`+Inf`) slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    sum: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with the given upper bounds (must be
+    /// strictly increasing; an implicit `+Inf` bucket is appended).
+    #[must_use]
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.observe_n(value, 1);
+    }
+
+    /// Records `n` identical observations of `value` in O(buckets): the
+    /// burst-segment case, where thousands of executions share one latency.
+    pub fn observe_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.count += n;
+    }
+
+    /// Number of observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Bucket upper bounds (without the implicit `+Inf`).
+    #[must_use]
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final slot is the `+Inf` overflow bucket.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Adds `other` into `self` bucket-wise. Both histograms must share
+    /// the same bounds (they do when both came from the same metric name).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "merging histograms with different bucket bounds"
+        );
+        for (slot, &c) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *slot += c;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.count += other.count;
+    }
+}
+
+/// One named metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Metric {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Last-written (or summed, on merge) signed level.
+    Gauge(i64),
+    /// Distribution of `u64` observations.
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A mutable registry of metrics, written to by observers during a run.
+///
+/// Writes are keyed by full metric name (including any inline label set);
+/// a name is bound to the kind of its first write, and later writes of a
+/// different kind panic — that is always a programming error, never a
+/// data-dependent condition.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero first.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self.entry(name, || Metric::Counter(0)) {
+            Metric::Counter(v) => *v += delta,
+            other => panic!("metric {name} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &str, value: i64) {
+        match self.entry(name, || Metric::Gauge(0)) {
+            Metric::Gauge(v) => *v = value,
+            other => panic!("metric {name} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Adds `delta` (possibly negative) to the gauge `name`.
+    pub fn gauge_add(&mut self, name: &str, delta: i64) {
+        match self.entry(name, || Metric::Gauge(0)) {
+            Metric::Gauge(v) => *v += delta,
+            other => panic!("metric {name} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Records `value` into the histogram `name` with [`DEFAULT_BOUNDS`].
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.observe_with_bounds(name, value, &DEFAULT_BOUNDS);
+    }
+
+    /// Records `value` into the histogram `name`, creating it with the
+    /// given bounds on first use.
+    pub fn observe_with_bounds(&mut self, name: &str, value: u64, bounds: &[u64]) {
+        match self.entry(name, || Metric::Histogram(Histogram::new(bounds))) {
+            Metric::Histogram(h) => h.observe(value),
+            other => panic!("metric {name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Records `n` identical observations of `value` into the histogram
+    /// `name` with [`DEFAULT_BOUNDS`] (see [`Histogram::observe_n`]).
+    pub fn observe_n(&mut self, name: &str, value: u64, n: u64) {
+        match self.entry(name, || Metric::Histogram(Histogram::new(&DEFAULT_BOUNDS))) {
+            Metric::Histogram(h) => h.observe_n(value, n),
+            other => panic!("metric {name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    fn entry(&mut self, name: &str, make: impl FnOnce() -> Metric) -> &mut Metric {
+        if !self.metrics.contains_key(name) {
+            self.metrics.insert(name.to_owned(), make());
+        }
+        self.metrics.get_mut(name).expect("just inserted")
+    }
+
+    /// Freezes the current state into an immutable snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Consumes the registry into a snapshot without cloning.
+    #[must_use]
+    pub fn into_snapshot(self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: self.metrics,
+        }
+    }
+}
+
+/// An immutable, mergeable view of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsSnapshot {
+    /// Merges `other` into `self`: counters and gauges add, histograms
+    /// merge bucket-wise. Merge is associative and commutative over
+    /// disjoint-or-matching keys, so folding per-job snapshots in job
+    /// order yields the same result at any sweep thread count.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, metric) in &other.metrics {
+            match self.metrics.get_mut(name) {
+                None => {
+                    self.metrics.insert(name.clone(), metric.clone());
+                }
+                Some(Metric::Counter(a)) => match metric {
+                    Metric::Counter(b) => *a += b,
+                    other => panic!("metric {name} merge kind mismatch ({})", other.kind()),
+                },
+                Some(Metric::Gauge(a)) => match metric {
+                    Metric::Gauge(b) => *a += b,
+                    other => panic!("metric {name} merge kind mismatch ({})", other.kind()),
+                },
+                Some(Metric::Histogram(a)) => match metric {
+                    Metric::Histogram(b) => a.merge(b),
+                    other => panic!("metric {name} merge kind mismatch ({})", other.kind()),
+                },
+            }
+        }
+    }
+
+    /// Looks up a metric by full name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    /// The counter `name`, or 0 when absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The gauge `name`, or 0 when absent.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.metrics.get(name) {
+            Some(Metric::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Iterates metrics in deterministic (BTree) name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics in the snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Renders the snapshot as a single deterministic JSON object:
+    /// `{"schema_version":1,"metrics":{name:{...},...}}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.metrics.len() * 48);
+        out.push_str("{\"schema_version\":1,\"metrics\":{");
+        for (i, (name, metric)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json_into(name, &mut out);
+            out.push_str("\":");
+            match metric {
+                Metric::Counter(v) => {
+                    let _ = write!(out, "{{\"type\":\"counter\",\"value\":{v}}}");
+                }
+                Metric::Gauge(v) => {
+                    let _ = write!(out, "{{\"type\":\"gauge\",\"value\":{v}}}");
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[",
+                        h.count(),
+                        h.sum()
+                    );
+                    for (j, &c) in h.counts().iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        match h.bounds().get(j) {
+                            Some(b) => {
+                                let _ = write!(out, "{{\"le\":{b},\"count\":{c}}}");
+                            }
+                            None => {
+                                let _ = write!(out, "{{\"le\":\"+Inf\",\"count\":{c}}}");
+                            }
+                        }
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (one `# TYPE` line per metric family, cumulative histogram
+    /// buckets, deterministic ordering).
+    #[must_use]
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::with_capacity(64 + self.metrics.len() * 64);
+        let mut last_family = String::new();
+        for (name, metric) in &self.metrics {
+            let family = name.split('{').next().unwrap_or(name);
+            if family != last_family {
+                let _ = writeln!(out, "# TYPE {family} {}", metric.kind());
+                last_family = family.to_owned();
+            }
+            match metric {
+                Metric::Counter(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                Metric::Gauge(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                Metric::Histogram(h) => {
+                    // Histogram names never carry labels in this crate, so
+                    // `{le=…}` can be appended directly.
+                    let mut cumulative = 0u64;
+                    for (j, &c) in h.counts().iter().enumerate() {
+                        cumulative += c;
+                        match h.bounds().get(j) {
+                            Some(b) => {
+                                let _ =
+                                    writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cumulative}");
+                            }
+                            None => {
+                                let _ =
+                                    writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                            }
+                        }
+                    }
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("a_total", 2);
+        r.counter_add("a_total", 3);
+        r.gauge_set("g", 7);
+        r.gauge_add("g", -2);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a_total"), 5);
+        assert_eq!(s.gauge("g"), 5);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.observe(5);
+        h.observe(10);
+        h.observe(50);
+        h.observe(1_000);
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1_065);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", 1);
+        a.observe_with_bounds("h", 5, &[10, 100]);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", 2);
+        b.counter_add("only_b", 9);
+        b.observe_with_bounds("h", 50, &[10, 100]);
+
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("c"), 3);
+        assert_eq!(ab.counter("only_b"), 9);
+        match ab.get("h") {
+            Some(Metric::Histogram(h)) => assert_eq!(h.count(), 2),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prometheus_text_is_cumulative_and_typed() {
+        let mut r = MetricsRegistry::new();
+        r.observe_with_bounds("lat", 5, &[10, 100]);
+        r.observe_with_bounds("lat", 50, &[10, 100]);
+        r.counter_add("runs_total", 1);
+        let text = r.snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE lat histogram"));
+        assert!(text.contains("lat_bucket{le=\"10\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"100\"} 2"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_sum 55"));
+        assert!(text.contains("lat_count 2"));
+        assert!(text.contains("# TYPE runs_total counter"));
+    }
+
+    #[test]
+    fn labelled_families_emit_one_type_line() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("x_total{si=\"0\"}", 1);
+        r.counter_add("x_total{si=\"1\"}", 2);
+        let text = r.snapshot().to_prometheus_text();
+        assert_eq!(text.matches("# TYPE x_total counter").count(), 1);
+        assert!(text.contains("x_total{si=\"0\"} 1"));
+        assert!(text.contains("x_total{si=\"1\"} 2"));
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_set("b", -4);
+        r.counter_add("a", 1);
+        let s = r.snapshot();
+        assert_eq!(s.to_json(), s.to_json());
+        assert!(s.to_json().starts_with("{\"schema_version\":1,\"metrics\":{\"a\""));
+    }
+}

@@ -5,8 +5,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace: the root package does not depend on the CLI/bench bins,
+# and the smokes below run ./target/release/{rispp-cli,fig7} directly.
+cargo build --release --workspace
 
 echo "==> cargo test -q (tier-1: root package)"
 cargo test -q
@@ -27,6 +29,20 @@ if [ "${faults:-0}" -eq 0 ] || [ "${quarantined:-0}" -eq 0 ]; then
   echo "ci: resilience smoke failed — expected nonzero faults and quarantines, got $smoke" >&2
   exit 1
 fi
+
+echo "==> telemetry smoke (metrics + Perfetto trace + check-trace)"
+# A short telemetry-enabled run must produce a parseable Chrome trace
+# (>=1 container track, >=1 decision event — enforced by check-trace)
+# and a non-trivial metrics snapshot. The fig7 perf gate below runs with
+# telemetry compiled in but disabled, pinning the NullRecorder cost.
+./target/release/rispp-cli simulate --frames 2 --acs 8 \
+  --metrics-out target/ci_metrics.json --trace-out target/ci_trace.json \
+  >/dev/null
+./target/release/rispp-cli check-trace --file target/ci_trace.json
+grep -q '"rispp_simulated_cycles_total"' target/ci_metrics.json || {
+  echo "ci: telemetry smoke failed — metrics snapshot missing rispp_simulated_cycles_total" >&2
+  exit 1
+}
 
 echo "==> cargo bench --no-run --workspace"
 cargo bench --no-run --workspace
