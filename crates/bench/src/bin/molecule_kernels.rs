@@ -1,18 +1,26 @@
-//! Micro-benchmarks the word-packed (SWAR) [`Molecule`] kernels against
-//! the scalar reference implementation in [`rispp_model::scalar`].
+//! Micro-benchmarks every available [`Molecule`] kernel tier — the scalar
+//! reference, the portable u64 SWAR tier and (when the CPU supports it)
+//! the AVX2 wide tier — plus the *dispatched* public `Molecule` API, which
+//! routes through the per-process tier selection.
 //!
-//! Times `union`, `residual` and `total_atoms` at arities 4/8/16/32 (the
-//! inline small-buffer range) and reports per-op nanoseconds for both
-//! paths. With `--json` the results are written as a machine-readable
-//! record (default `BENCH_kernels.json`) so CI and the README can track
+//! Times the zip kernels (`union`, `residual`) and the fused reductions
+//! (`total_atoms`, `union_atoms`, `residual_atoms`) at arities 4/8/16/32
+//! (the inline small-buffer range) and reports per-op nanoseconds for each
+//! tier. With `--json` the results are written as a self-describing record
+//! (default `BENCH_kernels.json`) listing which tiers were available and
+//! which one the dispatch selected, so CI and the README can track
 //! kernel-level speedups separately from end-to-end sweep throughput.
+//!
+//! `RISPP_KERNEL_TIER=scalar|swar|wide|auto` overrides what the dispatched
+//! rows run on; naming an unavailable tier is a startup error.
 //!
 //! Usage: `molecule_kernels [iterations] [--json [PATH]]`
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use rispp_model::{scalar, Molecule};
+use rispp_model::kernels::{scalar, swar, wide};
+use rispp_model::{init_tier_from_env, KernelTier, Molecule};
 
 /// Deterministic xorshift so every run benches identical inputs.
 struct Rng(u64);
@@ -44,11 +52,36 @@ fn bench_ns(iters: u32, mut f: impl FnMut()) -> f64 {
     started.elapsed().as_nanos() as f64 / f64::from(iters)
 }
 
+/// Per-(op, arity) nanoseconds: one slot per tier (in [`KernelTier::ALL`]
+/// order, `None` when unavailable) plus the dispatched `Molecule` call.
 struct Record {
     op: &'static str,
     arity: usize,
-    scalar_ns: f64,
-    swar_ns: f64,
+    tier_ns: [Option<f64>; 3],
+    dispatched_ns: f64,
+}
+
+/// Benches one op shape on every available tier and on the dispatched
+/// public API.
+fn record(
+    op: &'static str,
+    arity: usize,
+    iters: u32,
+    mut tier_fn: impl FnMut(KernelTier),
+    mut dispatched_fn: impl FnMut(),
+) -> Record {
+    let mut tier_ns = [None; 3];
+    for (slot, tier) in KernelTier::ALL.into_iter().enumerate() {
+        if tier.is_available() {
+            tier_ns[slot] = Some(bench_ns(iters, || tier_fn(tier)));
+        }
+    }
+    Record {
+        op,
+        arity,
+        tier_ns,
+        dispatched_ns: bench_ns(iters, &mut dispatched_fn),
+    }
 }
 
 fn main() {
@@ -72,92 +105,161 @@ fn main() {
         i += 1;
     }
 
+    let selected = match init_tier_from_env() {
+        Ok(tier) => tier,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let available: Vec<KernelTier> = KernelTier::ALL
+        .into_iter()
+        .filter(|t| t.is_available())
+        .collect();
+    eprintln!(
+        "tiers available: {}; dispatch selected: {selected}",
+        available
+            .iter()
+            .map(|t| t.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
     let mut rng = Rng(0x5eed_cafe_f00d_d00d);
     let mut records = Vec::new();
-    println!("{:<14} {:>6} {:>12} {:>12} {:>9}", "op", "arity", "scalar_ns", "swar_ns", "speedup");
+    println!(
+        "{:<14} {:>6} {:>11} {:>11} {:>11} {:>13}",
+        "op", "arity", "scalar_ns", "swar_ns", "wide_ns", "dispatched_ns"
+    );
     for &arity in &[4usize, 8, 16, 32] {
         let a = rng.counts(arity);
         let b = rng.counts(arity);
         let ma = Molecule::from_counts(a.iter().copied());
         let mb = Molecule::from_counts(b.iter().copied());
+        let mut out = vec![0u16; arity];
 
-        let ops: [(&'static str, f64, f64); 5] = [
-            (
-                "union",
-                bench_ns(iters, || {
-                    black_box(scalar::union(black_box(&a), black_box(&b)));
-                }),
-                bench_ns(iters, || {
-                    black_box(black_box(&ma).union(black_box(&mb)));
-                }),
-            ),
-            (
-                "residual",
-                bench_ns(iters, || {
-                    black_box(scalar::residual(black_box(&a), black_box(&b)));
-                }),
-                bench_ns(iters, || {
-                    black_box(black_box(&ma).residual(black_box(&mb)));
-                }),
-            ),
-            (
-                "total_atoms",
-                bench_ns(iters, || {
-                    black_box(scalar::total_atoms(black_box(&a)));
-                }),
-                bench_ns(iters, || {
-                    black_box(black_box(&ma).total_atoms());
-                }),
-            ),
-            // The fused reductions are what the selector/scheduler hot
-            // paths actually call per candidate — no result molecule is
-            // materialised on either side.
-            (
-                "union_atoms",
-                bench_ns(iters, || {
-                    black_box(scalar::union_atoms(black_box(&a), black_box(&b)));
-                }),
-                bench_ns(iters, || {
-                    black_box(black_box(&ma).union_atoms(black_box(&mb)));
-                }),
-            ),
-            (
-                "residual_atoms",
-                bench_ns(iters, || {
-                    black_box(scalar::residual_atoms(black_box(&a), black_box(&b)));
-                }),
-                bench_ns(iters, || {
-                    black_box(black_box(&ma).residual_atoms(black_box(&mb)));
-                }),
-            ),
-        ];
-        for (op, scalar_ns, swar_ns) in ops {
-            println!(
-                "{op:<14} {arity:>6} {scalar_ns:>12.2} {swar_ns:>12.2} {:>8.2}x",
-                scalar_ns / swar_ns.max(1e-9)
-            );
-            records.push(Record {
-                op,
-                arity,
-                scalar_ns,
-                swar_ns,
-            });
-        }
+        // The zip kernels are compared on their `_into` forms so every
+        // tier (and the dispatched API, which reuses buffers internally)
+        // does the same work: no per-call allocation anywhere.
+        let zip = |tier: KernelTier| -> fn(&[u16], &[u16], &mut [u16]) {
+            match tier {
+                KernelTier::Scalar => scalar::union_into,
+                KernelTier::Swar => swar::union_into,
+                KernelTier::Wide => wide::union_into,
+            }
+        };
+        records.push(record(
+            "union",
+            arity,
+            iters,
+            |tier| zip(tier)(black_box(&a), black_box(&b), black_box(&mut out)),
+            || {
+                black_box(black_box(&ma).union(black_box(&mb)));
+            },
+        ));
+        let zip = |tier: KernelTier| -> fn(&[u16], &[u16], &mut [u16]) {
+            match tier {
+                KernelTier::Scalar => scalar::residual_into,
+                KernelTier::Swar => swar::residual_into,
+                KernelTier::Wide => wide::residual_into,
+            }
+        };
+        records.push(record(
+            "residual",
+            arity,
+            iters,
+            |tier| zip(tier)(black_box(&a), black_box(&b), black_box(&mut out)),
+            || {
+                black_box(black_box(&ma).residual(black_box(&mb)));
+            },
+        ));
+        records.push(record(
+            "total_atoms",
+            arity,
+            iters,
+            |tier| {
+                black_box(match tier {
+                    KernelTier::Scalar => scalar::total_atoms(black_box(&a)),
+                    KernelTier::Swar => swar::total_atoms(black_box(&a)),
+                    KernelTier::Wide => wide::total_atoms(black_box(&a)),
+                });
+            },
+            || {
+                black_box(black_box(&ma).total_atoms());
+            },
+        ));
+        // The fused reductions are what the selector/scheduler hot paths
+        // actually call per candidate — no result molecule is
+        // materialised on either side.
+        records.push(record(
+            "union_atoms",
+            arity,
+            iters,
+            |tier| {
+                black_box(match tier {
+                    KernelTier::Scalar => scalar::union_atoms(black_box(&a), black_box(&b)),
+                    KernelTier::Swar => swar::union_atoms(black_box(&a), black_box(&b)),
+                    KernelTier::Wide => wide::union_atoms(black_box(&a), black_box(&b)),
+                });
+            },
+            || {
+                black_box(black_box(&ma).union_atoms(black_box(&mb)));
+            },
+        ));
+        records.push(record(
+            "residual_atoms",
+            arity,
+            iters,
+            |tier| {
+                black_box(match tier {
+                    KernelTier::Scalar => scalar::residual_atoms(black_box(&a), black_box(&b)),
+                    KernelTier::Swar => swar::residual_atoms(black_box(&a), black_box(&b)),
+                    KernelTier::Wide => wide::residual_atoms(black_box(&a), black_box(&b)),
+                });
+            },
+            || {
+                black_box(black_box(&ma).residual_atoms(black_box(&mb)));
+            },
+        ));
+    }
+
+    let fmt_ns = |ns: Option<f64>| match ns {
+        Some(v) => format!("{v:>11.2}"),
+        None => format!("{:>11}", "-"),
+    };
+    for r in &records {
+        println!(
+            "{:<14} {:>6} {} {} {} {:>13.2}",
+            r.op,
+            r.arity,
+            fmt_ns(r.tier_ns[0]),
+            fmt_ns(r.tier_ns[1]),
+            fmt_ns(r.tier_ns[2]),
+            r.dispatched_ns
+        );
     }
 
     if let Some(path) = json_path {
+        let tiers: Vec<String> = available.iter().map(|t| format!("\"{t}\"")).collect();
         let mut body = String::new();
         for (i, r) in records.iter().enumerate() {
             if i > 0 {
                 body.push_str(",\n");
             }
-            body.push_str(&format!(
-                "    {{\"op\": \"{}\", \"arity\": {}, \"scalar_ns\": {:.2}, \"swar_ns\": {:.2}}}",
-                r.op, r.arity, r.scalar_ns, r.swar_ns
-            ));
+            let mut fields = format!("\"op\": \"{}\", \"arity\": {}", r.op, r.arity);
+            for (slot, tier) in KernelTier::ALL.into_iter().enumerate() {
+                if let Some(ns) = r.tier_ns[slot] {
+                    fields.push_str(&format!(", \"{}_ns\": {ns:.2}", tier.name()));
+                }
+            }
+            fields.push_str(&format!(", \"dispatched_ns\": {:.2}", r.dispatched_ns));
+            body.push_str(&format!("    {{{fields}}}"));
         }
         let json = format!(
-            "{{\n  \"benchmark\": \"molecule_kernels\",\n  \"iterations\": {iters},\n  \"results\": [\n{body}\n  ]\n}}\n"
+            "{{\n  \"benchmark\": \"molecule_kernels\",\n  \"iterations\": {iters},\n  \
+             \"tiers_available\": [{}],\n  \"dispatch_selected\": \"{selected}\",\n  \
+             \"results\": [\n{body}\n  ]\n}}\n",
+            tiers.join(", ")
         );
         match std::fs::write(&path, &json) {
             Ok(()) => eprintln!("wrote {path}"),

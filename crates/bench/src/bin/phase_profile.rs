@@ -1,9 +1,15 @@
 //! Phase profiler: splits one fig7-style run into time spent in
-//! `enter_hot_spot` (selection + scheduling) vs `execute_burst` (fabric
-//! stepping) vs engine overhead, by wrapping the backend in a timing
-//! shim. Wall-clock based — use it to find which phase to optimise, not
-//! for absolute numbers. `gprofng`-class profilers are unreliable in
-//! this container; this binary is the substitute.
+//! `enter_hot_spot` (selection + scheduling) vs burst execution (fabric
+//! stepping, batched + per-burst) vs engine overhead, by wrapping the
+//! backend in a timing shim. The shim delegates the buffer-reusing and
+//! batched entry points (and the poll gates) so the profiled run takes
+//! exactly the hot paths a bare backend would. Wall-clock based — use it
+//! to find which phase to optimise, not for absolute numbers.
+//! `gprofng`-class profilers are unreliable in this container; this
+//! binary is the substitute.
+//!
+//! Honours `RISPP_KERNEL_TIER`; the selected kernel tier is printed at
+//! startup.
 
 use std::borrow::Cow;
 use std::time::{Duration, Instant};
@@ -11,7 +17,7 @@ use std::time::{Duration, Instant};
 use rispp_bench::experiments::quick_workload;
 use rispp_core::{BurstSegment, SchedulerKind};
 use rispp_model::SiId;
-use rispp_sim::{simulate_with, ExecutionSystem, SimConfig};
+use rispp_sim::{simulate_with, Burst, ExecutionSystem, SimConfig};
 
 struct Timed<'a> {
     inner: Box<dyn ExecutionSystem + 'a>,
@@ -19,6 +25,8 @@ struct Timed<'a> {
     burst: Duration,
     exit: Duration,
     calls: u64,
+    batched_calls: u64,
+    batched_bursts: u64,
     segments: u64,
     enters: u64,
 }
@@ -47,6 +55,34 @@ impl ExecutionSystem for Timed<'_> {
         self.segments += r.len() as u64;
         r
     }
+    fn execute_burst_into(
+        &mut self,
+        si: SiId,
+        count: u32,
+        overhead: u32,
+        start: u64,
+        out: &mut Vec<BurstSegment>,
+    ) {
+        let t = Instant::now();
+        self.inner.execute_burst_into(si, count, overhead, start, out);
+        self.burst += t.elapsed();
+        self.calls += 1;
+        self.segments += out.len() as u64;
+    }
+    fn execute_bursts_batched(
+        &mut self,
+        bursts: &[Burst],
+        start: u64,
+        out: &mut Vec<BurstSegment>,
+    ) -> usize {
+        let t = Instant::now();
+        let consumed = self.inner.execute_bursts_batched(bursts, start, out);
+        self.burst += t.elapsed();
+        self.batched_calls += 1;
+        self.batched_bursts += consumed as u64;
+        self.segments += out.len() as u64;
+        consumed
+    }
     fn exit_hot_spot(&mut self, now: u64) {
         let t = Instant::now();
         self.inner.exit_hot_spot(now);
@@ -55,9 +91,34 @@ impl ExecutionSystem for Timed<'_> {
     fn reconfiguration_stats(&self) -> (u64, u64) {
         self.inner.reconfiguration_stats()
     }
+    fn recovery_stats(&self) -> rispp_core::RecoveryStats {
+        self.inner.recovery_stats()
+    }
+    fn has_pending_activity(&self) -> bool {
+        self.inner.has_pending_activity()
+    }
+    fn recovery_active(&self) -> bool {
+        self.inner.recovery_active()
+    }
+    fn telemetry_active(&self) -> bool {
+        self.inner.telemetry_active()
+    }
+    fn drain_decisions(&mut self, out: &mut Vec<rispp_core::DecisionExplain>) {
+        self.inner.drain_decisions(out);
+    }
+    fn drain_fabric_journal(&mut self, out: &mut Vec<rispp_fabric::FabricJournalEntry>) {
+        self.inner.drain_fabric_journal(out);
+    }
 }
 
 fn main() {
+    match rispp_model::init_tier_from_env() {
+        Ok(tier) => eprintln!("kernel tier: {tier}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
     let frames: u32 = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
@@ -79,6 +140,8 @@ fn main() {
                 burst: Duration::ZERO,
                 exit: Duration::ZERO,
                 calls: 0,
+                batched_calls: 0,
+                batched_bursts: 0,
                 segments: 0,
                 enters: 0,
             };
@@ -89,7 +152,15 @@ fn main() {
             burst += sys.burst;
             exit += sys.exit;
             if ac == 20 {
-                eprintln!("  ac=20 {}: {} enters, {} bursts, {} segments", kind.abbreviation(), sys.enters, sys.calls, sys.segments);
+                eprintln!(
+                    "  ac=20 {}: {} enters, {} batched calls ({} bursts), {} per-burst calls, {} segments",
+                    kind.abbreviation(),
+                    sys.enters,
+                    sys.batched_calls,
+                    sys.batched_bursts,
+                    sys.calls,
+                    sys.segments
+                );
             }
         }
         println!(

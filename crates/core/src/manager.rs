@@ -530,6 +530,89 @@ impl<'a> RunTimeManager<'a> {
         }
     }
 
+    /// Batched variant of [`RunTimeManager::execute_burst_into`]: consumes
+    /// a prefix of `bursts` — `(si, count, overhead)` triples starting at
+    /// cycle `start` — that provably completes **before the next internal
+    /// fabric event**, pushes exactly one unsplit segment per non-empty
+    /// consumed burst onto `segments` (which is cleared first), and returns
+    /// how many bursts were consumed. Zero-count bursts are consumed as
+    /// no-ops (no segment, no monitor record), matching the trace
+    /// replayer, which skips them entirely.
+    ///
+    /// Bit-identical to calling `execute_burst_into` once per consumed
+    /// burst: the event horizon is checked per burst, so every consumed
+    /// burst is a single segment with the same start, latency, variant and
+    /// usage timestamps, the monitor receives the same per-burst counts in
+    /// the same order, and the clock lands on the start of the last
+    /// consumed burst exactly as the per-burst path leaves it. The horizon
+    /// is stable across the loop: no events are processed, and a pending
+    /// deferred load start keeps its `not_before` time while the clock
+    /// stays below it.
+    ///
+    /// Returns 0 (consuming nothing) when a fabric event is already due at
+    /// or before `start`; the caller then falls back to the per-burst path,
+    /// which processes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a consumed burst's `si` is outside the library.
+    pub fn execute_bursts_batched<I>(
+        &mut self,
+        bursts: I,
+        start: u64,
+        segments: &mut Vec<BurstSegment>,
+    ) -> usize
+    where
+        I: IntoIterator<Item = (SiId, u32, u32)>,
+    {
+        segments.clear();
+        let horizon = match self.fabric.next_event_at() {
+            Some(event) if event <= start => return 0,
+            other => other,
+        };
+        let lib = self.library;
+        let mut t = start;
+        let mut consumed = 0;
+        for (si, count, overhead) in bursts {
+            if count == 0 {
+                consumed += 1;
+                continue;
+            }
+            let def = lib.si(si).expect("si within library");
+            let (latency, variant_index) = match self.best_available_variant(si) {
+                Some((idx, latency)) if latency < def.software_latency() => (latency, Some(idx)),
+                _ => (def.software_latency(), None),
+            };
+            let per = u64::from(latency) + u64::from(overhead);
+            // Unsplit iff the whole burst fits strictly before the horizon
+            // — the same `div_ceil` split bound `execute_burst_into` uses.
+            let fits = match horizon {
+                None => true,
+                Some(event) => event > t && (event - t).div_ceil(per) >= u64::from(count),
+            };
+            if !fits {
+                break;
+            }
+            self.fabric.advance_clock(t);
+            if let Some(idx) = variant_index {
+                match self.used_masks.get(si.index()).and_then(|m| m.get(idx)) {
+                    Some(&mask) => self.fabric.mark_used_types(mask, t),
+                    None => self.fabric.mark_used(&def.variants()[idx].atoms, t),
+                }
+            }
+            segments.push(match variant_index {
+                Some(v) => BurstSegment::hardware(t, u64::from(count), latency, v),
+                None => BurstSegment::software(t, u64::from(count), latency),
+            });
+            if let Some(hs) = self.current_hot_spot {
+                self.monitor.record_executions(hs, si, u64::from(count));
+            }
+            t += u64::from(count) * per;
+            consumed += 1;
+        }
+        consumed
+    }
+
     /// Leaves the current hot spot, folding measured execution counts into
     /// the monitor's expectations.
     pub fn exit_hot_spot(&mut self, now: u64) {

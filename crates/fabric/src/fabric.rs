@@ -174,6 +174,13 @@ struct InFlight {
     abort: bool,
 }
 
+/// Priority of a scheduled tile failure (strikes before everything else at
+/// the same cycle).
+const PRIO_FAIL: u8 = 0;
+/// Priority of a scheduled SEU corruption (after failures, before port
+/// completions/starts at the same cycle).
+const PRIO_CORRUPT: u8 = 1;
+
 /// Runtime state of the fault model: the RNG stream plus the per-container
 /// corruption/failure schedule.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -186,6 +193,56 @@ struct FaultState {
     /// Scheduled permanent-failure cycle per container (drawn once at
     /// construction).
     fail_at: Vec<Option<u64>>,
+    /// Every pending fault event, flattened into one ascending-sorted list
+    /// of `(cycle, priority, container)` keys and maintained in lock-step
+    /// with `corrupt_at`/`fail_at` through [`FaultState::set_corrupt_at`] &
+    /// co. `next_internal_event` reads `schedule[0]` in O(1) instead of
+    /// scanning every container; the sort key reproduces the scan's
+    /// ordering exactly (earliest cycle, Fail < Corrupt on ties, lowest
+    /// container index last). A sorted `Vec` rather than a heap keeps the
+    /// front readable through `&self` and mutations are rare (one per
+    /// fault-schedule change, not per burst).
+    schedule: Vec<(u64, u8, u16)>,
+}
+
+impl FaultState {
+    fn insert(&mut self, key: (u64, u8, u16)) {
+        let pos = self.schedule.partition_point(|&e| e < key);
+        self.schedule.insert(pos, key);
+    }
+
+    fn remove(&mut self, key: (u64, u8, u16)) {
+        let pos = self
+            .schedule
+            .binary_search(&key)
+            .expect("flattened schedule out of sync with per-container state");
+        self.schedule.remove(pos);
+    }
+
+    fn container_key(i: usize) -> u16 {
+        u16::try_from(i).expect("container index fits u16")
+    }
+
+    /// Schedules an SEU corruption of container `i` at cycle `t`.
+    fn set_corrupt_at(&mut self, i: usize, t: u64) {
+        debug_assert!(self.corrupt_at[i].is_none(), "corruption already scheduled");
+        self.corrupt_at[i] = Some(t);
+        self.insert((t, PRIO_CORRUPT, Self::container_key(i)));
+    }
+
+    /// Cancels a scheduled corruption of container `i`, if any.
+    fn clear_corrupt_at(&mut self, i: usize) {
+        if let Some(t) = self.corrupt_at[i].take() {
+            self.remove((t, PRIO_CORRUPT, Self::container_key(i)));
+        }
+    }
+
+    /// Cancels the scheduled permanent failure of container `i`, if any.
+    fn clear_fail_at(&mut self, i: usize) {
+        if let Some(t) = self.fail_at[i].take() {
+            self.remove((t, PRIO_FAIL, Self::container_key(i)));
+        }
+    }
 }
 
 /// Internal event kinds, ordered by processing priority at equal cycles:
@@ -290,7 +347,7 @@ impl Fabric {
         let mut fabric = Fabric::new(config, universe);
         let mut rng = XorShift64::new(model.seed);
         let horizon = model.failure_horizon().max(1);
-        let fail_at = (0..config.containers)
+        let fail_at: Vec<Option<u64>> = (0..config.containers)
             .map(|_| {
                 if rng.chance_ppm(model.permanent_failure_ppm) {
                     Some(1 + rng.next_u64() % horizon)
@@ -299,11 +356,18 @@ impl Fabric {
                 }
             })
             .collect();
+        let mut schedule: Vec<(u64, u8, u16)> = fail_at
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (t, PRIO_FAIL, FaultState::container_key(i))))
+            .collect();
+        schedule.sort_unstable();
         fabric.fault = Some(FaultState {
             model,
             rng,
             corrupt_at: vec![None; usize::from(config.containers)],
             fail_at,
+            schedule,
         });
         fabric
     }
@@ -610,6 +674,12 @@ impl Fabric {
     /// Picks the next internal event: minimum cycle, ties broken by
     /// [`EventKind`] priority (failures before upsets before completions
     /// before starts), then by container index.
+    ///
+    /// Fault events come from the flattened `FaultState::schedule` in O(1);
+    /// its `(cycle, priority, container)` sort key encodes exactly this
+    /// ordering, and its maintenance invariants (`fail_at` entries only for
+    /// non-quarantined containers, `corrupt_at` only for loaded ones) make
+    /// the per-container eligibility checks of the old scan redundant.
     fn next_internal_event(&self) -> Option<(u64, EventKind)> {
         let mut best: Option<(u64, u8, EventKind)> = None;
         let consider = |t: u64, prio: u8, kind: EventKind, best: &mut Option<_>| {
@@ -618,17 +688,12 @@ impl Fabric {
             }
         };
         if let Some(f) = &self.fault {
-            for (i, c) in self.containers.iter().enumerate() {
-                if !c.is_quarantined() {
-                    if let Some(t) = f.fail_at[i] {
-                        consider(t, 0, EventKind::Fail(i), &mut best);
-                    }
-                }
-                if c.loaded_atom().is_some() {
-                    if let Some(t) = f.corrupt_at[i] {
-                        consider(t, 1, EventKind::Corrupt(i), &mut best);
-                    }
-                }
+            if let Some(&(t, prio, i)) = f.schedule.first() {
+                let kind = match prio {
+                    PRIO_FAIL => EventKind::Fail(usize::from(i)),
+                    _ => EventKind::Corrupt(usize::from(i)),
+                };
+                best = Some((t, prio, kind));
             }
         }
         if let Some(fl) = &self.in_flight {
@@ -665,7 +730,7 @@ impl Fabric {
             }
             EventKind::Corrupt(i) => {
                 if let Some(f) = &mut self.fault {
-                    f.corrupt_at[i] = None;
+                    f.clear_corrupt_at(i);
                 }
                 if let Some(atom) = self.containers[i].corrupt() {
                     self.remove_available(atom);
@@ -707,7 +772,8 @@ impl Fabric {
                     self.stats.loads_completed += 1;
                     if let Some(f) = &mut self.fault {
                         if f.model.seu_per_gcycle > 0 {
-                            f.corrupt_at[i] = Some(t + f.rng.seu_lifetime(f.model.seu_per_gcycle));
+                            let lifetime = f.rng.seu_lifetime(f.model.seu_per_gcycle);
+                            f.set_corrupt_at(i, t + lifetime);
                         }
                     }
                     self.record(FabricJournalEntry::LoadFinished {
@@ -739,8 +805,8 @@ impl Fabric {
         }
         self.containers[i].quarantine();
         if let Some(f) = &mut self.fault {
-            f.corrupt_at[i] = None;
-            f.fail_at[i] = None;
+            f.clear_corrupt_at(i);
+            f.clear_fail_at(i);
         }
         if let Some(fl) = self.in_flight.filter(|fl| fl.container.index() == i) {
             self.in_flight = None;
@@ -810,7 +876,7 @@ impl Fabric {
             if let Some(f) = &mut self.fault {
                 // Whatever corruption was scheduled for the overwritten
                 // atom no longer applies.
-                f.corrupt_at[victim.index()] = None;
+                f.clear_corrupt_at(victim.index());
             }
             self.containers[victim.index()].begin_load(atom, finish);
             self.record(FabricJournalEntry::LoadStarted {

@@ -1,0 +1,261 @@
+//! Tiered Molecule kernels with per-process runtime dispatch.
+//!
+//! Three implementations of the same lattice-operation contract live side
+//! by side:
+//!
+//! * [`scalar`] — the executable specification; simple loops the
+//!   autovectorizer handles well, property-tested against everything else;
+//! * [`swar`] — portable 4-lane-per-`u64` SWAR, no ISA requirements;
+//! * [`wide`] — 16-lane AVX2 via `core::arch` intrinsics, runtime-detected.
+//!
+//! The active tier is resolved **once per process** — from the
+//! [`TIER_ENV`] (`RISPP_KERNEL_TIER`) environment variable, or
+//! automatically — and cached in an atomic. Every dispatched entry point
+//! is a plain `fn`, so call sites that take kernel function pointers
+//! (e.g. `Molecule::binary`) keep working unchanged.
+//!
+//! Dispatch rules:
+//!
+//! 1. `RISPP_KERNEL_TIER=scalar|swar|wide` forces a tier; naming an
+//!    unavailable tier is an *error* (a panic from library paths, a
+//!    `Result` from [`init_tier_from_env`] for CLIs that want to print it).
+//! 2. `RISPP_KERNEL_TIER=auto`, empty, or unset selects `scalar`. This is
+//!    measured, not a placeholder: at the paper's Molecule arity (the
+//!    H.264 universe has 11 Atom types) every operand fits below one AVX2
+//!    vector, so the `wide` tier runs entirely on its zero-padded tail
+//!    path (a copy in and out per slice) while the autovectorizer turns
+//!    the scalar loops into tail-free SIMD — the committed
+//!    BENCH_kernels.json shows scalar winning below ~16 lanes and `wide`
+//!    only paying off for the fused reductions at 32+. `swar` loses to
+//!    both on SIMD hosts and exists for portability comparison.
+//! 3. [`set_active_tier`] overrides programmatically (benches, tests).
+//!
+//! All tiers are bit-identical on every input — enforced by the three-way
+//! proptest in `crates/model/tests/tier_equivalence.rs` — so tier choice
+//! affects wall-clock only, never simulation results.
+
+pub mod scalar;
+pub mod swar;
+pub mod wide;
+
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
+
+/// Environment variable overriding the kernel tier
+/// (`scalar` / `swar` / `wide` / `auto`).
+pub const TIER_ENV: &str = "RISPP_KERNEL_TIER";
+
+/// One implementation tier of the Molecule kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelTier {
+    /// Reference loops (the property-test oracle).
+    Scalar,
+    /// Portable u64 SWAR, four lanes per word.
+    Swar,
+    /// AVX2, sixteen lanes per vector (x86_64 with AVX2 only).
+    Wide,
+}
+
+impl KernelTier {
+    /// Every tier, in dispatch-priority order.
+    pub const ALL: [KernelTier; 3] = [KernelTier::Scalar, KernelTier::Swar, KernelTier::Wide];
+
+    /// The tier's lower-case name as used by [`TIER_ENV`].
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Swar => "swar",
+            KernelTier::Wide => "wide",
+        }
+    }
+
+    /// Whether this tier can run on the current CPU.
+    #[must_use]
+    pub fn is_available(self) -> bool {
+        match self {
+            KernelTier::Scalar | KernelTier::Swar => true,
+            KernelTier::Wide => wide::available(),
+        }
+    }
+
+    /// Parses a [`TIER_ENV`] value. `Ok(None)` means `auto` (explicitly,
+    /// or via an empty string). Availability is *not* checked here.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unrecognised names.
+    pub fn parse(value: &str) -> Result<Option<KernelTier>, String> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" => Ok(None),
+            "scalar" => Ok(Some(KernelTier::Scalar)),
+            "swar" => Ok(Some(KernelTier::Swar)),
+            "wide" => Ok(Some(KernelTier::Wide)),
+            other => Err(format!(
+                "unrecognised {TIER_ENV} value {other:?}: expected scalar, swar, wide, or auto"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const TIER_UNSET: u8 = u8::MAX;
+static ACTIVE: AtomicU8 = AtomicU8::new(TIER_UNSET);
+
+fn encode(tier: KernelTier) -> u8 {
+    match tier {
+        KernelTier::Scalar => 0,
+        KernelTier::Swar => 1,
+        KernelTier::Wide => 2,
+    }
+}
+
+fn decode(code: u8) -> KernelTier {
+    match code {
+        0 => KernelTier::Scalar,
+        1 => KernelTier::Swar,
+        2 => KernelTier::Wide,
+        _ => unreachable!("invalid kernel tier code {code}"),
+    }
+}
+
+/// The tier `auto` resolves to: `scalar` on every host. Sub-vector
+/// operands (the paper's universes stay under 16 Atom types) route the
+/// `wide` tier through its zero-padded tail path, so the autovectorized
+/// scalar loops win at realistic arities — see the module docs and the
+/// committed BENCH_kernels.json.
+#[must_use]
+pub fn default_tier() -> KernelTier {
+    KernelTier::Scalar
+}
+
+fn resolve_from_env() -> Result<KernelTier, String> {
+    let requested = match std::env::var(TIER_ENV) {
+        Ok(v) => KernelTier::parse(&v)?,
+        Err(_) => None,
+    };
+    match requested {
+        None => Ok(default_tier()),
+        Some(tier) if tier.is_available() => Ok(tier),
+        Some(tier) => Err(format!(
+            "{TIER_ENV}={} requests a kernel tier this CPU does not support",
+            tier.name()
+        )),
+    }
+}
+
+/// Resolves the active tier from [`TIER_ENV`] *now* and caches it,
+/// returning the resolution error instead of panicking. CLIs and bench
+/// bins call this at startup so a bad variable produces a clean message.
+/// After the first resolution (by anyone) this simply reports the cached
+/// tier.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the variable names an unknown or
+/// unavailable tier.
+pub fn init_tier_from_env() -> Result<KernelTier, String> {
+    let code = ACTIVE.load(AtomicOrdering::Relaxed);
+    if code != TIER_UNSET {
+        return Ok(decode(code));
+    }
+    let tier = resolve_from_env()?;
+    ACTIVE.store(encode(tier), AtomicOrdering::Relaxed);
+    Ok(tier)
+}
+
+/// Forces the active tier for the rest of the process (benches/tests).
+///
+/// # Errors
+///
+/// Returns a message when `tier` is unavailable on this CPU.
+pub fn set_active_tier(tier: KernelTier) -> Result<(), String> {
+    if !tier.is_available() {
+        return Err(format!(
+            "kernel tier {} is unavailable on this CPU",
+            tier.name()
+        ));
+    }
+    ACTIVE.store(encode(tier), AtomicOrdering::Relaxed);
+    Ok(())
+}
+
+/// The tier every dispatched kernel below routes to. Resolves lazily from
+/// [`TIER_ENV`] on first use.
+///
+/// # Panics
+///
+/// Panics if [`TIER_ENV`] names an unknown or unavailable tier — call
+/// [`init_tier_from_env`] first to surface that as an error instead.
+#[inline]
+#[must_use]
+pub fn active_tier() -> KernelTier {
+    let code = ACTIVE.load(AtomicOrdering::Relaxed);
+    if code != TIER_UNSET {
+        decode(code)
+    } else {
+        init_tier_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+macro_rules! dispatch {
+    ($(#[$doc:meta])* $name:ident($($arg:ident: $ty:ty),*) $(-> $ret:ty)?) => {
+        $(#[$doc])*
+        #[inline]
+        pub fn $name($($arg: $ty),*) $(-> $ret)? {
+            match active_tier() {
+                KernelTier::Scalar => scalar::$name($($arg),*),
+                KernelTier::Swar => swar::$name($($arg),*),
+                KernelTier::Wide => wide::$name($($arg),*),
+            }
+        }
+    };
+}
+
+dispatch!(
+    /// Component-wise maximum into `out` (dispatched).
+    union_into(a: &[u16], b: &[u16], out: &mut [u16])
+);
+dispatch!(
+    /// Component-wise minimum into `out` (dispatched).
+    intersect_into(a: &[u16], b: &[u16], out: &mut [u16])
+);
+dispatch!(
+    /// Component-wise saturating `o − a` (residual direction) into `out`
+    /// (dispatched).
+    residual_into(a: &[u16], o: &[u16], out: &mut [u16])
+);
+dispatch!(
+    /// Component-wise saturating addition into `out` (dispatched).
+    saturating_add_into(a: &[u16], b: &[u16], out: &mut [u16])
+);
+dispatch!(
+    /// `Σᵢ max(oᵢ − aᵢ, 0)` without materialising the residual
+    /// (dispatched).
+    residual_atoms(a: &[u16], o: &[u16]) -> u64
+);
+dispatch!(
+    /// `Σᵢ max(aᵢ, bᵢ)` without materialising the union (dispatched).
+    union_atoms(a: &[u16], b: &[u16]) -> u64
+);
+dispatch!(
+    /// Sum of all components (dispatched).
+    total_atoms(a: &[u16]) -> u64
+);
+dispatch!(
+    /// Whether `aᵢ ≤ bᵢ` for every component (dispatched).
+    is_subset(a: &[u16], b: &[u16]) -> bool
+);
+dispatch!(
+    /// Bitmask of the non-zero components, `a.len() <= 64` (dispatched).
+    nonzero_mask(a: &[u16]) -> u64
+);
+dispatch!(
+    /// Component-wise partial order (dispatched).
+    partial_cmp(a: &[u16], b: &[u16]) -> Option<Ordering>
+);

@@ -1,0 +1,118 @@
+//! Scalar reference implementations of the Molecule lattice operations.
+//!
+//! These are the original (pre-SWAR) formulations, kept as the executable
+//! specification every other kernel tier is property-tested against (see
+//! `crates/model/tests/tier_equivalence.rs`). The autovectorizer does well
+//! on these simple loops, so on wide-SIMD hosts the scalar tier is also a
+//! serious performance baseline, not just an oracle.
+
+use std::cmp::Ordering;
+
+/// Component-wise maximum.
+#[must_use]
+pub fn union(a: &[u16], b: &[u16]) -> Vec<u16> {
+    a.iter().zip(b).map(|(&x, &y)| x.max(y)).collect()
+}
+
+/// Component-wise minimum.
+#[must_use]
+pub fn intersect(a: &[u16], b: &[u16]) -> Vec<u16> {
+    a.iter().zip(b).map(|(&x, &y)| x.min(y)).collect()
+}
+
+/// Component-wise saturating `o − a` (the residual `a ⊖ o`).
+#[must_use]
+pub fn residual(a: &[u16], o: &[u16]) -> Vec<u16> {
+    a.iter().zip(o).map(|(&x, &y)| y.saturating_sub(x)).collect()
+}
+
+/// Component-wise saturating addition.
+#[must_use]
+pub fn saturating_add(a: &[u16], b: &[u16]) -> Vec<u16> {
+    a.iter().zip(b).map(|(&x, &y)| x.saturating_add(y)).collect()
+}
+
+/// Component-wise maximum into `out`.
+pub fn union_into(a: &[u16], b: &[u16], out: &mut [u16]) {
+    for ((&x, &y), o) in a.iter().zip(b).zip(out) {
+        *o = x.max(y);
+    }
+}
+
+/// Component-wise minimum into `out`.
+pub fn intersect_into(a: &[u16], b: &[u16], out: &mut [u16]) {
+    for ((&x, &y), o) in a.iter().zip(b).zip(out) {
+        *o = x.min(y);
+    }
+}
+
+/// Component-wise saturating `o − a` (residual direction) into `out`.
+pub fn residual_into(a: &[u16], o: &[u16], out: &mut [u16]) {
+    for ((&x, &y), r) in a.iter().zip(o).zip(out) {
+        *r = y.saturating_sub(x);
+    }
+}
+
+/// Component-wise saturating addition into `out`.
+pub fn saturating_add_into(a: &[u16], b: &[u16], out: &mut [u16]) {
+    for ((&x, &y), o) in a.iter().zip(b).zip(out) {
+        *o = x.saturating_add(y);
+    }
+}
+
+/// Sum of all components.
+#[must_use]
+pub fn total_atoms(a: &[u16]) -> u64 {
+    a.iter().map(|&c| u64::from(c)).sum()
+}
+
+/// `Σᵢ max(oᵢ − aᵢ, 0)`.
+#[must_use]
+pub fn residual_atoms(a: &[u16], o: &[u16]) -> u64 {
+    a.iter()
+        .zip(o)
+        .map(|(&x, &y)| u64::from(y.saturating_sub(x)))
+        .sum()
+}
+
+/// `Σᵢ max(aᵢ, bᵢ)`.
+#[must_use]
+pub fn union_atoms(a: &[u16], b: &[u16]) -> u64 {
+    a.iter().zip(b).map(|(&x, &y)| u64::from(x.max(y))).sum()
+}
+
+/// Whether `aᵢ ≤ bᵢ` for every component.
+#[must_use]
+pub fn is_subset(a: &[u16], b: &[u16]) -> bool {
+    a.iter().zip(b).all(|(&x, &y)| x <= y)
+}
+
+/// Bitmask of the non-zero components: bit `i` set iff `a[i] > 0`.
+/// Callers must keep `a.len() <= 64`.
+#[must_use]
+pub fn nonzero_mask(a: &[u16]) -> u64 {
+    debug_assert!(a.len() <= 64, "nonzero_mask requires arity <= 64");
+    a.iter()
+        .enumerate()
+        .fold(0u64, |m, (i, &c)| if c > 0 { m | (1 << i) } else { m })
+}
+
+/// Component-wise partial order.
+#[must_use]
+pub fn partial_cmp(a: &[u16], b: &[u16]) -> Option<Ordering> {
+    let mut le = true;
+    let mut ge = true;
+    for (&x, &y) in a.iter().zip(b) {
+        le &= x <= y;
+        ge &= x >= y;
+        if !le && !ge {
+            return None;
+        }
+    }
+    match (le, ge) {
+        (true, true) => Some(Ordering::Equal),
+        (true, false) => Some(Ordering::Less),
+        (false, true) => Some(Ordering::Greater),
+        (false, false) => None,
+    }
+}

@@ -1,0 +1,285 @@
+//! Branchless SWAR kernels over `u64` words holding four `u16` lanes each.
+//!
+//! All slice kernels share the same shape: full 4-lane words are processed
+//! with the word formulas below; a partial final word is zero-padded into a
+//! temporary `[u16; 4]` and runs through the *same* formula (every word
+//! formula maps zero lanes to zero lanes, so padding never leaks into live
+//! lanes).
+//!
+//! Word formulas (Hacker's Delight, partitioned arithmetic; `H` masks the
+//! per-lane sign bits):
+//!
+//! * lane-wise wrapping subtraction: `((x | H) − (y & !H)) ⊕ ((x ⊕ !y) & H)`
+//! * lane-wise wrapping addition: `((x & !H) + (y & !H)) ⊕ ((x ⊕ y) & H)`
+//! * lane borrow (x < y): sign bits of `(!x & y) | ((!x | y) & (x − y))`
+//! * lane select for min/max: `x ⊕ ((x ⊕ y) & mask)`.
+
+use std::cmp::Ordering;
+
+/// Per-lane sign-bit mask.
+const H: u64 = 0x8000_8000_8000_8000;
+/// Mask keeping lanes 0 and 2 (for pairwise horizontal sums).
+const EVEN: u64 = 0x0000_FFFF_0000_FFFF;
+
+/// Packs four `u16` lanes into one `u64` word (lane 0 in the low bits).
+/// The compiler fuses this into a single 64-bit load on little-endian
+/// targets; the pack/unpack pair is endianness-agnostic by construction.
+#[inline(always)]
+fn pack(c: &[u16; 4]) -> u64 {
+    u64::from(c[0])
+        | u64::from(c[1]) << 16
+        | u64::from(c[2]) << 32
+        | u64::from(c[3]) << 48
+}
+
+/// Inverse of [`pack`].
+#[inline(always)]
+fn unpack(w: u64) -> [u16; 4] {
+    [w as u16, (w >> 16) as u16, (w >> 32) as u16, (w >> 48) as u16]
+}
+
+/// Lane-wise wrapping subtraction `x − y` without cross-lane borrows.
+#[inline(always)]
+fn psub(x: u64, y: u64) -> u64 {
+    ((x | H) - (y & !H)) ^ ((x ^ !y) & H)
+}
+
+/// Lane-wise wrapping addition without cross-lane carries.
+#[inline(always)]
+fn padd(x: u64, y: u64) -> u64 {
+    ((x & !H) + (y & !H)) ^ ((x ^ y) & H)
+}
+
+/// Sign-bit set in every lane where `x < y` (unsigned), clear elsewhere.
+#[inline(always)]
+fn lt_bits(x: u64, y: u64) -> u64 {
+    // Borrow-out predicate of x − y, evaluated lane-wise.
+    ((!x & y) | ((!x | y) & psub(x, y))) & H
+}
+
+/// `0xFFFF` in every lane where `x < y`, zero elsewhere.
+#[inline(always)]
+fn lt_mask(x: u64, y: u64) -> u64 {
+    // Sign bits shifted to lane bit 0 occupy disjoint 16-bit lanes, so
+    // the multiply spreads each into a full-lane mask without carries.
+    (lt_bits(x, y) >> 15) * 0xFFFF
+}
+
+/// Lane-wise maximum.
+#[inline(always)]
+fn pmax(x: u64, y: u64) -> u64 {
+    x ^ ((x ^ y) & lt_mask(x, y))
+}
+
+/// Lane-wise minimum.
+#[inline(always)]
+fn pmin(x: u64, y: u64) -> u64 {
+    y ^ ((x ^ y) & lt_mask(x, y))
+}
+
+/// Lane-wise saturating subtraction `y − x` (note the operand order:
+/// this is the residual direction `other ⊖ self`).
+#[inline(always)]
+fn psat_sub_rev(x: u64, y: u64) -> u64 {
+    psub(y, x) & !lt_mask(y, x)
+}
+
+/// Lane-wise saturating addition.
+#[inline(always)]
+fn psat_add(x: u64, y: u64) -> u64 {
+    let s = padd(x, y);
+    // A lane overflowed iff its wrapped sum is below either operand.
+    s | lt_mask(s, x)
+}
+
+/// Sum of the four `u16` lanes of `w`.
+#[inline(always)]
+fn lane_sum(w: u64) -> u64 {
+    let pair = (w & EVEN) + ((w >> 16) & EVEN);
+    (pair & 0xFFFF_FFFF) + (pair >> 32)
+}
+
+/// Sign-bit set in every non-zero lane of `w`: a lane's low 15 bits carry
+/// into bit 15 when any of them is set, OR-ed with the lane's own sign bit.
+#[inline(always)]
+fn nonzero_bits(w: u64) -> u64 {
+    (((w & !H) + !H) | w) & H
+}
+
+/// Applies word function `f` lane-wise over `a`/`b` into `out`.
+/// All three slices must share one length.
+#[inline(always)]
+fn zip_words(a: &[u16], b: &[u16], out: &mut [u16], f: impl Fn(u64, u64) -> u64) {
+    debug_assert!(a.len() == b.len() && a.len() == out.len());
+    let mut wa = a.chunks_exact(4);
+    let mut wb = b.chunks_exact(4);
+    let mut wo = out.chunks_exact_mut(4);
+    for ((ca, cb), co) in (&mut wa).zip(&mut wb).zip(&mut wo) {
+        let w = f(
+            pack(ca.try_into().expect("exact chunk")),
+            pack(cb.try_into().expect("exact chunk")),
+        );
+        co.copy_from_slice(&unpack(w));
+    }
+    let (ra, rb, ro) = (wa.remainder(), wb.remainder(), wo.into_remainder());
+    if !ra.is_empty() {
+        let mut ta = [0u16; 4];
+        let mut tb = [0u16; 4];
+        ta[..ra.len()].copy_from_slice(ra);
+        tb[..rb.len()].copy_from_slice(rb);
+        let w = unpack(f(pack(&ta), pack(&tb)));
+        ro.copy_from_slice(&w[..ro.len()]);
+    }
+}
+
+/// Folds word function `f` over `a`/`b`, summing the lanes of each result.
+#[inline(always)]
+fn fold_words(a: &[u16], b: &[u16], f: impl Fn(u64, u64) -> u64) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut wa = a.chunks_exact(4);
+    let mut wb = b.chunks_exact(4);
+    let mut total = 0u64;
+    for (ca, cb) in (&mut wa).zip(&mut wb) {
+        total += lane_sum(f(
+            pack(ca.try_into().expect("exact chunk")),
+            pack(cb.try_into().expect("exact chunk")),
+        ));
+    }
+    let (ra, rb) = (wa.remainder(), wb.remainder());
+    if !ra.is_empty() {
+        let mut ta = [0u16; 4];
+        let mut tb = [0u16; 4];
+        ta[..ra.len()].copy_from_slice(ra);
+        tb[..rb.len()].copy_from_slice(rb);
+        total += lane_sum(f(pack(&ta), pack(&tb)));
+    }
+    total
+}
+
+/// Component-wise maximum into `out`.
+pub fn union_into(a: &[u16], b: &[u16], out: &mut [u16]) {
+    zip_words(a, b, out, pmax);
+}
+
+/// Component-wise minimum into `out`.
+pub fn intersect_into(a: &[u16], b: &[u16], out: &mut [u16]) {
+    zip_words(a, b, out, pmin);
+}
+
+/// Component-wise saturating `o − a` (residual direction) into `out`.
+pub fn residual_into(a: &[u16], o: &[u16], out: &mut [u16]) {
+    zip_words(a, o, out, psat_sub_rev);
+}
+
+/// Component-wise saturating addition into `out`.
+pub fn saturating_add_into(a: &[u16], b: &[u16], out: &mut [u16]) {
+    zip_words(a, b, out, psat_add);
+}
+
+/// `Σᵢ max(oᵢ − aᵢ, 0)` without materialising the residual.
+#[must_use]
+pub fn residual_atoms(a: &[u16], o: &[u16]) -> u64 {
+    fold_words(a, o, psat_sub_rev)
+}
+
+/// `Σᵢ max(aᵢ, bᵢ)` without materialising the union.
+#[must_use]
+pub fn union_atoms(a: &[u16], b: &[u16]) -> u64 {
+    fold_words(a, b, pmax)
+}
+
+/// Sum of all components.
+#[must_use]
+pub fn total_atoms(a: &[u16]) -> u64 {
+    let mut words = a.chunks_exact(4);
+    let mut total = 0u64;
+    for c in &mut words {
+        total += lane_sum(pack(c.try_into().expect("exact chunk")));
+    }
+    total + words.remainder().iter().map(|&c| u64::from(c)).sum::<u64>()
+}
+
+/// Bitmask of the non-zero components: bit `i` set iff `a[i] > 0`.
+/// Callers must keep `a.len() <= 64`.
+#[must_use]
+pub fn nonzero_mask(a: &[u16]) -> u64 {
+    debug_assert!(a.len() <= 64, "nonzero_mask requires arity <= 64");
+    let mut words = a.chunks_exact(4);
+    let mut mask = 0u64;
+    let mut shift = 0u32;
+    for c in &mut words {
+        let nz = nonzero_bits(pack(c.try_into().expect("exact chunk"))) >> 15;
+        // Lane sign bits now sit at bits 0/16/32/48; fold them to a nibble.
+        let nibble = (nz | (nz >> 15) | (nz >> 30) | (nz >> 45)) & 0xF;
+        mask |= nibble << shift;
+        shift += 4;
+    }
+    for (i, &c) in words.remainder().iter().enumerate() {
+        if c > 0 {
+            mask |= 1 << (shift as usize + i);
+        }
+    }
+    mask
+}
+
+/// Whether `aᵢ ≤ bᵢ` for every component (slices of equal length).
+#[must_use]
+pub fn is_subset(a: &[u16], b: &[u16]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut wa = a.chunks_exact(4);
+    let mut wb = b.chunks_exact(4);
+    let mut violation = 0u64;
+    for (ca, cb) in (&mut wa).zip(&mut wb) {
+        // a ⊆ b is violated in a lane iff b < a there.
+        violation |= lt_bits(
+            pack(cb.try_into().expect("exact chunk")),
+            pack(ca.try_into().expect("exact chunk")),
+        );
+    }
+    let (ra, rb) = (wa.remainder(), wb.remainder());
+    if !ra.is_empty() {
+        let mut ta = [0u16; 4];
+        let mut tb = [0u16; 4];
+        ta[..ra.len()].copy_from_slice(ra);
+        tb[..rb.len()].copy_from_slice(rb);
+        violation |= lt_bits(pack(&tb), pack(&ta));
+    }
+    violation == 0
+}
+
+/// Component-wise partial order over slices of equal length.
+#[must_use]
+pub fn partial_cmp(a: &[u16], b: &[u16]) -> Option<Ordering> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut gt = 0u64; // lanes where a > b exist
+    let mut lt = 0u64; // lanes where a < b exist
+    let mut wa = a.chunks_exact(4);
+    let mut wb = b.chunks_exact(4);
+    for (ca, cb) in (&mut wa).zip(&mut wb) {
+        let (x, y) = (
+            pack(ca.try_into().expect("exact chunk")),
+            pack(cb.try_into().expect("exact chunk")),
+        );
+        lt |= lt_bits(x, y);
+        gt |= lt_bits(y, x);
+        if lt != 0 && gt != 0 {
+            return None;
+        }
+    }
+    let (ra, rb) = (wa.remainder(), wb.remainder());
+    if !ra.is_empty() {
+        let mut ta = [0u16; 4];
+        let mut tb = [0u16; 4];
+        ta[..ra.len()].copy_from_slice(ra);
+        tb[..rb.len()].copy_from_slice(rb);
+        let (x, y) = (pack(&ta), pack(&tb));
+        lt |= lt_bits(x, y);
+        gt |= lt_bits(y, x);
+    }
+    match (lt == 0, gt == 0) {
+        (true, true) => Some(Ordering::Equal),
+        (false, true) => Some(Ordering::Less),
+        (true, false) => Some(Ordering::Greater),
+        (false, false) => None,
+    }
+}

@@ -1,0 +1,323 @@
+//! AVX2 wide-SIMD kernels: sixteen `u16` lanes per 256-bit vector.
+//!
+//! This is the only module in the crate allowed to use `unsafe`: every
+//! `#[target_feature(enable = "avx2")]` inner function is wrapped in a safe
+//! public function that first checks [`available`], so calling into a
+//! missing ISA extension is impossible through the public surface. On
+//! non-x86_64 targets the public functions exist but `available()` is
+//! always `false` and calling them panics — the dispatcher never selects
+//! this tier there.
+//!
+//! Tails shorter than 16 lanes are zero-padded into a stack `[u16; 16]`
+//! and run through the same vector code; every kernel maps zero lanes to
+//! zero lanes, so the padding never leaks into live results (the same
+//! invariant the SWAR tier relies on).
+
+#![allow(unsafe_code)]
+
+use std::cmp::Ordering;
+
+/// Whether the wide tier can run on this process's CPU.
+#[must_use]
+pub fn available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::{
+        __m256i, _mm256_add_epi32, _mm256_adds_epu16, _mm256_and_si256, _mm256_cmpeq_epi16,
+        _mm256_extracti128_si256, _mm256_loadu_si256, _mm256_max_epu16, _mm256_min_epu16,
+        _mm256_movemask_epi8, _mm256_or_si256, _mm256_set1_epi32, _mm256_setzero_si256,
+        _mm256_srli_epi32, _mm256_storeu_si256, _mm256_subs_epu16, _mm256_testz_si256,
+        _mm_add_epi32, _mm_cvtsi128_si32, _mm_shuffle_epi32,
+    };
+    use std::cmp::Ordering;
+
+    pub const LANES: usize = 16;
+
+    /// Loads a (possibly short, zero-padded) group of lanes as a vector.
+    #[inline(always)]
+    unsafe fn load(chunk: &[u16]) -> __m256i {
+        debug_assert!(chunk.len() <= LANES);
+        if chunk.len() == LANES {
+            _mm256_loadu_si256(chunk.as_ptr().cast())
+        } else {
+            let mut tmp = [0u16; LANES];
+            tmp[..chunk.len()].copy_from_slice(chunk);
+            _mm256_loadu_si256(tmp.as_ptr().cast())
+        }
+    }
+
+    /// Stores the low `chunk.len()` lanes of `v` into `chunk`.
+    #[inline(always)]
+    unsafe fn store(chunk: &mut [u16], v: __m256i) {
+        debug_assert!(chunk.len() <= LANES);
+        if chunk.len() == LANES {
+            _mm256_storeu_si256(chunk.as_mut_ptr().cast(), v);
+        } else {
+            let mut tmp = [0u16; LANES];
+            _mm256_storeu_si256(tmp.as_mut_ptr().cast(), v);
+            chunk.copy_from_slice(&tmp[..chunk.len()]);
+        }
+    }
+
+    /// Sum of the eight `u32` lanes of `v`.
+    #[inline(always)]
+    unsafe fn hsum_epi32(v: __m256i) -> u64 {
+        let lo = _mm256_extracti128_si256::<0>(v);
+        let hi = _mm256_extracti128_si256::<1>(v);
+        let s = _mm_add_epi32(lo, hi);
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b00_01_10_11>(s));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b00_00_00_01>(s));
+        _mm_cvtsi128_si32(s) as u32 as u64
+    }
+
+    /// Widens the sixteen `u16` lanes of `v` into eight `u32` pair-sums
+    /// (each output lane holds the sum of two adjacent input lanes).
+    #[inline(always)]
+    unsafe fn pair_sums_epi32(v: __m256i) -> __m256i {
+        let even = _mm256_and_si256(v, _mm256_set1_epi32(0xFFFF));
+        let odd = _mm256_srli_epi32::<16>(v);
+        _mm256_add_epi32(even, odd)
+    }
+
+    macro_rules! zip_kernel {
+        ($name:ident, $op:ident) => {
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(a: &[u16], b: &[u16], out: &mut [u16]) {
+                debug_assert!(a.len() == b.len() && a.len() == out.len());
+                let mut i = 0;
+                while i + LANES <= a.len() {
+                    let v = $op(load(&a[i..i + LANES]), load(&b[i..i + LANES]));
+                    store(&mut out[i..i + LANES], v);
+                    i += LANES;
+                }
+                if i < a.len() {
+                    let v = $op(load(&a[i..]), load(&b[i..]));
+                    store(&mut out[i..], v);
+                }
+            }
+        };
+    }
+
+    zip_kernel!(union_into, _mm256_max_epu16);
+    zip_kernel!(intersect_into, _mm256_min_epu16);
+    zip_kernel!(saturating_add_into, _mm256_adds_epu16);
+
+    /// Residual direction: saturating `o − a`, so the operands swap.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn residual_into(a: &[u16], o: &[u16], out: &mut [u16]) {
+        debug_assert!(a.len() == o.len() && a.len() == out.len());
+        let mut i = 0;
+        while i + LANES <= a.len() {
+            let v = _mm256_subs_epu16(load(&o[i..i + LANES]), load(&a[i..i + LANES]));
+            store(&mut out[i..i + LANES], v);
+            i += LANES;
+        }
+        if i < a.len() {
+            let v = _mm256_subs_epu16(load(&o[i..]), load(&a[i..]));
+            store(&mut out[i..], v);
+        }
+    }
+
+    macro_rules! fold_kernel {
+        ($name:ident, |$x:ident, $y:ident| $body:expr) => {
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(a: &[u16], b: &[u16]) -> u64 {
+                debug_assert_eq!(a.len(), b.len());
+                // Pair-sums fit u32 lanes for any molecule this model can
+                // represent (≤ 2¹⁷ per pair, and arities are tiny), so one
+                // u32 accumulator suffices; hsum once at the end.
+                let mut acc = _mm256_setzero_si256();
+                let mut i = 0;
+                while i + LANES <= a.len() {
+                    let $x = load(&a[i..i + LANES]);
+                    let $y = load(&b[i..i + LANES]);
+                    acc = _mm256_add_epi32(acc, pair_sums_epi32($body));
+                    i += LANES;
+                }
+                if i < a.len() {
+                    let $x = load(&a[i..]);
+                    let $y = load(&b[i..]);
+                    acc = _mm256_add_epi32(acc, pair_sums_epi32($body));
+                }
+                hsum_epi32(acc)
+            }
+        };
+    }
+
+    fold_kernel!(union_atoms, |x, y| _mm256_max_epu16(x, y));
+    fold_kernel!(residual_atoms, |x, y| _mm256_subs_epu16(y, x));
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn total_atoms(a: &[u16]) -> u64 {
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + LANES <= a.len() {
+            acc = _mm256_add_epi32(acc, pair_sums_epi32(load(&a[i..i + LANES])));
+            i += LANES;
+        }
+        if i < a.len() {
+            acc = _mm256_add_epi32(acc, pair_sums_epi32(load(&a[i..])));
+        }
+        hsum_epi32(acc)
+    }
+
+    /// `a ⊆ b` ⟺ the saturating difference `a ⊖ b` is zero everywhere.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn is_subset(a: &[u16], b: &[u16]) -> bool {
+        debug_assert_eq!(a.len(), b.len());
+        let mut excess = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + LANES <= a.len() {
+            excess = _mm256_or_si256(
+                excess,
+                _mm256_subs_epu16(load(&a[i..i + LANES]), load(&b[i..i + LANES])),
+            );
+            i += LANES;
+        }
+        if i < a.len() {
+            excess = _mm256_or_si256(excess, _mm256_subs_epu16(load(&a[i..]), load(&b[i..])));
+        }
+        _mm256_testz_si256(excess, excess) == 1
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn partial_cmp(a: &[u16], b: &[u16]) -> Option<Ordering> {
+        debug_assert_eq!(a.len(), b.len());
+        // a > b somewhere ⟺ a ⊖ b non-zero; likewise for b ⊖ a.
+        let mut gt = _mm256_setzero_si256();
+        let mut lt = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + LANES <= a.len() {
+            let x = load(&a[i..i + LANES]);
+            let y = load(&b[i..i + LANES]);
+            gt = _mm256_or_si256(gt, _mm256_subs_epu16(x, y));
+            lt = _mm256_or_si256(lt, _mm256_subs_epu16(y, x));
+            i += LANES;
+        }
+        if i < a.len() {
+            let x = load(&a[i..]);
+            let y = load(&b[i..]);
+            gt = _mm256_or_si256(gt, _mm256_subs_epu16(x, y));
+            lt = _mm256_or_si256(lt, _mm256_subs_epu16(y, x));
+        }
+        match (
+            _mm256_testz_si256(lt, lt) == 1,
+            _mm256_testz_si256(gt, gt) == 1,
+        ) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Greater),
+            (false, true) => Some(Ordering::Less),
+            (false, false) => None,
+        }
+    }
+
+    /// Bitmask of non-zero lanes; callers keep `a.len() <= 64`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn nonzero_mask(a: &[u16]) -> u64 {
+        debug_assert!(a.len() <= 64, "nonzero_mask requires arity <= 64");
+        let zero = _mm256_setzero_si256();
+        let mut mask = 0u64;
+        let mut i = 0;
+        while i < a.len() {
+            let hi = (i + LANES).min(a.len());
+            let eq_zero = _mm256_cmpeq_epi16(load(&a[i..hi]), zero);
+            // movemask gives 2 bits per u16 lane; keep the even bits and
+            // compress them down to one bit per lane.
+            let m2 = !(_mm256_movemask_epi8(eq_zero) as u32) & 0x5555_5555;
+            let mut m2 = u64::from(m2);
+            m2 = (m2 | (m2 >> 1)) & 0x3333_3333;
+            m2 = (m2 | (m2 >> 2)) & 0x0F0F_0F0F;
+            m2 = (m2 | (m2 >> 4)) & 0x00FF_00FF;
+            m2 = (m2 | (m2 >> 8)) & 0x0000_FFFF;
+            mask |= (m2 & ((1u64 << (hi - i)) - 1).min(0xFFFF)) << i;
+            i = hi;
+        }
+        mask
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+macro_rules! safe_wrapper {
+    ($(#[$doc:meta])* $name:ident($($arg:ident: $ty:ty),*) $(-> $ret:ty)?) => {
+        $(#[$doc])*
+        ///
+        /// # Panics
+        ///
+        /// Panics if the wide tier is unavailable on this CPU (the
+        /// dispatcher never routes here in that case).
+        pub fn $name($($arg: $ty),*) $(-> $ret)? {
+            assert!(available(), "wide kernel tier requires AVX2");
+            // SAFETY: `available()` confirmed AVX2 support at run time.
+            unsafe { avx2::$name($($arg),*) }
+        }
+    };
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+macro_rules! safe_wrapper {
+    ($(#[$doc:meta])* $name:ident($($arg:ident: $ty:ty),*) $(-> $ret:ty)?) => {
+        $(#[$doc])*
+        ///
+        /// # Panics
+        ///
+        /// Always panics: the wide tier only exists on x86_64 (the
+        /// dispatcher never routes here off that architecture).
+        pub fn $name($($arg: $ty),*) $(-> $ret)? {
+            $(let _ = $arg;)*
+            panic!("wide kernel tier requires x86_64 AVX2")
+        }
+    };
+}
+
+safe_wrapper!(
+    /// Component-wise maximum into `out`.
+    union_into(a: &[u16], b: &[u16], out: &mut [u16])
+);
+safe_wrapper!(
+    /// Component-wise minimum into `out`.
+    intersect_into(a: &[u16], b: &[u16], out: &mut [u16])
+);
+safe_wrapper!(
+    /// Component-wise saturating `o − a` (residual direction) into `out`.
+    residual_into(a: &[u16], o: &[u16], out: &mut [u16])
+);
+safe_wrapper!(
+    /// Component-wise saturating addition into `out`.
+    saturating_add_into(a: &[u16], b: &[u16], out: &mut [u16])
+);
+safe_wrapper!(
+    /// `Σᵢ max(oᵢ − aᵢ, 0)` without materialising the residual.
+    residual_atoms(a: &[u16], o: &[u16]) -> u64
+);
+safe_wrapper!(
+    /// `Σᵢ max(aᵢ, bᵢ)` without materialising the union.
+    union_atoms(a: &[u16], b: &[u16]) -> u64
+);
+safe_wrapper!(
+    /// Sum of all components.
+    total_atoms(a: &[u16]) -> u64
+);
+safe_wrapper!(
+    /// Whether `aᵢ ≤ bᵢ` for every component.
+    is_subset(a: &[u16], b: &[u16]) -> bool
+);
+safe_wrapper!(
+    /// Component-wise partial order.
+    partial_cmp(a: &[u16], b: &[u16]) -> Option<Ordering>
+);
+safe_wrapper!(
+    /// Bitmask of the non-zero components (`a.len() <= 64`).
+    nonzero_mask(a: &[u16]) -> u64
+);

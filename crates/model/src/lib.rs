@@ -32,11 +32,14 @@
 //! assert_eq!(m.residual(&o).counts(), &[0, 3, 0]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the AVX2 wide kernel tier opts back in with
+// a scoped `allow` in `kernels::wide`; everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod atom;
 mod error;
+pub mod kernels;
 pub mod latency;
 mod molecule;
 mod si;
@@ -44,6 +47,9 @@ mod si;
 pub use atom::{AtomTypeId, AtomTypeInfo, AtomUniverse};
 pub use error::ModelError;
 #[doc(hidden)]
-pub use molecule::scalar;
+pub use kernels::scalar;
+pub use kernels::{
+    active_tier, default_tier, init_tier_from_env, set_active_tier, KernelTier, TIER_ENV,
+};
 pub use molecule::{Molecule, INLINE_LANES};
 pub use si::{MoleculeVariant, SiDefinition, SiId, SiLibrary, SiLibraryBuilder};

@@ -3,7 +3,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::Index;
 
-use crate::ModelError;
+use crate::{kernels, ModelError};
 
 /// Number of `u16` components a [`Molecule`] stores inline, without heap
 /// allocation. Molecules of arity above this cap spill to a `Vec<u16>`.
@@ -38,9 +38,10 @@ enum Repr {
 ///
 /// Counts are stored inline (no heap allocation) up to [`INLINE_LANES`]
 /// components and spill to a `Vec<u16>` above that. All lattice operations
-/// run as branchless SWAR kernels over `u64` words holding four `u16` lanes
-/// each (see the [`scalar`] module for the reference implementation they
-/// are tested against).
+/// route through the per-process kernel tier dispatch in
+/// [`crate::kernels`] — scalar reference loops, portable u64 SWAR, or
+/// AVX2 wide SIMD, all bit-identical (the scalar tier is the reference
+/// implementation the others are property-tested against).
 ///
 /// # Examples
 ///
@@ -170,7 +171,7 @@ impl Molecule {
     /// Panics if the count exceeds `u32::MAX` (requires arity > 65537).
     #[must_use]
     pub fn total_atoms(&self) -> u32 {
-        u32::try_from(swar::total_atoms(self.counts())).expect("total atom count overflows u32")
+        u32::try_from(kernels::total_atoms(self.counts())).expect("total atom count overflows u32")
     }
 
     /// Number of distinct atom *types* used (non-zero components).
@@ -182,7 +183,7 @@ impl Molecule {
     /// Whether no atoms at all are required.
     #[must_use]
     pub fn is_zero(&self) -> bool {
-        swar::total_atoms(self.counts()) == 0
+        kernels::total_atoms(self.counts()) == 0
     }
 
     /// The Meta-Molecule `m ∪ o` (component-wise maximum): atoms required to
@@ -203,7 +204,7 @@ impl Molecule {
     ///
     /// Returns [`ModelError::ArityMismatch`] when the arities differ.
     pub fn checked_union(&self, other: &Molecule) -> Result<Molecule, ModelError> {
-        self.binary(other, swar::union_into)
+        self.binary(other, kernels::union_into)
     }
 
     /// The Meta-Molecule `m ∩ o` (component-wise minimum): atoms that are
@@ -225,7 +226,7 @@ impl Molecule {
     ///
     /// Returns [`ModelError::ArityMismatch`] when the arities differ.
     pub fn checked_intersect(&self, other: &Molecule) -> Result<Molecule, ModelError> {
-        self.binary(other, swar::intersect_into)
+        self.binary(other, kernels::intersect_into)
     }
 
     /// The residual `self ⊖ other`: the minimum set of atoms that
@@ -252,7 +253,7 @@ impl Molecule {
     ///
     /// Returns [`ModelError::ArityMismatch`] when the arities differ.
     pub fn checked_residual(&self, other: &Molecule) -> Result<Molecule, ModelError> {
-        self.binary(other, swar::residual_into)
+        self.binary(other, kernels::residual_into)
     }
 
     /// `|self ⊖ other|` without materialising the residual Molecule:
@@ -266,7 +267,7 @@ impl Molecule {
     #[must_use]
     pub fn residual_atoms(&self, other: &Molecule) -> u32 {
         assert_eq!(self.arity(), other.arity(), "molecule arity mismatch");
-        swar::residual_atoms(self.counts(), other.counts()) as u32
+        kernels::residual_atoms(self.counts(), other.counts()) as u32
     }
 
     /// `|self ∪ other|` without materialising the union Molecule:
@@ -280,7 +281,7 @@ impl Molecule {
     #[must_use]
     pub fn union_atoms(&self, other: &Molecule) -> u32 {
         assert_eq!(self.arity(), other.arity(), "molecule arity mismatch");
-        swar::union_atoms(self.counts(), other.counts()) as u32
+        kernels::union_atoms(self.counts(), other.counts()) as u32
     }
 
     /// Bitmask of the atom types present: bit `i` is set iff
@@ -295,10 +296,7 @@ impl Molecule {
     #[must_use]
     pub fn nonzero_mask(&self) -> u64 {
         assert!(self.arity() <= 64, "nonzero_mask requires arity <= 64");
-        self.counts()
-            .iter()
-            .enumerate()
-            .fold(0u64, |m, (i, &c)| if c > 0 { m | (1 << i) } else { m })
+        kernels::nonzero_mask(self.counts())
     }
 
     /// Whether `self ≤ other` in the component-wise lattice order, i.e.
@@ -310,7 +308,7 @@ impl Molecule {
     /// the `≤` direction matters (the cleaning rule of eq. 4).
     #[must_use]
     pub fn is_subset(&self, other: &Molecule) -> bool {
-        self.arity() == other.arity() && swar::is_subset(self.counts(), other.counts())
+        self.arity() == other.arity() && kernels::is_subset(self.counts(), other.counts())
     }
 
     /// Component-wise saturating addition; used to track loaded atoms.
@@ -320,7 +318,7 @@ impl Molecule {
     /// Panics if the arities differ.
     #[must_use]
     pub fn saturating_add(&self, other: &Molecule) -> Molecule {
-        self.binary(other, swar::saturating_add_into)
+        self.binary(other, kernels::saturating_add_into)
             .expect("molecule arity mismatch")
     }
 
@@ -361,7 +359,7 @@ impl Molecule {
     #[must_use]
     pub fn to_unit_indices(&self) -> Vec<usize> {
         let counts = self.counts();
-        let mut units = Vec::with_capacity(swar::total_atoms(counts) as usize);
+        let mut units = Vec::with_capacity(kernels::total_atoms(counts) as usize);
         for (i, &c) in counts.iter().enumerate() {
             for _ in 0..c {
                 units.push(i);
@@ -435,7 +433,7 @@ impl PartialOrd for Molecule {
         if self.arity() != other.arity() {
             return None;
         }
-        swar::partial_cmp(self.counts(), other.counts())
+        kernels::partial_cmp(self.counts(), other.counts())
     }
 }
 
@@ -466,334 +464,10 @@ impl fmt::Display for Molecule {
     }
 }
 
-/// Branchless SWAR kernels over `u64` words holding four `u16` lanes each.
-///
-/// All slice kernels share the same shape: full 4-lane words are processed
-/// with the word formulas below; a partial final word is zero-padded into a
-/// temporary `[u16; 4]` and runs through the *same* formula (every word
-/// formula maps zero lanes to zero lanes, so padding never leaks into live
-/// lanes).
-///
-/// Word formulas (Hacker's Delight, partitioned arithmetic; `H` masks the
-/// per-lane sign bits):
-///
-/// * lane-wise wrapping subtraction: `((x | H) − (y & !H)) ⊕ ((x ⊕ !y) & H)`
-/// * lane-wise wrapping addition: `((x & !H) + (y & !H)) ⊕ ((x ⊕ y) & H)`
-/// * lane borrow (x < y): sign bits of `(!x & y) | ((!x | y) & (x − y))`
-/// * lane select for min/max: `x ⊕ ((x ⊕ y) & mask)`.
-mod swar {
-    use std::cmp::Ordering;
-
-    /// Per-lane sign-bit mask.
-    const H: u64 = 0x8000_8000_8000_8000;
-    /// Mask keeping lanes 0 and 2 (for pairwise horizontal sums).
-    const EVEN: u64 = 0x0000_FFFF_0000_FFFF;
-
-    /// Packs four `u16` lanes into one `u64` word (lane 0 in the low bits).
-    /// The compiler fuses this into a single 64-bit load on little-endian
-    /// targets; the pack/unpack pair is endianness-agnostic by construction.
-    #[inline(always)]
-    fn pack(c: &[u16; 4]) -> u64 {
-        u64::from(c[0])
-            | u64::from(c[1]) << 16
-            | u64::from(c[2]) << 32
-            | u64::from(c[3]) << 48
-    }
-
-    /// Inverse of [`pack`].
-    #[inline(always)]
-    fn unpack(w: u64) -> [u16; 4] {
-        [w as u16, (w >> 16) as u16, (w >> 32) as u16, (w >> 48) as u16]
-    }
-
-    /// Lane-wise wrapping subtraction `x − y` without cross-lane borrows.
-    #[inline(always)]
-    fn psub(x: u64, y: u64) -> u64 {
-        ((x | H) - (y & !H)) ^ ((x ^ !y) & H)
-    }
-
-    /// Lane-wise wrapping addition without cross-lane carries.
-    #[inline(always)]
-    fn padd(x: u64, y: u64) -> u64 {
-        ((x & !H) + (y & !H)) ^ ((x ^ y) & H)
-    }
-
-    /// Sign-bit set in every lane where `x < y` (unsigned), clear elsewhere.
-    #[inline(always)]
-    fn lt_bits(x: u64, y: u64) -> u64 {
-        // Borrow-out predicate of x − y, evaluated lane-wise.
-        ((!x & y) | ((!x | y) & psub(x, y))) & H
-    }
-
-    /// `0xFFFF` in every lane where `x < y`, zero elsewhere.
-    #[inline(always)]
-    fn lt_mask(x: u64, y: u64) -> u64 {
-        // Sign bits shifted to lane bit 0 occupy disjoint 16-bit lanes, so
-        // the multiply spreads each into a full-lane mask without carries.
-        (lt_bits(x, y) >> 15) * 0xFFFF
-    }
-
-    /// Lane-wise maximum.
-    #[inline(always)]
-    fn pmax(x: u64, y: u64) -> u64 {
-        x ^ ((x ^ y) & lt_mask(x, y))
-    }
-
-    /// Lane-wise minimum.
-    #[inline(always)]
-    fn pmin(x: u64, y: u64) -> u64 {
-        y ^ ((x ^ y) & lt_mask(x, y))
-    }
-
-    /// Lane-wise saturating subtraction `y − x` (note the operand order:
-    /// this is the residual direction `other ⊖ self`).
-    #[inline(always)]
-    fn psat_sub_rev(x: u64, y: u64) -> u64 {
-        psub(y, x) & !lt_mask(y, x)
-    }
-
-    /// Lane-wise saturating addition.
-    #[inline(always)]
-    fn psat_add(x: u64, y: u64) -> u64 {
-        let s = padd(x, y);
-        // A lane overflowed iff its wrapped sum is below either operand.
-        s | lt_mask(s, x)
-    }
-
-    /// Sum of the four `u16` lanes of `w`.
-    #[inline(always)]
-    fn lane_sum(w: u64) -> u64 {
-        let pair = (w & EVEN) + ((w >> 16) & EVEN);
-        (pair & 0xFFFF_FFFF) + (pair >> 32)
-    }
-
-    /// Applies word function `f` lane-wise over `a`/`b` into `out`.
-    /// All three slices must share one length.
-    #[inline(always)]
-    fn zip_words(a: &[u16], b: &[u16], out: &mut [u16], f: impl Fn(u64, u64) -> u64) {
-        debug_assert!(a.len() == b.len() && a.len() == out.len());
-        let mut wa = a.chunks_exact(4);
-        let mut wb = b.chunks_exact(4);
-        let mut wo = out.chunks_exact_mut(4);
-        for ((ca, cb), co) in (&mut wa).zip(&mut wb).zip(&mut wo) {
-            let w = f(
-                pack(ca.try_into().expect("exact chunk")),
-                pack(cb.try_into().expect("exact chunk")),
-            );
-            co.copy_from_slice(&unpack(w));
-        }
-        let (ra, rb, ro) = (wa.remainder(), wb.remainder(), wo.into_remainder());
-        if !ra.is_empty() {
-            let mut ta = [0u16; 4];
-            let mut tb = [0u16; 4];
-            ta[..ra.len()].copy_from_slice(ra);
-            tb[..rb.len()].copy_from_slice(rb);
-            let w = unpack(f(pack(&ta), pack(&tb)));
-            ro.copy_from_slice(&w[..ro.len()]);
-        }
-    }
-
-    /// Folds word function `f` over `a`/`b`, summing `g` of each result.
-    #[inline(always)]
-    fn fold_words(a: &[u16], b: &[u16], f: impl Fn(u64, u64) -> u64) -> u64 {
-        debug_assert_eq!(a.len(), b.len());
-        let mut wa = a.chunks_exact(4);
-        let mut wb = b.chunks_exact(4);
-        let mut total = 0u64;
-        for (ca, cb) in (&mut wa).zip(&mut wb) {
-            total += lane_sum(f(
-                pack(ca.try_into().expect("exact chunk")),
-                pack(cb.try_into().expect("exact chunk")),
-            ));
-        }
-        let (ra, rb) = (wa.remainder(), wb.remainder());
-        if !ra.is_empty() {
-            let mut ta = [0u16; 4];
-            let mut tb = [0u16; 4];
-            ta[..ra.len()].copy_from_slice(ra);
-            tb[..rb.len()].copy_from_slice(rb);
-            total += lane_sum(f(pack(&ta), pack(&tb)));
-        }
-        total
-    }
-
-    /// Component-wise maximum into `out`.
-    pub(super) fn union_into(a: &[u16], b: &[u16], out: &mut [u16]) {
-        zip_words(a, b, out, pmax);
-    }
-
-    /// Component-wise minimum into `out`.
-    pub(super) fn intersect_into(a: &[u16], b: &[u16], out: &mut [u16]) {
-        zip_words(a, b, out, pmin);
-    }
-
-    /// Component-wise saturating `o − a` (residual direction) into `out`.
-    pub(super) fn residual_into(a: &[u16], o: &[u16], out: &mut [u16]) {
-        zip_words(a, o, out, psat_sub_rev);
-    }
-
-    /// Component-wise saturating addition into `out`.
-    pub(super) fn saturating_add_into(a: &[u16], b: &[u16], out: &mut [u16]) {
-        zip_words(a, b, out, psat_add);
-    }
-
-    /// `Σᵢ max(oᵢ − aᵢ, 0)` without materialising the residual.
-    pub(super) fn residual_atoms(a: &[u16], o: &[u16]) -> u64 {
-        fold_words(a, o, psat_sub_rev)
-    }
-
-    /// `Σᵢ max(aᵢ, bᵢ)` without materialising the union.
-    pub(super) fn union_atoms(a: &[u16], b: &[u16]) -> u64 {
-        fold_words(a, b, pmax)
-    }
-
-    /// Sum of all components.
-    pub(super) fn total_atoms(a: &[u16]) -> u64 {
-        let mut words = a.chunks_exact(4);
-        let mut total = 0u64;
-        for c in &mut words {
-            total += lane_sum(pack(c.try_into().expect("exact chunk")));
-        }
-        total + words.remainder().iter().map(|&c| u64::from(c)).sum::<u64>()
-    }
-
-    /// Whether `aᵢ ≤ bᵢ` for every component (slices of equal length).
-    pub(super) fn is_subset(a: &[u16], b: &[u16]) -> bool {
-        debug_assert_eq!(a.len(), b.len());
-        let mut wa = a.chunks_exact(4);
-        let mut wb = b.chunks_exact(4);
-        let mut violation = 0u64;
-        for (ca, cb) in (&mut wa).zip(&mut wb) {
-            // a ⊆ b is violated in a lane iff b < a there.
-            violation |= lt_bits(
-                pack(cb.try_into().expect("exact chunk")),
-                pack(ca.try_into().expect("exact chunk")),
-            );
-        }
-        let (ra, rb) = (wa.remainder(), wb.remainder());
-        if !ra.is_empty() {
-            let mut ta = [0u16; 4];
-            let mut tb = [0u16; 4];
-            ta[..ra.len()].copy_from_slice(ra);
-            tb[..rb.len()].copy_from_slice(rb);
-            violation |= lt_bits(pack(&tb), pack(&ta));
-        }
-        violation == 0
-    }
-
-    /// Component-wise partial order over slices of equal length.
-    pub(super) fn partial_cmp(a: &[u16], b: &[u16]) -> Option<Ordering> {
-        debug_assert_eq!(a.len(), b.len());
-        let mut gt = 0u64; // lanes where a > b exist
-        let mut lt = 0u64; // lanes where a < b exist
-        let mut wa = a.chunks_exact(4);
-        let mut wb = b.chunks_exact(4);
-        for (ca, cb) in (&mut wa).zip(&mut wb) {
-            let (x, y) = (
-                pack(ca.try_into().expect("exact chunk")),
-                pack(cb.try_into().expect("exact chunk")),
-            );
-            lt |= lt_bits(x, y);
-            gt |= lt_bits(y, x);
-            if lt != 0 && gt != 0 {
-                return None;
-            }
-        }
-        let (ra, rb) = (wa.remainder(), wb.remainder());
-        if !ra.is_empty() {
-            let mut ta = [0u16; 4];
-            let mut tb = [0u16; 4];
-            ta[..ra.len()].copy_from_slice(ra);
-            tb[..rb.len()].copy_from_slice(rb);
-            let (x, y) = (pack(&ta), pack(&tb));
-            lt |= lt_bits(x, y);
-            gt |= lt_bits(y, x);
-        }
-        match (lt == 0, gt == 0) {
-            (true, true) => Some(Ordering::Equal),
-            (false, true) => Some(Ordering::Less),
-            (true, false) => Some(Ordering::Greater),
-            (false, false) => None,
-        }
-    }
-}
-
-/// Scalar reference implementations of the Molecule lattice operations.
-///
-/// These are the original (pre-SWAR) formulations, kept as the executable
-/// specification the word-packed kernels in [`Molecule`] are property-tested
-/// against (see `crates/model/tests/swar_equivalence.rs`). Not part of the
-/// supported API.
-#[doc(hidden)]
-pub mod scalar {
-    use std::cmp::Ordering;
-
-    /// Component-wise maximum.
-    pub fn union(a: &[u16], b: &[u16]) -> Vec<u16> {
-        a.iter().zip(b).map(|(&x, &y)| x.max(y)).collect()
-    }
-
-    /// Component-wise minimum.
-    pub fn intersect(a: &[u16], b: &[u16]) -> Vec<u16> {
-        a.iter().zip(b).map(|(&x, &y)| x.min(y)).collect()
-    }
-
-    /// Component-wise saturating `o − a` (the residual `a ⊖ o`).
-    pub fn residual(a: &[u16], o: &[u16]) -> Vec<u16> {
-        a.iter().zip(o).map(|(&x, &y)| y.saturating_sub(x)).collect()
-    }
-
-    /// Component-wise saturating addition.
-    pub fn saturating_add(a: &[u16], b: &[u16]) -> Vec<u16> {
-        a.iter().zip(b).map(|(&x, &y)| x.saturating_add(y)).collect()
-    }
-
-    /// Sum of all components.
-    pub fn total_atoms(a: &[u16]) -> u64 {
-        a.iter().map(|&c| u64::from(c)).sum()
-    }
-
-    /// `Σᵢ max(oᵢ − aᵢ, 0)`.
-    pub fn residual_atoms(a: &[u16], o: &[u16]) -> u64 {
-        a.iter()
-            .zip(o)
-            .map(|(&x, &y)| u64::from(y.saturating_sub(x)))
-            .sum()
-    }
-
-    /// `Σᵢ max(aᵢ, bᵢ)`.
-    pub fn union_atoms(a: &[u16], b: &[u16]) -> u64 {
-        a.iter().zip(b).map(|(&x, &y)| u64::from(x.max(y))).sum()
-    }
-
-    /// Whether `aᵢ ≤ bᵢ` for every component.
-    pub fn is_subset(a: &[u16], b: &[u16]) -> bool {
-        a.iter().zip(b).all(|(&x, &y)| x <= y)
-    }
-
-    /// Component-wise partial order.
-    pub fn partial_cmp(a: &[u16], b: &[u16]) -> Option<Ordering> {
-        let mut le = true;
-        let mut ge = true;
-        for (&x, &y) in a.iter().zip(b) {
-            le &= x <= y;
-            ge &= x >= y;
-            if !le && !ge {
-                return None;
-            }
-        }
-        match (le, ge) {
-            (true, true) => Some(Ordering::Equal),
-            (true, false) => Some(Ordering::Less),
-            (false, true) => Some(Ordering::Greater),
-            (false, false) => None,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::scalar;
 
     fn m(counts: &[u16]) -> Molecule {
         Molecule::from_counts(counts.iter().copied())

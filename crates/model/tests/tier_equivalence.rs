@@ -1,17 +1,31 @@
-//! SWAR-vs-scalar equivalence suite: every word-packed lattice kernel in
-//! `Molecule` must agree bit-for-bit with the scalar reference
-//! implementation (`rispp_model::scalar`, the pre-SWAR formulation kept as
-//! the executable specification) across random arities — below, at and
-//! above the inline cap, so both the inline and spill representations and
-//! the zero-padded tail word are exercised.
+//! Three-way kernel-tier equivalence suite: every lattice kernel must
+//! agree bit-for-bit across the scalar reference implementation (the
+//! executable specification), the portable u64 SWAR tier, and — when the
+//! host CPU supports it — the AVX2 wide tier, across random arities:
+//! below, at and above the inline cap (inline vs spill representations),
+//! around the SWAR 4-lane word boundary, and around the AVX2 16-lane
+//! vector boundary, with counts biased toward the 0x7FFF/0x8000/0xFFFF
+//! saturation lanes.
+//!
+//! Two layers are checked per operation:
+//!
+//! 1. the raw tier kernels (`kernels::{swar,wide}::op`) against
+//!    `kernels::scalar::op` on bare slices;
+//! 2. the public `Molecule` API (which routes through the per-process
+//!    dispatch) against the scalar reference.
+//!
+//! CI runs this suite once per available tier with `RISPP_KERNEL_TIER`
+//! forced, so layer 2 covers every tier end-to-end.
 
 use proptest::prelude::*;
-use rispp_model::{scalar, Molecule, INLINE_LANES};
+use rispp_model::kernels::{scalar, swar, wide};
+use rispp_model::{Molecule, INLINE_LANES};
 
-/// Arities covering partial words (1..4), full-word multiples, the inline
-/// cap boundary and the spill path.
+/// Arities covering partial SWAR words (1..4), full-word multiples, the
+/// AVX2 16-lane vector boundary, the inline cap boundary and the spill
+/// path.
 fn arity() -> impl Strategy<Value = usize> {
-    const TABLE: [usize; 12] = [
+    const TABLE: [usize; 15] = [
         1,
         2,
         3,
@@ -20,6 +34,9 @@ fn arity() -> impl Strategy<Value = usize> {
         7,
         8,
         9,
+        15,
+        16,
+        17,
         INLINE_LANES - 1,
         INLINE_LANES,
         INLINE_LANES + 1,
@@ -28,7 +45,7 @@ fn arity() -> impl Strategy<Value = usize> {
     (0usize..TABLE.len()).prop_map(|sel| TABLE[sel])
 }
 
-/// Counts biased toward the SWAR edge cases: lane extremes around the
+/// Counts biased toward the kernel edge cases: lane extremes around the
 /// per-lane sign bit and saturation boundaries, plus small values.
 fn count() -> impl Strategy<Value = u16> {
     (0u8..9, any::<u16>()).prop_map(|(sel, raw)| match sel {
@@ -66,7 +83,82 @@ fn pair() -> impl Strategy<Value = (Vec<u16>, Vec<u16>)> {
     })
 }
 
+/// Runs a zip-shaped kernel (`op(a, b, &mut out)`) and returns the output.
+fn run_into(op: fn(&[u16], &[u16], &mut [u16]), a: &[u16], b: &[u16]) -> Vec<u16> {
+    let mut out = vec![0u16; a.len()];
+    op(a, b, &mut out);
+    out
+}
+
+/// Asserts slice-level agreement of one zip kernel across all tiers.
+macro_rules! assert_into_tiers_agree {
+    ($op:ident, $a:expr, $b:expr) => {{
+        let expected = run_into(scalar::$op, $a, $b);
+        prop_assert_eq!(&run_into(swar::$op, $a, $b), &expected, "swar {}", stringify!($op));
+        if wide::available() {
+            prop_assert_eq!(
+                &run_into(wide::$op, $a, $b),
+                &expected,
+                "wide {}",
+                stringify!($op)
+            );
+        }
+    }};
+}
+
+/// Asserts agreement of one two-operand reduction across all tiers.
+macro_rules! assert_fold_tiers_agree {
+    ($op:ident, $a:expr, $b:expr) => {{
+        let expected = scalar::$op($a, $b);
+        prop_assert_eq!(swar::$op($a, $b), expected, "swar {}", stringify!($op));
+        if wide::available() {
+            prop_assert_eq!(wide::$op($a, $b), expected, "wide {}", stringify!($op));
+        }
+    }};
+}
+
 proptest! {
+    // ── Layer 1: raw tier kernels vs the scalar specification ──────────
+
+    #[test]
+    fn zip_kernels_agree_across_tiers((a, b) in pair()) {
+        assert_into_tiers_agree!(union_into, &a, &b);
+        assert_into_tiers_agree!(intersect_into, &a, &b);
+        assert_into_tiers_agree!(residual_into, &a, &b);
+        assert_into_tiers_agree!(saturating_add_into, &a, &b);
+    }
+
+    #[test]
+    fn reductions_agree_across_tiers((a, b) in pair()) {
+        assert_fold_tiers_agree!(residual_atoms, &a, &b);
+        assert_fold_tiers_agree!(union_atoms, &a, &b);
+        assert_fold_tiers_agree!(is_subset, &a, &b);
+        assert_fold_tiers_agree!(partial_cmp, &a, &b);
+
+        prop_assert_eq!(swar::total_atoms(&a), scalar::total_atoms(&a));
+        if wide::available() {
+            prop_assert_eq!(wide::total_atoms(&a), scalar::total_atoms(&a));
+        }
+    }
+
+    #[test]
+    fn nonzero_mask_agrees_across_tiers(a in proptest::collection::vec(count(), 1..65usize)) {
+        let expected = scalar::nonzero_mask(&a);
+        prop_assert_eq!(swar::nonzero_mask(&a), expected);
+        if wide::available() {
+            prop_assert_eq!(wide::nonzero_mask(&a), expected);
+        }
+        // And the specification itself marks exactly the positive lanes.
+        for (i, &c) in a.iter().enumerate() {
+            prop_assert_eq!(expected >> i & 1 == 1, c > 0);
+        }
+        if a.len() < 64 {
+            prop_assert_eq!(expected >> a.len(), 0);
+        }
+    }
+
+    // ── Layer 2: the dispatched Molecule API vs the specification ──────
+
     #[test]
     fn union_matches_scalar((a, b) in pair()) {
         let (ma, mb) = (Molecule::from_counts(a.clone()), Molecule::from_counts(b.clone()));
@@ -152,4 +244,27 @@ proptest! {
         prop_assert!(!inline.is_subset(&spill));
         prop_assert!(inline.checked_union(&spill).is_err());
     }
+}
+
+/// The dispatch machinery itself: parsing, availability, and the
+/// guarantee that the active tier is one of the available ones.
+#[test]
+fn tier_parsing_and_dispatch_state() {
+    use rispp_model::kernels::{self, KernelTier};
+
+    assert_eq!(KernelTier::parse("scalar"), Ok(Some(KernelTier::Scalar)));
+    assert_eq!(KernelTier::parse(" SWAR "), Ok(Some(KernelTier::Swar)));
+    assert_eq!(KernelTier::parse("wide"), Ok(Some(KernelTier::Wide)));
+    assert_eq!(KernelTier::parse("auto"), Ok(None));
+    assert_eq!(KernelTier::parse(""), Ok(None));
+    assert!(KernelTier::parse("avx512").is_err());
+
+    assert!(KernelTier::Scalar.is_available());
+    assert!(KernelTier::Swar.is_available());
+    assert_eq!(KernelTier::Wide.is_available(), wide::available());
+
+    let active = kernels::active_tier();
+    assert!(active.is_available());
+    // Once resolved, init reports the cached tier without error.
+    assert_eq!(kernels::init_tier_from_env(), Ok(active));
 }

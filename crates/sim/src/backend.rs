@@ -20,7 +20,7 @@ use rispp_core::{BurstSegment, RunTimeManager, SchedulerKind};
 use rispp_model::{SiId, SiLibrary};
 
 use crate::baseline::MolenSystem;
-use crate::trace::Invocation;
+use crate::trace::{Burst, Invocation};
 
 /// An execution system that the engine can replay a trace against.
 ///
@@ -74,6 +74,31 @@ pub trait ExecutionSystem {
         out.extend(self.execute_burst(si, count, overhead, start));
     }
 
+    /// Batched fast path over a *run* of bursts: consumes a prefix of
+    /// `bursts` (laid back-to-back from cycle `start`) that the backend
+    /// can prove executes without any latency change or internal event,
+    /// pushes **exactly one unsplit segment per non-empty consumed burst**
+    /// onto `out` (cleared first), and returns how many bursts were
+    /// consumed. Zero-count bursts must be consumed as no-ops (no
+    /// segment). The replay loop falls back to
+    /// [`execute_burst_into`](ExecutionSystem::execute_burst_into) for the
+    /// first unconsumed burst, so returning 0 is always safe.
+    ///
+    /// Consumed bursts must leave the backend in a state bit-identical to
+    /// per-burst execution (segments, counters, usage timestamps). The
+    /// default consumes nothing, keeping custom backends on the exact
+    /// per-burst path; built-in backends override it to advance whole
+    /// event-free burst runs in one arithmetic step each.
+    fn execute_bursts_batched(
+        &mut self,
+        bursts: &[Burst],
+        start: u64,
+        out: &mut Vec<BurstSegment>,
+    ) -> usize {
+        let _ = (bursts, start, out);
+        0
+    }
+
     /// Leaves the current hot spot at cycle `now`.
     fn exit_hot_spot(&mut self, now: u64);
 
@@ -95,6 +120,28 @@ pub trait ExecutionSystem {
     /// quiet going into a burst cannot have advanced a counter during it.
     /// The conservative default keeps custom backends polled every burst.
     fn has_pending_activity(&self) -> bool {
+        true
+    }
+
+    /// Whether this backend can produce recovery events at all this run
+    /// (i.e. it has a fault model attached). Sampled **once** at replay
+    /// start: while `false`, the loop skips every
+    /// [`recovery_stats`](ExecutionSystem::recovery_stats) poll — which is
+    /// provably emission-free, since the counters of a fault-free run
+    /// never advance. The conservative default keeps custom backends
+    /// polled.
+    fn recovery_active(&self) -> bool {
+        true
+    }
+
+    /// Whether this backend can produce telemetry (decision explanations
+    /// or fabric journal entries) at all this run. Sampled **once** at
+    /// replay start: while `false`, the loop skips every
+    /// [`drain_decisions`](ExecutionSystem::drain_decisions) /
+    /// [`drain_fabric_journal`](ExecutionSystem::drain_fabric_journal)
+    /// poll pair — provably emission-free while capture is disabled. The
+    /// conservative default keeps custom backends polled.
+    fn telemetry_active(&self) -> bool {
         true
     }
 
@@ -201,6 +248,19 @@ impl ExecutionSystem for RisppBackend<'_> {
         self.manager.execute_burst_into(si, count, overhead, start, out);
     }
 
+    fn execute_bursts_batched(
+        &mut self,
+        bursts: &[Burst],
+        start: u64,
+        out: &mut Vec<BurstSegment>,
+    ) -> usize {
+        self.manager.execute_bursts_batched(
+            bursts.iter().map(|b| (b.si, b.count, b.overhead)),
+            start,
+            out,
+        )
+    }
+
     fn exit_hot_spot(&mut self, now: u64) {
         self.manager.exit_hot_spot(now);
     }
@@ -218,6 +278,14 @@ impl ExecutionSystem for RisppBackend<'_> {
         // Covers port completions, backoff-delayed starts, SEU upsets and
         // scheduled tile failures alike: any future internal fabric event.
         self.manager.fabric().next_event_at().is_some()
+    }
+
+    fn recovery_active(&self) -> bool {
+        self.manager.fabric().fault_model().is_some()
+    }
+
+    fn telemetry_active(&self) -> bool {
+        self.manager.explain_enabled() || self.manager.fabric().journal_enabled()
     }
 
     fn drain_decisions(&mut self, out: &mut Vec<rispp_core::DecisionExplain>) {
@@ -259,12 +327,53 @@ impl ExecutionSystem for MolenSystem<'_> {
         MolenSystem::execute_burst_into(self, si, count, overhead, start, out);
     }
 
+    fn execute_bursts_batched(
+        &mut self,
+        bursts: &[Burst],
+        start: u64,
+        out: &mut Vec<BurstSegment>,
+    ) -> usize {
+        out.clear();
+        let mut t = start;
+        let mut consumed = 0;
+        for b in bursts {
+            if b.count == 0 {
+                consumed += 1;
+                continue;
+            }
+            match MolenSystem::execute_burst_unsplit(self, b.si, b.count, b.overhead, t) {
+                Some(seg) => {
+                    t = seg.start + seg.count * (u64::from(seg.latency) + u64::from(b.overhead));
+                    out.push(seg);
+                    consumed += 1;
+                }
+                None => break,
+            }
+        }
+        consumed
+    }
+
     fn exit_hot_spot(&mut self, now: u64) {
         MolenSystem::exit_hot_spot(self, now);
     }
 
     fn reconfiguration_stats(&self) -> (u64, u64) {
         MolenSystem::reconfiguration_stats(self)
+    }
+
+    fn has_pending_activity(&self) -> bool {
+        // Molen counts its loads at hot-spot entry (caught by the
+        // unconditional post-prologue poll); nothing advances a counter
+        // during a burst, so the per-burst polls can always be skipped.
+        false
+    }
+
+    fn recovery_active(&self) -> bool {
+        false
+    }
+
+    fn telemetry_active(&self) -> bool {
+        false
     }
 }
 
@@ -322,6 +431,32 @@ impl ExecutionSystem for SoftwareBackend<'_> {
         out.push(BurstSegment::software(start, u64::from(count), latency));
     }
 
+    fn execute_bursts_batched(
+        &mut self,
+        bursts: &[Burst],
+        start: u64,
+        out: &mut Vec<BurstSegment>,
+    ) -> usize {
+        // Software latencies never change: every burst is one segment, so
+        // the whole run is always consumable.
+        out.clear();
+        let mut t = start;
+        for b in bursts {
+            if b.count == 0 {
+                continue;
+            }
+            let latency = self
+                .library
+                .si(b.si)
+                .expect("si within library")
+                .software_latency();
+            let per = u64::from(latency) + u64::from(b.overhead);
+            out.push(BurstSegment::software(t, u64::from(b.count), latency));
+            t += u64::from(b.count) * per;
+        }
+        bursts.len()
+    }
+
     fn exit_hot_spot(&mut self, _now: u64) {}
 
     fn reconfiguration_stats(&self) -> (u64, u64) {
@@ -329,6 +464,14 @@ impl ExecutionSystem for SoftwareBackend<'_> {
     }
 
     fn has_pending_activity(&self) -> bool {
+        false
+    }
+
+    fn recovery_active(&self) -> bool {
+        false
+    }
+
+    fn telemetry_active(&self) -> bool {
         false
     }
 }

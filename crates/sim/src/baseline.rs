@@ -252,6 +252,49 @@ impl<'a> MolenSystem<'a> {
         }
     }
 
+    /// Batched fast path: executes the whole burst as **one unsplit
+    /// segment** when no resident-accelerator readiness change falls
+    /// inside it, returning the segment, or `None` when the burst would
+    /// split across a `ready_at` boundary (the caller then falls back to
+    /// [`MolenSystem::execute_burst_into`]). Bit-identical to the
+    /// per-burst path for every consumed burst, including the
+    /// `last_used` LRU timestamp update.
+    pub fn execute_burst_unsplit(
+        &mut self,
+        si: SiId,
+        count: u32,
+        overhead: u32,
+        start: u64,
+    ) -> Option<BurstSegment> {
+        let def = self.library.si(si).expect("si within library");
+        let software = def.software_latency();
+        let (latency, variant_index, next_change) = match self.resident[si.index()] {
+            Some(r) if r.ready_at <= start => {
+                let lat = def.variants()[r.variant_index].latency.min(software);
+                (lat, Some(r.variant_index), None)
+            }
+            Some(r) => (software, None, Some(r.ready_at)),
+            None => (software, None, None),
+        };
+        let per = u64::from(latency) + u64::from(overhead);
+        if let Some(event) = next_change {
+            // Same split bound as `execute_burst_into`: unsplit iff the
+            // readiness change lands at or past the last execution's start.
+            let fits = event > start && (event - start).div_ceil(per) >= u64::from(count);
+            if !fits {
+                return None;
+            }
+        }
+        let end = start + u64::from(count) * per;
+        if let Some(r) = &mut self.resident[si.index()] {
+            r.last_used = end;
+        }
+        Some(match variant_index {
+            Some(v) => BurstSegment::hardware(start, u64::from(count), latency, v),
+            None => BurstSegment::software(start, u64::from(count), latency),
+        })
+    }
+
     /// Leaves the current hot spot (no adaptation: Molen is static).
     pub fn exit_hot_spot(&mut self, _now: u64) {}
 }

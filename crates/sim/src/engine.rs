@@ -391,6 +391,13 @@ pub fn simulate_with(
         .filter(|(_, o)| o.wants_segments())
         .map(|(i, _)| i)
         .collect();
+    // Poll gates, resolved once per replay: a backend that can never
+    // produce recovery events (no fault model) or telemetry (capture off)
+    // lets the loop skip those polls entirely — each skipped poll is
+    // provably emission-free, because the counters it reads cannot
+    // advance.
+    let recovery_active = system.recovery_active();
+    let telemetry_active = system.telemetry_active();
     for inv in trace.invocations() {
         emit(
             observers,
@@ -401,27 +408,67 @@ pub fn simulate_with(
             },
         );
         system.enter_hot_spot(inv, now);
-        poll_telemetry(system, &mut decisions, &mut journal, observers);
+        if telemetry_active {
+            poll_telemetry(system, &mut decisions, &mut journal, observers);
+        }
         // The prologue advances the clock unconditionally, *before* the
         // burst loop: an invocation whose bursts are all empty (count 0)
         // must still cost its prologue, and `exit_hot_spot` below must see
         // the advanced time even when no segment ever updates `now`.
         now += inv.prologue_cycles;
         poll_loads(system, &mut loads_seen, now, observers);
-        poll_recovery(system, &mut recovery_seen, now, observers);
+        if recovery_active {
+            poll_recovery(system, &mut recovery_seen, now, observers);
+        }
         // Quietness is monotone within one burst loop: the system only
         // acquires new pending activity in `enter_hot_spot` (planning) or
         // while processing events it already had pending. So once the
         // pre-burst sample reads `false`, the remaining bursts of this
         // invocation skip the sample *and* the poll pair below.
         let mut watch = true;
-        for b in &inv.bursts {
-            if b.count == 0 {
+        let bursts = inv.bursts.as_slice();
+        let mut bi = 0;
+        while bi < bursts.len() {
+            if bursts[bi].count == 0 {
+                bi += 1;
                 continue;
             }
             // Sampled *before* the burst: a system that is quiet going in
-            // cannot advance a counter during the burst.
+            // cannot advance a counter during the burst. One sample also
+            // covers a whole consumed batch: a batch is by contract
+            // event-free, so activity cannot change inside it.
             watch = watch && system.has_pending_activity();
+            // Fast path: let the backend advance a whole run of bursts in
+            // one step. Consumed bursts process no events, so the polls
+            // they would have made per-burst are skipped as provable
+            // no-ops, and each non-empty one yields exactly one segment.
+            let consumed = system.execute_bursts_batched(&bursts[bi..], now, &mut segments);
+            if consumed > 0 {
+                let mut segs = segments.iter();
+                for b in &bursts[bi..bi + consumed] {
+                    if b.count == 0 {
+                        continue;
+                    }
+                    let seg = segs
+                        .next()
+                        .expect("one segment per non-empty consumed burst");
+                    let per = u64::from(seg.latency) + u64::from(b.overhead);
+                    let event = SimEvent::SegmentExecuted {
+                        si: b.si,
+                        segment: *seg,
+                        overhead: b.overhead,
+                    };
+                    for &i in &seg_observers {
+                        observers[i].on_event(&event);
+                    }
+                    now = seg.start + seg.count * per;
+                }
+                bi += consumed;
+                continue;
+            }
+            // Per-burst fallback: an event falls inside (or before) this
+            // burst, so the backend segments it and processes events.
+            let b = &bursts[bi];
             system.execute_burst_into(b.si, b.count, b.overhead, now, &mut segments);
             for seg in &segments {
                 let per = u64::from(seg.latency) + u64::from(b.overhead);
@@ -437,13 +484,22 @@ pub fn simulate_with(
             }
             if watch {
                 poll_loads(system, &mut loads_seen, now, observers);
-                poll_recovery(system, &mut recovery_seen, now, observers);
-                poll_telemetry(system, &mut decisions, &mut journal, observers);
+                if recovery_active {
+                    poll_recovery(system, &mut recovery_seen, now, observers);
+                }
+                if telemetry_active {
+                    poll_telemetry(system, &mut decisions, &mut journal, observers);
+                }
             }
+            bi += 1;
         }
         system.exit_hot_spot(now);
-        poll_recovery(system, &mut recovery_seen, now, observers);
-        poll_telemetry(system, &mut decisions, &mut journal, observers);
+        if recovery_active {
+            poll_recovery(system, &mut recovery_seen, now, observers);
+        }
+        if telemetry_active {
+            poll_telemetry(system, &mut decisions, &mut journal, observers);
+        }
     }
     let (loads, cycles) = system.reconfiguration_stats();
     if loads > loads_seen {
@@ -456,7 +512,9 @@ pub fn simulate_with(
             },
         );
     }
-    poll_recovery(system, &mut recovery_seen, now, observers);
+    if recovery_active {
+        poll_recovery(system, &mut recovery_seen, now, observers);
+    }
     emit(
         observers,
         SimEvent::RunFinished {

@@ -16,6 +16,21 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> tier-forced kernel equivalence suite"
+# Re-run the three-way kernel equivalence proptests once per *available*
+# tier with RISPP_KERNEL_TIER forced, so the dispatched Molecule layer is
+# exercised end-to-end on every tier this CPU can run (the wide/AVX2 tier
+# is skipped on hosts without it; forcing an unavailable tier is an error
+# by design). Availability comes from molecule_kernels' self-description.
+tiers="scalar swar"
+if ./target/release/molecule_kernels 1 2>&1 >/dev/null | grep -q '^tiers available.*wide'; then
+  tiers="$tiers wide"
+fi
+for tier in $tiers; do
+  echo "    RISPP_KERNEL_TIER=$tier"
+  RISPP_KERNEL_TIER="$tier" cargo test -q -p rispp-model --test tier_equivalence >/dev/null
+done
+
 echo "==> fault-sweep smoke (rispp-cli resilience)"
 # Seeded so the run provably exercises the whole recovery path: the CSV row
 # must show injected faults AND quarantined containers, and the run must
