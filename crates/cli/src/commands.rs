@@ -7,9 +7,10 @@ use rispp_fabric::ReconfigPortConfig;
 use rispp_h264::{h264_si_library, EncoderConfig, EncoderWorkload, SiKind};
 use rispp_model::Molecule;
 use rispp_sim::{
-    simulate as run_simulation, simulate_observed, FaultConfig, MetricsObserver,
+    simulate as run_simulation, simulate_multi, simulate_observed, FaultConfig, MetricsObserver,
     PerfettoTraceObserver, ProgressObserver, SimConfig, SimEvent, SimObserver, SweepJob,
-    SweepRunner, SystemKind, TraceLogObserver,
+    SweepRunner, SystemKind, TenancyConfig, TenantArbitration, TenantPolicy, Trace,
+    TraceLogObserver,
 };
 use rispp_telemetry::JsonValue;
 
@@ -733,5 +734,273 @@ pub fn hw(args: &[String]) -> ExitCode {
         paper.device_utilisation_percent(),
         paper.fits_one_atom_container()
     );
+    ExitCode::SUCCESS
+}
+
+/// The encoder workload rotated by `offset` invocations, so phase-shifted
+/// tenant instances are never in the same hot spot at the same time.
+fn phase_shift(trace: &Trace, offset: usize) -> Trace {
+    let invs = trace.invocations();
+    let offset = offset % invs.len().max(1);
+    Trace::from_invocations(
+        invs[offset..]
+            .iter()
+            .chain(&invs[..offset])
+            .cloned()
+            .collect(),
+    )
+}
+
+/// `rispp-cli contend [--frames N] [--apps K] [--from N] [--to N]
+/// [--scheduler KIND] [--arbitration rr|interleaved] [--csv]
+/// [--json [PATH]]`.
+///
+/// Sweeps K phase-shifted encoder instances contending for a range of
+/// fabric sizes under both contention policies: `shared` (one fabric,
+/// cross-app Atom reuse, contention-aware eviction) and `partitioned`
+/// (hard `containers / K` quota per app).
+pub fn contend(args: &[String]) -> ExitCode {
+    let options = match Options::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let frames: u32 = match options.number("frames", 8) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let apps: u16 = match options.number("apps", 2) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    if apps == 0 {
+        return fail("--apps must be at least 1");
+    }
+    let from: u16 = match options.number("from", apps.max(6)) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let to: u16 = match options.number("to", 15) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    if from > to {
+        return fail("--from must not exceed --to");
+    }
+    if from < apps {
+        return fail("--from must provide at least one container per app");
+    }
+    let scheduler = match options.value("scheduler") {
+        None => SchedulerKind::Hef,
+        Some(name) => match scheduler_kind(name) {
+            Some(kind) => kind,
+            None => return fail(&format!("unknown scheduler `{name}`")),
+        },
+    };
+    let arbitration = match options.value("arbitration") {
+        None => TenantArbitration::RoundRobin,
+        Some("rr") | Some("round-robin") => TenantArbitration::RoundRobin,
+        Some("interleaved") | Some("cycle") => TenantArbitration::CycleInterleaved,
+        Some(other) => {
+            return fail(&format!(
+                "unknown arbitration `{other}` (expected rr | interleaved)"
+            ))
+        }
+    };
+
+    eprintln!(
+        "encoding {frames} CIF frames and contending {apps} app(s) over {from}..={to} ACs..."
+    );
+    let mut encoder_config = EncoderConfig::paper_cif();
+    encoder_config.frames = frames;
+    let workload = EncoderWorkload::generate(&encoder_config);
+    let library = h264_si_library();
+    let traces: Vec<Trace> = (0..usize::from(apps))
+        .map(|i| phase_shift(workload.trace(), i))
+        .collect();
+
+    // Per-app cISA floor: the starvation bound every policy must respect.
+    let software: Vec<u64> = traces
+        .iter()
+        .map(|t| run_simulation(&library, t, &SimConfig::software_only()).total_cycles)
+        .collect();
+
+    struct Point {
+        containers: u16,
+        policy: TenantPolicy,
+        per_app: Vec<(u64, u64, u64)>, // (cycles, atoms_shared, evictions_contested)
+        solo: Vec<u64>,
+        aggregate: u64,
+        makespan: u64,
+        atoms_shared: u64,
+        evictions_contested: u64,
+    }
+    let policy_name = |p: TenantPolicy| match p {
+        TenantPolicy::Shared => "shared",
+        TenantPolicy::Partitioned => "partitioned",
+    };
+
+    let mut points: Vec<Point> = Vec::new();
+    for containers in from..=to {
+        let solo_cfg = SimConfig::rispp(containers, scheduler);
+        let solo: Vec<u64> = traces
+            .iter()
+            .map(|t| run_simulation(&library, t, &solo_cfg).total_cycles)
+            .collect();
+        for policy in [TenantPolicy::Shared, TenantPolicy::Partitioned] {
+            let cfg = solo_cfg.with_tenants(TenancyConfig {
+                count: apps,
+                policy,
+                arbitration,
+            });
+            let multi = simulate_multi(&library, &traces, &cfg);
+            points.push(Point {
+                containers,
+                policy,
+                per_app: multi
+                    .per_tenant
+                    .iter()
+                    .map(|s| (s.total_cycles, s.atoms_shared, s.evictions_contested))
+                    .collect(),
+                solo: solo.clone(),
+                aggregate: multi.aggregate_cycles,
+                makespan: multi.makespan_cycles,
+                atoms_shared: multi.atoms_shared,
+                evictions_contested: multi.evictions_contested,
+            });
+        }
+    }
+
+    let starved = points.iter().any(|p| {
+        p.per_app
+            .iter()
+            .zip(&software)
+            .any(|(&(cycles, _, _), &floor)| cycles > floor)
+    });
+    let shared_wins = points.chunks(2).all(|pair| {
+        // [Shared, Partitioned] per container count, in push order.
+        pair[0].aggregate <= pair[1].aggregate
+    });
+
+    if options.flag("csv") {
+        println!(
+            "containers,policy,app,total_cycles,speedup_vs_software,solo_fraction,\
+             atoms_shared,evictions_contested"
+        );
+        for p in &points {
+            for (app, &(cycles, shared, contested)) in p.per_app.iter().enumerate() {
+                println!(
+                    "{},{},{app},{cycles},{:.4},{:.4},{shared},{contested}",
+                    p.containers,
+                    policy_name(p.policy),
+                    software[app] as f64 / cycles.max(1) as f64,
+                    p.solo[app] as f64 / cycles.max(1) as f64,
+                );
+            }
+        }
+    } else if !options.flag("json") && options.value("json").is_none() {
+        println!(
+            "{apps} apps, {} scheduler, {} arbitration:",
+            scheduler.abbreviation(),
+            match arbitration {
+                TenantArbitration::RoundRobin => "round-robin",
+                TenantArbitration::CycleInterleaved => "cycle-interleaved",
+            }
+        );
+        println!("  #ACs  policy        aggregate   makespan    shared  contested  worst app");
+        for p in &points {
+            let worst = p
+                .per_app
+                .iter()
+                .zip(&p.solo)
+                .map(|(&(cycles, _, _), &solo)| solo as f64 / cycles.max(1) as f64)
+                .fold(f64::INFINITY, f64::min);
+            println!(
+                "  {:>4}  {:<12}{:>9.1} M{:>9.1} M{:>10}{:>11}{:>9.1}%",
+                p.containers,
+                policy_name(p.policy),
+                p.aggregate as f64 / 1e6,
+                p.makespan as f64 / 1e6,
+                p.atoms_shared,
+                p.evictions_contested,
+                100.0 * worst
+            );
+        }
+        println!(
+            "  shared aggregate <= partitioned at every fabric size: {shared_wins}; \
+             tenant starved: {starved}"
+        );
+    }
+
+    if options.flag("json") || options.value("json").is_some() {
+        let mut doc = String::new();
+        doc.push_str("{\n");
+        doc.push_str("  \"benchmark\": \"multi_tenant_contention\",\n");
+        doc.push_str(&format!("  \"frames\": {frames},\n"));
+        doc.push_str(&format!("  \"apps\": {apps},\n"));
+        doc.push_str(&format!(
+            "  \"scheduler\": \"{}\",\n",
+            scheduler.abbreviation()
+        ));
+        doc.push_str(&format!(
+            "  \"arbitration\": \"{}\",\n",
+            match arbitration {
+                TenantArbitration::RoundRobin => "round_robin",
+                TenantArbitration::CycleInterleaved => "cycle_interleaved",
+            }
+        ));
+        doc.push_str(&format!("  \"container_range\": [{from}, {to}],\n"));
+        doc.push_str(&format!(
+            "  \"software_cycles\": [{}],\n",
+            software
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        doc.push_str(&format!(
+            "  \"shared_beats_partitioned_everywhere\": {shared_wins},\n"
+        ));
+        doc.push_str(&format!("  \"no_tenant_starved\": {},\n", !starved));
+        doc.push_str("  \"points\": [\n");
+        for (i, p) in points.iter().enumerate() {
+            let per_app = p
+                .per_app
+                .iter()
+                .enumerate()
+                .map(|(app, &(cycles, shared, contested))| {
+                    format!(
+                        "{{\"app\": {app}, \"total_cycles\": {cycles}, \
+                         \"speedup_vs_software\": {:.4}, \"solo_fraction\": {:.4}, \
+                         \"atoms_shared\": {shared}, \"evictions_contested\": {contested}}}",
+                        software[app] as f64 / cycles.max(1) as f64,
+                        p.solo[app] as f64 / cycles.max(1) as f64,
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            doc.push_str(&format!(
+                "    {{\"containers\": {}, \"policy\": \"{}\", \"aggregate_cycles\": {}, \
+                 \"makespan_cycles\": {}, \"atoms_shared\": {}, \"evictions_contested\": {}, \
+                 \"per_app\": [{per_app}]}}{}\n",
+                p.containers,
+                policy_name(p.policy),
+                p.aggregate,
+                p.makespan,
+                p.atoms_shared,
+                p.evictions_contested,
+                if i + 1 == points.len() { "" } else { "," }
+            ));
+        }
+        doc.push_str("  ]\n}\n");
+        match options.value("json") {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &doc) {
+                    return fail(&format!("cannot write `{path}`: {e}"));
+                }
+                eprintln!("wrote {path}");
+            }
+            None => print!("{doc}"),
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -1,7 +1,8 @@
 //! `rispp-cli` — command-line interface to the RISPP run-time system.
 //!
 //! Subcommands: `inventory`, `schedule`, `simulate`, `sweep`, `resilience`,
-//! `profile`, `check-trace`, `hw`. Run `rispp-cli help` for details.
+//! `profile`, `contend`, `check-trace`, `hw`. Run `rispp-cli help` for
+//! details.
 
 mod args;
 mod commands;
@@ -16,7 +17,7 @@ fn main() -> ExitCode {
     // inside the first Molecule operation.
     if matches!(
         argv.first().map(String::as_str),
-        Some("schedule" | "simulate" | "sweep" | "resilience" | "profile" | "hw")
+        Some("schedule" | "simulate" | "sweep" | "resilience" | "profile" | "contend" | "hw")
     ) {
         if let Err(e) = rispp_model::init_tier_from_env() {
             eprintln!("error: {e}");
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
         Some("sweep") => commands::sweep(&argv[1..]),
         Some("resilience") => commands::resilience(&argv[1..]),
         Some("profile") => commands::profile(&argv[1..]),
+        Some("contend") => commands::contend(&argv[1..]),
         Some("check-trace") => commands::check_trace(&argv[1..]),
         Some("hw") => commands::hw(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -90,6 +92,14 @@ SUBCOMMANDS:
         Run one telemetry-enabled simulation and print a cycle-domain
         profile: per-SI cycles and hardware share, per-container
         load/ready/idle time, reconfiguration-port pressure.
+
+    contend [--frames N] [--apps K] [--from N] [--to N] [--scheduler KIND]
+            [--arbitration rr|interleaved] [--csv] [--json [PATH]]
+        Multi-application contention sweep: K phase-shifted encoder
+        instances share one fabric across a container range, comparing
+        the `shared` policy (cross-app Atom reuse, contention-aware
+        eviction) against hard `partitioned` quotas. --json prints (or,
+        with PATH, writes) the benchmark document.
 
     check-trace --file PATH
         Validate a --trace-out document: well-formed Chrome trace-event

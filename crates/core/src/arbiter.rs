@@ -1,0 +1,983 @@
+//! Multi-tenant fabric arbitration: K applications, one substrate.
+//!
+//! The paper's run-time system assumes a single application owns the whole
+//! reconfigurable fabric. The [`FabricArbiter`] generalises it to K
+//! concurrent applications, each with its own [`AppContext`] (execution
+//! monitor, scheduler, Molecule selection and best-variant cache), all
+//! multiplexed over the fabric under a [`ContentionPolicy`]:
+//!
+//! * [`ContentionPolicy::Partitioned`] statically splits the substrate —
+//!   each tenant gets its own private fabric of `containers_per_app` Atom
+//!   Containers with its own reconfiguration port and clock. Tenants are
+//!   perfectly cycle-isolated: one application's faults or demand spikes
+//!   can never perturb another's execution.
+//! * [`ContentionPolicy::Shared`] gives every tenant the full container
+//!   pool. Containers carry per-application owner tags, atoms loaded by
+//!   one tenant accelerate another whenever their Molecule atom types
+//!   overlap (cross-app atom reuse), evictions of a co-tenant's atoms are
+//!   counted as *contested*, and the HEF scheduler's division-free benefit
+//!   comparison additionally weighs the other tenants' forecast demand
+//!   against eviction cost (see
+//!   [`ScheduleRequest::with_foreign_pressure`]).
+//!
+//! The single-tenant [`RunTimeManager`](crate::RunTimeManager) is a thin
+//! wrapper over a 1-tenant `Shared` arbiter, so the single-owner path and
+//! the multi-tenant path are one code path by construction — K=1 `Shared`
+//! is bit-identical to the pre-arbiter manager.
+
+use rispp_fabric::{Fabric, FabricConfig, FabricEvent, FaultModel, LoadCompleted};
+use rispp_model::{Molecule, SiId, SiLibrary};
+use rispp_monitor::{ExecutionMonitor, ForecastPolicy, HotSpotId};
+
+use crate::context::UpgradeBuffers;
+use crate::explain::{DecisionExplain, ScheduleExplain, SelectionExplain};
+use crate::manager::{BurstSegment, SiExecution};
+use crate::recovery::{RecoveryPolicy, RecoveryStats};
+use crate::scheduler::{AtomScheduler, SchedulerKind};
+use crate::selection::{GreedySelector, SelectionRequest};
+use crate::types::{ScheduleRequest, SelectedMolecule};
+use crate::CoreError;
+
+/// How K tenants contend for the reconfigurable substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentionPolicy {
+    /// Full sharing: every tenant plans against the whole container pool,
+    /// containers carry owner tags, atoms are reused across applications
+    /// and evictions of foreign atoms are contention-priced (and counted
+    /// as contested).
+    Shared,
+    /// Static split: each tenant owns a private fabric of
+    /// `containers_per_app` containers with its own port and clock —
+    /// perfect isolation, no reuse.
+    Partitioned {
+        /// Atom Containers dedicated to each application.
+        containers_per_app: u16,
+    },
+}
+
+/// Per-SI memo of the fastest available Molecule variant, keyed by the
+/// fabric's generation counter. `generation` starts at `u64::MAX` (the
+/// fabric starts at 0) so the first lookup always computes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BestVariantCache {
+    generation: u64,
+    best: Option<(usize, u32)>,
+}
+
+impl Default for BestVariantCache {
+    fn default() -> Self {
+        BestVariantCache {
+            generation: u64::MAX,
+            best: None,
+        }
+    }
+}
+
+/// The per-application half of the run-time system: everything the
+/// single-owner `RunTimeManager` kept per run, split out so the arbiter
+/// can hold K of them over one substrate.
+#[derive(Debug)]
+struct AppContext {
+    monitor: ExecutionMonitor,
+    scheduler: Box<dyn AtomScheduler>,
+    current_hot_spot: Option<HotSpotId>,
+    selected: Vec<SelectedMolecule>,
+    best_cache: Vec<BestVariantCache>,
+    /// Demands of the active hot spot, kept for re-planning after a
+    /// container quarantine shrinks the fabric.
+    last_demands: Vec<(SiId, u64)>,
+    /// `sup(M)` of this context's last plan — its claim on the fabric's
+    /// protected set (the fabric protects the union of all claims).
+    supremum: Molecule,
+    load_retries: u64,
+    degraded_to_software: u64,
+    /// Foreign atoms this tenant's plans found already loaded by
+    /// co-tenants (cross-app reuse under [`ContentionPolicy::Shared`]).
+    atoms_shared: u64,
+    explain_enabled: bool,
+    decisions: Vec<DecisionExplain>,
+}
+
+/// Scratch storage shared by *all* contexts — one arena regardless of K,
+/// so K tenants do not multiply the per-plan allocations. Safe because
+/// plans and burst executions are serialised through `&mut self`.
+#[derive(Debug, Default)]
+struct SharedScratch {
+    demand_buf: Vec<(SiId, u64)>,
+    expected_buf: Vec<u64>,
+    sched_buffers: UpgradeBuffers,
+    pressure_buf: Vec<u64>,
+    /// Per-SI, per-variant [`Molecule::nonzero_mask`] of the variant's
+    /// atoms (burst LRU marking from one precomputed word). Derived from
+    /// the shared library, hence identical for every context. Empty when
+    /// the universe is wider than 64 types.
+    used_masks: Vec<Vec<u64>>,
+}
+
+/// Arbiter over the reconfigurable substrate: owns the fabric(s) and the
+/// reconfiguration port(s), and multiplexes K per-application contexts
+/// (monitor, scheduler, selection, recovery state) under a
+/// [`ContentionPolicy`]. All entry points take the application index
+/// (`app < tenants()`) first; a 1-tenant `Shared` arbiter behaves exactly
+/// like the classic single-owner `RunTimeManager`.
+#[derive(Debug)]
+pub struct FabricArbiter<'a> {
+    library: &'a SiLibrary,
+    policy: ContentionPolicy,
+    /// One fabric under `Shared`, K private fabrics under `Partitioned`.
+    fabrics: Vec<Fabric>,
+    contexts: Vec<AppContext>,
+    scratch: SharedScratch,
+    recovery: RecoveryPolicy,
+    /// Consecutive aborted loads per container, per fabric; reset on a
+    /// completion.
+    abort_streaks: Vec<Vec<u32>>,
+}
+
+impl<'a> FabricArbiter<'a> {
+    /// Starts building an arbiter over `library` (defaults: 1 tenant,
+    /// [`ContentionPolicy::Shared`], 10 containers, HEF).
+    #[must_use]
+    pub fn builder(library: &'a SiLibrary) -> FabricArbiterBuilder<'a> {
+        FabricArbiterBuilder {
+            library,
+            containers: 10,
+            tenants: 1,
+            policy: ContentionPolicy::Shared,
+            scheduler: SchedulerKind::Hef,
+            forecast: ForecastPolicy::default(),
+            port_bandwidth: None,
+            fault: None,
+            recovery: RecoveryPolicy::default(),
+            explain: false,
+        }
+    }
+
+    /// The SI library the arbiter operates on.
+    #[must_use]
+    pub fn library(&self) -> &'a SiLibrary {
+        self.library
+    }
+
+    /// Number of application contexts.
+    #[must_use]
+    pub fn tenants(&self) -> u16 {
+        u16::try_from(self.contexts.len()).expect("tenant count fits u16")
+    }
+
+    /// The active contention policy.
+    #[must_use]
+    pub fn policy(&self) -> ContentionPolicy {
+        self.policy
+    }
+
+    /// Index of the fabric application `app` runs on: the one shared
+    /// fabric, or the app's private partition.
+    fn fabric_index(&self, app: usize) -> usize {
+        match self.policy {
+            ContentionPolicy::Shared => 0,
+            ContentionPolicy::Partitioned { .. } => app,
+        }
+    }
+
+    /// The fabric application `app` runs on (shared or its partition).
+    #[must_use]
+    pub fn fabric_for(&self, app: u16) -> &Fabric {
+        &self.fabrics[self.fabric_index(usize::from(app))]
+    }
+
+    /// The execution monitor of application `app`.
+    #[must_use]
+    pub fn monitor(&self, app: u16) -> &ExecutionMonitor {
+        &self.contexts[usize::from(app)].monitor
+    }
+
+    /// The Molecules currently selected for `app`'s active hot spot.
+    #[must_use]
+    pub fn selected(&self, app: u16) -> &[SelectedMolecule] {
+        &self.contexts[usize::from(app)].selected
+    }
+
+    /// The active hot spot of application `app`, if any.
+    #[must_use]
+    pub fn current_hot_spot(&self, app: u16) -> Option<HotSpotId> {
+        self.contexts[usize::from(app)].current_hot_spot
+    }
+
+    /// Enters a hot spot of application `app` at cycle `now`: forecasts
+    /// the SI execution profile (seeding with `hints` on the first
+    /// encounter), selects Molecules, runs the scheduler and (re)programs
+    /// `app`'s share of the reconfiguration queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule-request validation failures; these indicate a
+    /// library/selection inconsistency and cannot occur through the public
+    /// builder path.
+    pub fn enter_hot_spot(
+        &mut self,
+        app: u16,
+        hot_spot: HotSpotId,
+        hints: &[(SiId, u64)],
+        now: u64,
+    ) -> Result<(), CoreError> {
+        let a = usize::from(app);
+        let first_visit = self.contexts[a].monitor.iterations(hot_spot) == 0;
+        // Reuse the shared demand buffer across entries; `take` detaches it
+        // from `self` so the monitor can be read while filling it.
+        let mut demands = std::mem::take(&mut self.scratch.demand_buf);
+        demands.clear();
+        {
+            let ctx = &self.contexts[a];
+            demands.extend(hints.iter().map(|&(si, hint)| {
+                let expected = if first_visit {
+                    hint
+                } else {
+                    ctx.monitor.expected(hot_spot, si)
+                };
+                (si, expected)
+            }));
+        }
+        let result = self.enter_hot_spot_with_profile(app, hot_spot, &demands, now);
+        self.scratch.demand_buf = demands;
+        result
+    }
+
+    /// Enters a hot spot of `app` with an externally supplied execution
+    /// profile, bypassing the online forecast (oracle studies, testing).
+    ///
+    /// # Errors
+    ///
+    /// See [`FabricArbiter::enter_hot_spot`].
+    pub fn enter_hot_spot_with_profile(
+        &mut self,
+        app: u16,
+        hot_spot: HotSpotId,
+        demands: &[(SiId, u64)],
+        now: u64,
+    ) -> Result<(), CoreError> {
+        let a = usize::from(app);
+        let fi = self.fabric_index(a);
+        self.sync_fabric(fi, now);
+        let ctx = &mut self.contexts[a];
+        ctx.monitor.begin_hot_spot(hot_spot);
+        ctx.current_hot_spot = Some(hot_spot);
+        ctx.last_demands.clear();
+        ctx.last_demands.extend_from_slice(demands);
+        let stored = std::mem::take(&mut self.contexts[a].last_demands);
+        let result = self.plan_app(a, &stored);
+        self.contexts[a].last_demands = stored;
+        result
+    }
+
+    /// Selects Molecules and (re)programs `app`'s share of the
+    /// reconfiguration queue for `demands` against the *usable*
+    /// (non-quarantined) containers of its fabric. Shared by hot-spot
+    /// entry and post-quarantine re-planning.
+    fn plan_app(&mut self, app: usize, demands: &[(SiId, u64)]) -> Result<(), CoreError> {
+        let fi = self.fabric_index(app);
+        let usable = self.fabrics[fi].usable_container_count();
+        let total = self.fabrics[fi].container_count();
+        let plan_now = self.fabrics[fi].now();
+        let selection_request = SelectionRequest::new(self.library, demands, usable);
+        let shared_multi =
+            matches!(self.policy, ContentionPolicy::Shared) && self.contexts.len() > 1;
+
+        // Contention pressure: how many *other* demanding tenants claim
+        // each atom type. Only a shared multi-tenant fabric produces a
+        // non-empty vector, so every single-owner run keeps the
+        // schedulers' arithmetic untouched.
+        let mut pressure = std::mem::take(&mut self.scratch.pressure_buf);
+        pressure.clear();
+        if shared_multi {
+            pressure.resize(self.library.arity(), 0);
+            let mut any = false;
+            for (other, ctx) in self.contexts.iter().enumerate() {
+                if other == app
+                    || ctx.current_hot_spot.is_none()
+                    || ctx.last_demands.iter().all(|&(_, e)| e == 0)
+                {
+                    continue;
+                }
+                for (i, &count) in ctx.supremum.counts().iter().enumerate() {
+                    if count > 0 {
+                        pressure[i] += 1;
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                pressure.clear();
+            }
+        }
+
+        let ctx = &mut self.contexts[app];
+        let mut sel_explain = ctx.explain_enabled.then(SelectionExplain::default);
+        ctx.selected = GreedySelector.select_explained(&selection_request, sel_explain.as_mut());
+        if !demands.is_empty() && ctx.selected.is_empty() && usable < total {
+            // Quarantines shrank the fabric below what any Molecule needs:
+            // the hot spot continues purely on the cISA software path.
+            ctx.degraded_to_software += 1;
+        }
+
+        let mut expected = std::mem::take(&mut self.scratch.expected_buf);
+        expected.clear();
+        expected.resize(self.library.len(), 0);
+        for &(si, e) in demands {
+            expected[si.index()] = e;
+        }
+        let request = ScheduleRequest::new(
+            self.library,
+            self.contexts[app].selected.clone(),
+            self.fabrics[fi].available().clone(),
+            expected,
+        )?
+        .with_foreign_pressure(pressure);
+        let ctx = &mut self.contexts[app];
+        let mut sched_explain = ctx
+            .explain_enabled
+            .then(|| ScheduleExplain::new(ctx.scheduler.name()));
+        let schedule = ctx.scheduler.schedule_explained(
+            &request,
+            &mut self.scratch.sched_buffers,
+            sched_explain.as_mut(),
+        );
+        debug_assert!(schedule.validate(&request).is_ok());
+        if let (Some(selection), Some(schedule_ex)) = (sel_explain, sched_explain) {
+            ctx.decisions.push(DecisionExplain {
+                now: plan_now,
+                hot_spot: ctx.current_hot_spot,
+                containers: usable,
+                selection,
+                schedule: schedule_ex,
+            });
+        }
+
+        let sup = request.supremum();
+        if shared_multi {
+            // Cross-app atom reuse: atoms this plan wants that a co-tenant
+            // already has loaded arrive for free.
+            let fabric = &self.fabrics[fi];
+            let mut reused = 0u64;
+            for c in fabric.containers() {
+                if let (Some(atom), Some(owner)) = (c.loaded_atom(), fabric.owner_of(c.id())) {
+                    if usize::from(owner) != app && sup.count(atom.index()) > 0 {
+                        reused += 1;
+                    }
+                }
+            }
+            self.contexts[app].atoms_shared += reused;
+        }
+        self.contexts[app].supremum = sup;
+
+        self.fabrics[fi].clear_pending_app(app_tag(app));
+        // The fabric protects the union of every co-tenant's claim, so one
+        // tenant's plan can never unprotect what another still needs.
+        let protect = Molecule::supremum(
+            self.contexts
+                .iter()
+                .enumerate()
+                .filter(|&(a, _)| self.fabric_index(a) == fi)
+                .map(|(_, c)| &c.supremum),
+        )
+        .unwrap_or_else(|| Molecule::zero(self.library.arity()));
+        self.fabrics[fi].set_protected(protect);
+        self.fabrics[fi].enqueue_schedule_app(app_tag(app), schedule.atoms());
+        // Hand the allocations back for the next hot-spot entry.
+        self.scratch.sched_buffers.reclaim(schedule);
+        let (expected, pressure) = request.into_scratch();
+        self.scratch.expected_buf = expected;
+        self.scratch.pressure_buf = pressure;
+        Ok(())
+    }
+
+    /// Advances fabric `fi` to `now` and applies the [`RecoveryPolicy`] to
+    /// every fault event, attributing retries to the owning application:
+    /// bounded-backoff retries for aborted loads, scrub reloads for
+    /// SEU-corrupted Atoms, quarantine of containers that exhaust their
+    /// retries, and a re-plan of every affected tenant whenever the set of
+    /// usable containers shrinks. Steps the fabric event time by event
+    /// time so a retry issued in response to an abort plays out its whole
+    /// cascade inside one sync. Returns the successful completions.
+    fn sync_fabric(&mut self, fi: usize, now: u64) -> Vec<LoadCompleted> {
+        let mut completions = Vec::new();
+        loop {
+            let Some(t) = self.fabrics[fi].next_event_at().filter(|&t| t <= now) else {
+                // Nothing left inside the window: land the fabric clock on
+                // `now` and stop.
+                let tail = self.fabrics[fi].advance_events(now);
+                debug_assert!(tail.is_empty());
+                return completions;
+            };
+            let events = self.fabrics[fi].advance_events(t);
+            let mut needs_replan = false;
+            for event in events {
+                match event {
+                    FabricEvent::Completed(done) => {
+                        self.abort_streaks[fi][done.container.index()] = 0;
+                        completions.push(done);
+                    }
+                    FabricEvent::LoadAborted { atom, container, at } => {
+                        let owner = self.fabrics[fi].owner_of(container).unwrap_or(0);
+                        let streak = &mut self.abort_streaks[fi][container.index()];
+                        *streak += 1;
+                        let exhausted = *streak > self.recovery.max_retries;
+                        if exhausted
+                            && !self.fabrics[fi].containers()[container.index()].is_quarantined()
+                        {
+                            // A tile that rejects bitstream after bitstream
+                            // is broken: take it out of service and re-plan
+                            // on the shrunken fabric. The schedulers re-issue
+                            // whatever the new plans still need.
+                            self.abort_streaks[fi][container.index()] = 0;
+                            self.fabrics[fi]
+                                .quarantine(container)
+                                .expect("fabric event names one of its own containers");
+                            needs_replan = true;
+                        } else {
+                            let attempt = self.abort_streaks[fi][container.index()];
+                            let delay = self.recovery.backoff_cycles(attempt);
+                            self.fabrics[fi].enqueue_load_app(
+                                owner,
+                                atom,
+                                at.saturating_add(delay),
+                            );
+                            self.contexts[usize::from(owner)].load_retries += 1;
+                        }
+                    }
+                    FabricEvent::AtomCorrupted { atom, container, at } => {
+                        if self.recovery.scrub_on_seu {
+                            // Scrub-and-reload on behalf of whoever loaded
+                            // the atom: the faulty container is a preferred
+                            // load target, so this physically rewrites the
+                            // corrupted region.
+                            let owner = self.fabrics[fi].owner_of(container).unwrap_or(0);
+                            self.fabrics[fi].enqueue_load_app(owner, atom, at);
+                            self.contexts[usize::from(owner)].load_retries += 1;
+                        }
+                    }
+                    FabricEvent::ContainerFailed { .. } => {
+                        needs_replan = true;
+                    }
+                }
+            }
+            if needs_replan {
+                self.replan_fabric(fi);
+            }
+        }
+    }
+
+    /// Re-plans every application on fabric `fi` with an active hot spot
+    /// after the usable-container set shrank (app order, so the outcome is
+    /// deterministic). A 1-tenant arbiter re-plans exactly itself.
+    fn replan_fabric(&mut self, fi: usize) {
+        for app in 0..self.contexts.len() {
+            if self.fabric_index(app) != fi {
+                continue;
+            }
+            if self.contexts[app].current_hot_spot.is_none()
+                || self.contexts[app].last_demands.is_empty()
+            {
+                continue;
+            }
+            let demands = std::mem::take(&mut self.contexts[app].last_demands);
+            // Validation failures cannot occur here: the same demands passed
+            // planning when the hot spot was entered.
+            let result = self.plan_app(app, &demands);
+            debug_assert!(result.is_ok());
+            self.contexts[app].last_demands = demands;
+        }
+    }
+
+    /// The fastest Molecule variant of `si` available to `app` right now,
+    /// as `(variant index, latency)`, memoised per fabric generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `si` is outside the library.
+    pub fn best_available_variant(&mut self, app: u16, si: SiId) -> Option<(usize, u32)> {
+        let a = usize::from(app);
+        let fabric = &self.fabrics[self.fabric_index(a)];
+        let generation = fabric.generation();
+        let lib = self.library;
+        let cache = &mut self.contexts[a].best_cache[si.index()];
+        if cache.generation != generation {
+            let def = lib.si(si).expect("si within library");
+            let available = fabric.available();
+            cache.best = def
+                .variants()
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.is_available(available))
+                .min_by_key(|(_, v)| v.latency)
+                .map(|(idx, v)| (idx, v.latency));
+            cache.generation = generation;
+        }
+        cache.best
+    }
+
+    /// Executes one SI of application `app` at cycle `now`: forwards it to
+    /// the fastest available Molecule or traps to the base instruction
+    /// set, and records the execution for `app`'s monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `si` is outside the library.
+    pub fn execute_si(&mut self, app: u16, si: SiId, now: u64) -> SiExecution {
+        let a = usize::from(app);
+        let fi = self.fabric_index(a);
+        self.sync_fabric(fi, now);
+        let lib = self.library;
+        let def = lib.si(si).expect("si within library");
+        let execution = match self.best_available_variant(app, si) {
+            Some((idx, latency)) if latency < def.software_latency() => {
+                self.fabrics[fi].mark_used(&def.variants()[idx].atoms, now);
+                SiExecution {
+                    latency,
+                    variant_index: Some(idx),
+                }
+            }
+            _ => SiExecution {
+                latency: def.software_latency(),
+                variant_index: None,
+            },
+        };
+        let ctx = &mut self.contexts[a];
+        if let Some(hs) = ctx.current_hot_spot {
+            ctx.monitor.record_execution(hs, si);
+        }
+        execution
+    }
+
+    /// Allocation-free burst execution for application `app`: clears
+    /// `segments` and writes the burst's homogeneous-latency segments into
+    /// it. See `RunTimeManager::execute_burst_into` for the semantics —
+    /// this is that code path, parameterised by tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `si` is outside the library.
+    pub fn execute_burst_into(
+        &mut self,
+        app: u16,
+        si: SiId,
+        count: u32,
+        overhead: u32,
+        start: u64,
+        segments: &mut Vec<BurstSegment>,
+    ) {
+        segments.clear();
+        let a = usize::from(app);
+        let fi = self.fabric_index(a);
+        let lib = self.library;
+        let def = lib.si(si).expect("si within library");
+        let mut t = start;
+        let mut remaining = u64::from(count);
+        while remaining > 0 {
+            // One event scan per segment: process due events (rare), or
+            // just land the clock on `t` and reuse the scan's result as
+            // the segment-splitting horizon.
+            let next_event = match self.fabrics[fi].next_event_at() {
+                Some(event) if event <= t => {
+                    self.sync_fabric(fi, t);
+                    self.fabrics[fi].next_event_at()
+                }
+                other => {
+                    self.fabrics[fi].advance_clock(t);
+                    other
+                }
+            };
+            let (latency, variant_index) = match self.best_available_variant(app, si) {
+                Some((idx, latency)) if latency < def.software_latency() => (latency, Some(idx)),
+                _ => (def.software_latency(), None),
+            };
+            if let Some(idx) = variant_index {
+                match self.scratch.used_masks.get(si.index()).and_then(|m| m.get(idx)) {
+                    Some(&mask) => self.fabrics[fi].mark_used_types(mask, t),
+                    None => self.fabrics[fi].mark_used(&def.variants()[idx].atoms, t),
+                }
+            }
+            let per = u64::from(latency) + u64::from(overhead);
+            let n = match next_event {
+                Some(event) if event > t => {
+                    let until_event = (event - t).div_ceil(per);
+                    until_event.min(remaining)
+                }
+                _ => remaining,
+            };
+            segments.push(match variant_index {
+                Some(v) => BurstSegment::hardware(t, n, latency, v),
+                None => BurstSegment::software(t, n, latency),
+            });
+            t += n * per;
+            remaining -= n;
+        }
+        let ctx = &mut self.contexts[a];
+        if let Some(hs) = ctx.current_hot_spot {
+            ctx.monitor.record_executions(hs, si, u64::from(count));
+        }
+    }
+
+    /// Batched burst execution for application `app`: consumes a prefix of
+    /// `bursts` that provably completes before the next internal fabric
+    /// event, pushing one unsplit segment per non-empty consumed burst.
+    /// See `RunTimeManager::execute_bursts_batched` for the full contract
+    /// — this is that code path, parameterised by tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a consumed burst's `si` is outside the library.
+    pub fn execute_bursts_batched<I>(
+        &mut self,
+        app: u16,
+        bursts: I,
+        start: u64,
+        segments: &mut Vec<BurstSegment>,
+    ) -> usize
+    where
+        I: IntoIterator<Item = (SiId, u32, u32)>,
+    {
+        segments.clear();
+        let a = usize::from(app);
+        let fi = self.fabric_index(a);
+        let horizon = match self.fabrics[fi].next_event_at() {
+            Some(event) if event <= start => return 0,
+            other => other,
+        };
+        let lib = self.library;
+        let mut t = start;
+        let mut consumed = 0;
+        for (si, count, overhead) in bursts {
+            if count == 0 {
+                consumed += 1;
+                continue;
+            }
+            let def = lib.si(si).expect("si within library");
+            let (latency, variant_index) = match self.best_available_variant(app, si) {
+                Some((idx, latency)) if latency < def.software_latency() => (latency, Some(idx)),
+                _ => (def.software_latency(), None),
+            };
+            let per = u64::from(latency) + u64::from(overhead);
+            // Unsplit iff the whole burst fits strictly before the horizon
+            // — the same `div_ceil` split bound `execute_burst_into` uses.
+            let fits = match horizon {
+                None => true,
+                Some(event) => event > t && (event - t).div_ceil(per) >= u64::from(count),
+            };
+            if !fits {
+                break;
+            }
+            self.fabrics[fi].advance_clock(t);
+            if let Some(idx) = variant_index {
+                match self.scratch.used_masks.get(si.index()).and_then(|m| m.get(idx)) {
+                    Some(&mask) => self.fabrics[fi].mark_used_types(mask, t),
+                    None => self.fabrics[fi].mark_used(&def.variants()[idx].atoms, t),
+                }
+            }
+            segments.push(match variant_index {
+                Some(v) => BurstSegment::hardware(t, u64::from(count), latency, v),
+                None => BurstSegment::software(t, u64::from(count), latency),
+            });
+            let ctx = &mut self.contexts[a];
+            if let Some(hs) = ctx.current_hot_spot {
+                ctx.monitor.record_executions(hs, si, u64::from(count));
+            }
+            t += u64::from(count) * per;
+            consumed += 1;
+        }
+        consumed
+    }
+
+    /// Leaves application `app`'s current hot spot, folding measured
+    /// execution counts into its monitor's expectations.
+    pub fn exit_hot_spot(&mut self, app: u16, now: u64) {
+        let a = usize::from(app);
+        let fi = self.fabric_index(a);
+        self.sync_fabric(fi, now);
+        let ctx = &mut self.contexts[a];
+        if let Some(hs) = ctx.current_hot_spot.take() {
+            ctx.monitor.end_hot_spot(hs);
+        }
+    }
+
+    /// Advances `app`'s fabric to `now` (applying the recovery policy to
+    /// any fault events on the way), returning the atoms that completed.
+    pub fn advance_to(&mut self, app: u16, now: u64) -> Vec<LoadCompleted> {
+        let fi = self.fabric_index(usize::from(app));
+        self.sync_fabric(fi, now)
+    }
+
+    /// Enables (or disables) decision capture for application `app` (see
+    /// `RunTimeManager::set_explain_enabled`).
+    pub fn set_explain_enabled(&mut self, app: u16, enabled: bool) {
+        let ctx = &mut self.contexts[usize::from(app)];
+        ctx.explain_enabled = enabled;
+        if !enabled {
+            ctx.decisions.clear();
+        }
+    }
+
+    /// Whether decision capture is on for application `app`.
+    #[must_use]
+    pub fn explain_enabled(&self, app: u16) -> bool {
+        self.contexts[usize::from(app)].explain_enabled
+    }
+
+    /// Moves `app`'s captured decisions (chronological order) into `out`.
+    pub fn take_decisions(&mut self, app: u16, out: &mut Vec<DecisionExplain>) {
+        out.append(&mut self.contexts[usize::from(app)].decisions);
+    }
+
+    /// Enables (or disables) the container-transition journal on every
+    /// fabric (see [`rispp_fabric::Fabric::set_journal_enabled`]).
+    pub fn set_journal_enabled(&mut self, enabled: bool) {
+        for fabric in &mut self.fabrics {
+            fabric.set_journal_enabled(enabled);
+        }
+    }
+
+    /// Moves buffered journal entries of `app`'s fabric into `out`. Under
+    /// [`ContentionPolicy::Shared`] the journal is substrate-wide, so
+    /// entries go to whichever tenant drains first.
+    pub fn drain_fabric_journal(
+        &mut self,
+        app: u16,
+        out: &mut Vec<rispp_fabric::FabricJournalEntry>,
+    ) {
+        let fi = self.fabric_index(usize::from(app));
+        self.fabrics[fi].drain_journal(out);
+    }
+
+    /// The active fault-recovery policy (shared by all contexts).
+    #[must_use]
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// Self-healing counters as seen by application `app`. Fault counts
+    /// are per fabric: exact per-tenant under `Partitioned`,
+    /// substrate-wide under `Shared` (faults on a shared substrate hit
+    /// everyone); retries and software degradations are always per tenant.
+    #[must_use]
+    pub fn recovery_stats(&self, app: u16) -> RecoveryStats {
+        let a = usize::from(app);
+        let fs = self.fabrics[self.fabric_index(a)].stats();
+        RecoveryStats {
+            faults_injected: fs.loads_aborted + fs.seu_corruptions + fs.permanent_failures,
+            load_retries: self.contexts[a].load_retries,
+            containers_quarantined: fs.containers_quarantined,
+            degraded_to_software: self.contexts[a].degraded_to_software,
+            fault_cycles_lost: fs.fault_cycles_lost,
+        }
+    }
+
+    /// Reconfiguration `(loads_completed, port_busy_cycles)` attributable
+    /// to application `app` on its fabric.
+    #[must_use]
+    pub fn app_port_stats(&self, app: u16) -> (u64, u64) {
+        self.fabric_for(app).app_port_stats(app)
+    }
+
+    /// Foreign atoms `app`'s plans found already loaded by co-tenants
+    /// (cross-app reuse; zero outside `Shared` multi-tenancy).
+    #[must_use]
+    pub fn atoms_shared(&self, app: u16) -> u64 {
+        self.contexts[usize::from(app)].atoms_shared
+    }
+
+    /// Total contested evictions across the substrate: loads that evicted
+    /// an atom owned by a different application (zero with one tenant or
+    /// under `Partitioned`).
+    #[must_use]
+    pub fn contested_evictions(&self) -> u64 {
+        self.fabrics.iter().map(|f| f.stats().evictions_contested).sum()
+    }
+
+    /// Effective latency of `si` for application `app` with the atoms
+    /// available right now.
+    #[must_use]
+    pub fn current_latency(&self, app: u16, si: SiId) -> u32 {
+        self.library
+            .si(si)
+            .map(|def| def.best_latency(self.fabric_for(app).available()))
+            .unwrap_or(0)
+    }
+
+    /// Atoms currently available on `app`'s fabric.
+    #[must_use]
+    pub fn available_atoms(&self, app: u16) -> &Molecule {
+        self.fabric_for(app).available()
+    }
+}
+
+/// The `u16` application tag used on the fabric queue/owner records.
+fn app_tag(app: usize) -> u16 {
+    u16::try_from(app).expect("application index fits u16")
+}
+
+/// Builder for [`FabricArbiter`].
+#[derive(Debug)]
+pub struct FabricArbiterBuilder<'a> {
+    library: &'a SiLibrary,
+    containers: u16,
+    tenants: u16,
+    policy: ContentionPolicy,
+    scheduler: SchedulerKind,
+    forecast: ForecastPolicy,
+    port_bandwidth: Option<u64>,
+    fault: Option<FaultModel>,
+    recovery: RecoveryPolicy,
+    explain: bool,
+}
+
+impl<'a> FabricArbiterBuilder<'a> {
+    /// Sets the total number of Atom Containers of a [`Shared`] substrate
+    /// (ignored under [`Partitioned`], which sizes per app).
+    ///
+    /// [`Shared`]: ContentionPolicy::Shared
+    /// [`Partitioned`]: ContentionPolicy::Partitioned
+    #[must_use]
+    pub fn containers(mut self, containers: u16) -> Self {
+        self.containers = containers;
+        self
+    }
+
+    /// Sets the number of application contexts (default 1).
+    #[must_use]
+    pub fn tenants(mut self, tenants: u16) -> Self {
+        self.tenants = tenants.max(1);
+        self
+    }
+
+    /// Sets the contention policy (default [`ContentionPolicy::Shared`]).
+    #[must_use]
+    pub fn policy(mut self, policy: ContentionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Chooses the scheduling strategy for every context (default HEF).
+    #[must_use]
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Chooses the forecast policy (default: EWMA weight 2).
+    #[must_use]
+    pub fn forecast(mut self, policy: ForecastPolicy) -> Self {
+        self.forecast = policy;
+        self
+    }
+
+    /// Overrides the reconfiguration-port bandwidth in bytes per second.
+    #[must_use]
+    pub fn port_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.port_bandwidth = Some(bytes_per_sec);
+        self
+    }
+
+    /// Attaches a seeded [`FaultModel`] to every fabric (each partition
+    /// draws from its own identically seeded stream, so a partitioned
+    /// tenant's fault history matches a solo run of the same size).
+    #[must_use]
+    pub fn fault_model(mut self, model: FaultModel) -> Self {
+        self.fault = Some(model);
+        self
+    }
+
+    /// Sets the fault-recovery policy shared by all contexts.
+    #[must_use]
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    /// Enables decision capture from the start for every context.
+    #[must_use]
+    pub fn explain(mut self, enabled: bool) -> Self {
+        self.explain = enabled;
+        self
+    }
+
+    /// Finalises the arbiter with empty fabric(s) at cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured port bandwidth is zero; validate untrusted
+    /// values with [`rispp_fabric::ReconfigPortConfig::validate`] before
+    /// building.
+    #[must_use]
+    pub fn build(self) -> FabricArbiter<'a> {
+        let k = usize::from(self.tenants);
+        let per_fabric: Vec<u16> = match self.policy {
+            ContentionPolicy::Shared => vec![self.containers],
+            ContentionPolicy::Partitioned { containers_per_app } => {
+                vec![containers_per_app; k]
+            }
+        };
+        let fabrics: Vec<Fabric> = per_fabric
+            .iter()
+            .map(|&n| {
+                let mut config = FabricConfig::prototype(n);
+                if let Some(bw) = self.port_bandwidth {
+                    config.port = rispp_fabric::ReconfigPortConfig::with_bandwidth(bw);
+                }
+                match self.fault {
+                    Some(model) => {
+                        Fabric::with_fault_model(config, self.library.universe(), model)
+                    }
+                    None => Fabric::new(config, self.library.universe()),
+                }
+            })
+            .collect();
+        let arity = self.library.arity();
+        let contexts: Vec<AppContext> = (0..k)
+            .map(|_| AppContext {
+                monitor: ExecutionMonitor::new(self.forecast),
+                scheduler: self.scheduler.create(),
+                current_hot_spot: None,
+                selected: Vec::new(),
+                best_cache: vec![BestVariantCache::default(); self.library.len()],
+                last_demands: Vec::new(),
+                supremum: Molecule::zero(arity),
+                load_retries: 0,
+                degraded_to_software: 0,
+                atoms_shared: 0,
+                explain_enabled: self.explain,
+                decisions: Vec::new(),
+            })
+            .collect();
+        let abort_streaks = fabrics
+            .iter()
+            .map(|f| vec![0u32; usize::from(f.container_count())])
+            .collect();
+        let used_masks = if arity <= 64 {
+            (0..self.library.len())
+                .map(|i| {
+                    self.library
+                        .si(SiId(i as u16))
+                        .expect("index within library")
+                        .variants()
+                        .iter()
+                        .map(|v| v.atoms.nonzero_mask())
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        FabricArbiter {
+            library: self.library,
+            policy: self.policy,
+            fabrics,
+            contexts,
+            scratch: SharedScratch {
+                used_masks,
+                ..SharedScratch::default()
+            },
+            recovery: self.recovery,
+            abort_streaks,
+        }
+    }
+}

@@ -275,6 +275,33 @@ impl<'a, 'lib> UpgradeContext<'a, 'lib> {
         self.scheduled.residual_atoms(&candidate.atoms)
     }
 
+    /// Contention surcharge of the candidate at `index` on a shared
+    /// multi-tenant fabric: for every atom the candidate still needs
+    /// (per-component residual over `a⃗`), the number of *other*
+    /// applications whose forecast working set contains that atom type
+    /// (`pressure[t]`, see
+    /// [`ScheduleRequest::with_foreign_pressure`](crate::ScheduleRequest::with_foreign_pressure)).
+    /// Loading such an atom risks evicting one a co-tenant still needs, so
+    /// the candidate's cost grows by the foreign demand it treads on. Zero
+    /// when `pressure` is empty (single-owner fabric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn pressure_cost(&self, index: usize, pressure: &[u64]) -> u64 {
+        if pressure.is_empty() {
+            return 0;
+        }
+        let c = &self.candidates[index];
+        let mut cost = 0u64;
+        for (i, &want) in c.atoms.counts().iter().enumerate() {
+            let missing = want.saturating_sub(self.scheduled.count(i));
+            cost += u64::from(missing) * pressure[i];
+        }
+        cost
+    }
+
     /// Commits the candidate at position `index` of the current candidate
     /// list: appends its residual atoms to the schedule (the last one
     /// annotated with the completed upgrade), updates `a⃗` and

@@ -44,6 +44,10 @@ impl AtomScheduler for HefScheduler {
     ) -> Schedule {
         let mut ctx = UpgradeContext::from_buffers(request, buffers);
         let mut scored: Vec<CandidateScore> = Vec::new();
+        // On a shared multi-tenant fabric, atoms other tenants forecast
+        // demand for carry a contention surcharge; empty pressure (every
+        // single-owner run) leaves the arithmetic bit-identical.
+        let pressure = request.foreign_pressure();
         loop {
             if ctx.clean().is_empty() {
                 break;
@@ -53,7 +57,7 @@ impl AtomScheduler for HefScheduler {
             // (finish() completes them for condition (2) afterwards).
             let mut best: Option<(usize, u64, u64)> = None; // (index, gain, cost)
             for (i, c) in ctx.candidates().iter().enumerate() {
-                let cost = u64::from(ctx.add_atoms(i));
+                let cost = u64::from(ctx.add_atoms(i)) + ctx.pressure_cost(i, pressure);
                 debug_assert!(cost > 0, "cleaning must remove available candidates");
                 let gain = request.expected(c.si) * u64::from(ctx.improvement(i));
                 if explain.is_some() {

@@ -57,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arbiter;
 mod asf;
 mod context;
 mod error;
@@ -70,6 +71,7 @@ mod selection;
 mod sjf;
 mod types;
 
+pub use arbiter::{ContentionPolicy, FabricArbiter, FabricArbiterBuilder};
 pub use asf::AsfScheduler;
 pub use context::{Candidate, UpgradeBuffers, UpgradeContext};
 pub use error::CoreError;

@@ -1,13 +1,12 @@
-use rispp_fabric::{Fabric, FabricConfig, FabricEvent, FaultModel, LoadCompleted};
+use rispp_fabric::{Fabric, FaultModel, LoadCompleted};
 use rispp_model::{Molecule, SiId, SiLibrary};
 use rispp_monitor::{ExecutionMonitor, ForecastPolicy, HotSpotId};
 
-use crate::context::UpgradeBuffers;
-use crate::explain::{DecisionExplain, ScheduleExplain, SelectionExplain};
+use crate::arbiter::{ContentionPolicy, FabricArbiter};
+use crate::explain::DecisionExplain;
 use crate::recovery::{RecoveryPolicy, RecoveryStats};
-use crate::scheduler::{AtomScheduler, SchedulerKind};
-use crate::selection::{GreedySelector, SelectionRequest};
-use crate::types::{ScheduleRequest, SelectedMolecule};
+use crate::scheduler::SchedulerKind;
+use crate::types::SelectedMolecule;
 use crate::CoreError;
 
 /// Result of executing one Special Instruction through the Run-Time
@@ -78,59 +77,18 @@ impl BurstSegment {
     }
 }
 
-/// Per-SI memo of the fastest available Molecule variant, keyed by the
-/// fabric's [generation counter](Fabric::generation). `generation` starts
-/// at `u64::MAX` (the fabric starts at 0) so the first lookup always
-/// computes.
-#[derive(Debug, Clone, Copy)]
-struct BestVariantCache {
-    generation: u64,
-    best: Option<(usize, u32)>,
-}
-
-impl Default for BestVariantCache {
-    fn default() -> Self {
-        BestVariantCache {
-            generation: u64::MAX,
-            best: None,
-        }
-    }
-}
-
 /// The RISPP Run-Time Manager (paper Section 3.1): controls SI execution
 /// (task I), observes and adapts to varying requirements via the monitor
 /// (task II), and determines Atom re-loading decisions through selection
 /// and scheduling (task III).
+///
+/// Since the multi-tenancy refactor this is a thin façade over a 1-tenant
+/// [`ContentionPolicy::Shared`] [`FabricArbiter`] — the single-owner path
+/// and the multi-application path are literally the same code, which is
+/// what keeps them bit-identical.
 #[derive(Debug)]
 pub struct RunTimeManager<'a> {
-    library: &'a SiLibrary,
-    fabric: Fabric,
-    monitor: ExecutionMonitor,
-    scheduler: Box<dyn AtomScheduler>,
-    selector: GreedySelector,
-    current_hot_spot: Option<HotSpotId>,
-    selected: Vec<SelectedMolecule>,
-    best_cache: Vec<BestVariantCache>,
-    /// Per-SI, per-variant [`Molecule::nonzero_mask`] of the variant's
-    /// atoms, so burst execution marks LRU usage from one precomputed word.
-    /// Empty when the universe is wider than 64 types (falls back to the
-    /// count-slice path).
-    used_masks: Vec<Vec<u64>>,
-    demand_buf: Vec<(SiId, u64)>,
-    expected_buf: Vec<u64>,
-    sched_buffers: UpgradeBuffers,
-    recovery: RecoveryPolicy,
-    /// Consecutive aborted loads per container; reset on a completion.
-    abort_streak: Vec<u32>,
-    /// Demands of the active hot spot, kept for re-planning after a
-    /// container quarantine shrinks the fabric.
-    last_demands: Vec<(SiId, u64)>,
-    load_retries: u64,
-    degraded_to_software: u64,
-    /// When set, every selection+schedule decision is captured as a
-    /// [`DecisionExplain`] in `decisions` (drained by the caller).
-    explain_enabled: bool,
-    decisions: Vec<DecisionExplain>,
+    arbiter: FabricArbiter<'a>,
 }
 
 impl<'a> RunTimeManager<'a> {
@@ -152,31 +110,31 @@ impl<'a> RunTimeManager<'a> {
     /// The SI library the manager operates on.
     #[must_use]
     pub fn library(&self) -> &'a SiLibrary {
-        self.library
+        self.arbiter.library()
     }
 
     /// The reconfigurable fabric.
     #[must_use]
     pub fn fabric(&self) -> &Fabric {
-        &self.fabric
+        self.arbiter.fabric_for(0)
     }
 
     /// The execution monitor.
     #[must_use]
     pub fn monitor(&self) -> &ExecutionMonitor {
-        &self.monitor
+        self.arbiter.monitor(0)
     }
 
     /// The Molecules currently selected for the active hot spot.
     #[must_use]
     pub fn selected(&self) -> &[SelectedMolecule] {
-        &self.selected
+        self.arbiter.selected(0)
     }
 
     /// The active hot spot, if any.
     #[must_use]
     pub fn current_hot_spot(&self) -> Option<HotSpotId> {
-        self.current_hot_spot
+        self.arbiter.current_hot_spot(0)
     }
 
     /// Enters a hot spot at cycle `now`: forecasts the SI execution
@@ -195,22 +153,7 @@ impl<'a> RunTimeManager<'a> {
         hints: &[(SiId, u64)],
         now: u64,
     ) -> Result<(), CoreError> {
-        let first_visit = self.monitor.iterations(hot_spot) == 0;
-        // Reuse the demand buffer across entries; `take` detaches it from
-        // `self` so the monitor can be read while filling it.
-        let mut demands = std::mem::take(&mut self.demand_buf);
-        demands.clear();
-        demands.extend(hints.iter().map(|&(si, hint)| {
-            let expected = if first_visit {
-                hint
-            } else {
-                self.monitor.expected(hot_spot, si)
-            };
-            (si, expected)
-        }));
-        let result = self.enter_hot_spot_with_profile(hot_spot, &demands, now);
-        self.demand_buf = demands;
-        result
+        self.arbiter.enter_hot_spot(0, hot_spot, hints, now)
     }
 
     /// Enters a hot spot with an externally supplied execution profile,
@@ -226,158 +169,8 @@ impl<'a> RunTimeManager<'a> {
         demands: &[(SiId, u64)],
         now: u64,
     ) -> Result<(), CoreError> {
-        self.sync_fabric(now);
-        self.monitor.begin_hot_spot(hot_spot);
-        self.current_hot_spot = Some(hot_spot);
-        self.last_demands.clear();
-        self.last_demands.extend_from_slice(demands);
-        let stored = std::mem::take(&mut self.last_demands);
-        let result = self.plan_current(&stored);
-        self.last_demands = stored;
-        result
-    }
-
-    /// Selects Molecules and (re)programs the reconfiguration queue for
-    /// `demands` against the *usable* (non-quarantined) containers. Shared
-    /// by hot-spot entry and post-quarantine re-planning.
-    fn plan_current(&mut self, demands: &[(SiId, u64)]) -> Result<(), CoreError> {
-        let usable = self.fabric.usable_container_count();
-        let selection_request = SelectionRequest::new(self.library, demands, usable);
-        let mut sel_explain = self.explain_enabled.then(SelectionExplain::default);
-        self.selected = self
-            .selector
-            .select_explained(&selection_request, sel_explain.as_mut());
-        if !demands.is_empty()
-            && self.selected.is_empty()
-            && usable < self.fabric.container_count()
-        {
-            // Quarantines shrank the fabric below what any Molecule needs:
-            // the hot spot continues purely on the cISA software path.
-            self.degraded_to_software += 1;
-        }
-
-        let mut expected = std::mem::take(&mut self.expected_buf);
-        expected.clear();
-        expected.resize(self.library.len(), 0);
-        for &(si, e) in demands {
-            expected[si.index()] = e;
-        }
-        let request = ScheduleRequest::new(
-            self.library,
-            self.selected.clone(),
-            self.fabric.available().clone(),
-            expected,
-        )?;
-        let mut sched_explain = self
-            .explain_enabled
-            .then(|| ScheduleExplain::new(self.scheduler.name()));
-        let schedule = self.scheduler.schedule_explained(
-            &request,
-            &mut self.sched_buffers,
-            sched_explain.as_mut(),
-        );
-        debug_assert!(schedule.validate(&request).is_ok());
-        if let (Some(selection), Some(schedule_ex)) = (sel_explain, sched_explain) {
-            self.decisions.push(DecisionExplain {
-                now: self.fabric.now(),
-                hot_spot: self.current_hot_spot,
-                containers: usable,
-                selection,
-                schedule: schedule_ex,
-            });
-        }
-
-        self.fabric.clear_pending();
-        self.fabric.set_protected(request.supremum());
-        self.fabric.enqueue_schedule(schedule.atoms());
-        // Hand the allocations back for the next hot-spot entry.
-        self.sched_buffers.reclaim(schedule);
-        self.expected_buf = request.into_expected();
-        Ok(())
-    }
-
-    /// Advances the fabric to `now` and applies the [`RecoveryPolicy`] to
-    /// every fault event: bounded-backoff retries for aborted loads,
-    /// scrub reloads for SEU-corrupted Atoms, quarantine of containers
-    /// that exhaust their retries, and a scheduler re-plan whenever the
-    /// set of usable containers shrinks. Steps the fabric event time by
-    /// event time (not straight to `now`) so a retry issued in response to
-    /// an abort starts at its backoff deadline, aborts again in simulated
-    /// time, and the whole retry cascade plays out inside one sync.
-    /// Returns the successful completions.
-    fn sync_fabric(&mut self, now: u64) -> Vec<LoadCompleted> {
-        let mut completions = Vec::new();
-        loop {
-            let Some(t) = self.fabric.next_event_at().filter(|&t| t <= now) else {
-                // Nothing left inside the window: land the fabric clock on
-                // `now` and stop.
-                let tail = self.fabric.advance_events(now);
-                debug_assert!(tail.is_empty());
-                return completions;
-            };
-            let events = self.fabric.advance_events(t);
-            let mut needs_replan = false;
-            for event in events {
-                match event {
-                    FabricEvent::Completed(done) => {
-                        self.abort_streak[done.container.index()] = 0;
-                        completions.push(done);
-                    }
-                    FabricEvent::LoadAborted { atom, container, at } => {
-                        let streak = &mut self.abort_streak[container.index()];
-                        *streak += 1;
-                        let exhausted = *streak > self.recovery.max_retries;
-                        if exhausted
-                            && !self.fabric.containers()[container.index()].is_quarantined()
-                        {
-                            // A tile that rejects bitstream after bitstream
-                            // is broken: take it out of service and re-plan
-                            // on the shrunken fabric. The scheduler re-issues
-                            // whatever the new plan still needs.
-                            self.abort_streak[container.index()] = 0;
-                            self.fabric
-                                .quarantine(container)
-                                .expect("fabric event names one of its own containers");
-                            needs_replan = true;
-                        } else {
-                            let attempt = self.abort_streak[container.index()];
-                            let delay = self.recovery.backoff_cycles(attempt);
-                            self.fabric
-                                .enqueue_load_after(atom, at.saturating_add(delay));
-                            self.load_retries += 1;
-                        }
-                    }
-                    FabricEvent::AtomCorrupted { atom, at, .. } => {
-                        if self.recovery.scrub_on_seu {
-                            // Scrub-and-reload: the faulty container is a
-                            // preferred load target, so this physically
-                            // rewrites the corrupted region.
-                            self.fabric.enqueue_load_after(atom, at);
-                            self.load_retries += 1;
-                        }
-                    }
-                    FabricEvent::ContainerFailed { .. } => {
-                        needs_replan = true;
-                    }
-                }
-            }
-            if needs_replan {
-                self.replan();
-            }
-        }
-    }
-
-    /// Re-plans the active hot spot after the usable-container set shrank.
-    fn replan(&mut self) {
-        if self.current_hot_spot.is_none() || self.last_demands.is_empty() {
-            return;
-        }
-        let demands = std::mem::take(&mut self.last_demands);
-        // Validation failures cannot occur here: the same demands passed
-        // planning when the hot spot was entered.
-        let result = self.plan_current(&demands);
-        debug_assert!(result.is_ok());
-        self.last_demands = demands;
+        self.arbiter
+            .enter_hot_spot_with_profile(0, hot_spot, demands, now)
     }
 
     /// The fastest Molecule variant of `si` available right now, as
@@ -389,22 +182,7 @@ impl<'a> RunTimeManager<'a> {
     ///
     /// Panics if `si` is outside the library.
     pub fn best_available_variant(&mut self, si: SiId) -> Option<(usize, u32)> {
-        let generation = self.fabric.generation();
-        let lib = self.library;
-        let cache = &mut self.best_cache[si.index()];
-        if cache.generation != generation {
-            let def = lib.si(si).expect("si within library");
-            let available = self.fabric.available();
-            cache.best = def
-                .variants()
-                .iter()
-                .enumerate()
-                .filter(|(_, v)| v.is_available(available))
-                .min_by_key(|(_, v)| v.latency)
-                .map(|(idx, v)| (idx, v.latency));
-            cache.generation = generation;
-        }
-        cache.best
+        self.arbiter.best_available_variant(0, si)
     }
 
     /// Executes one SI at cycle `now`: forwards it to the fastest available
@@ -415,29 +193,7 @@ impl<'a> RunTimeManager<'a> {
     ///
     /// Panics if `si` is outside the library.
     pub fn execute_si(&mut self, si: SiId, now: u64) -> SiExecution {
-        self.sync_fabric(now);
-        // `lib` is a reborrow of the `&'a` library, independent of `self`,
-        // so the variant's atoms can be passed to the fabric without a
-        // clone.
-        let lib = self.library;
-        let def = lib.si(si).expect("si within library");
-        let execution = match self.best_available_variant(si) {
-            Some((idx, latency)) if latency < def.software_latency() => {
-                self.fabric.mark_used(&def.variants()[idx].atoms, now);
-                SiExecution {
-                    latency,
-                    variant_index: Some(idx),
-                }
-            }
-            _ => SiExecution {
-                latency: def.software_latency(),
-                variant_index: None,
-            },
-        };
-        if let Some(hs) = self.current_hot_spot {
-            self.monitor.record_execution(hs, si);
-        }
-        execution
+        self.arbiter.execute_si(0, si, now)
     }
 
     /// Executes a *burst* of `count` back-to-back executions of `si`
@@ -481,53 +237,8 @@ impl<'a> RunTimeManager<'a> {
         start: u64,
         segments: &mut Vec<BurstSegment>,
     ) {
-        segments.clear();
-        let lib = self.library;
-        let def = lib.si(si).expect("si within library");
-        let mut t = start;
-        let mut remaining = u64::from(count);
-        while remaining > 0 {
-            // One event scan per segment: process due events (rare), or
-            // just land the clock on `t` and reuse the scan's result as
-            // the segment-splitting horizon.
-            let next_event = match self.fabric.next_event_at() {
-                Some(event) if event <= t => {
-                    self.sync_fabric(t);
-                    self.fabric.next_event_at()
-                }
-                other => {
-                    self.fabric.advance_clock(t);
-                    other
-                }
-            };
-            let (latency, variant_index) = match self.best_available_variant(si) {
-                Some((idx, latency)) if latency < def.software_latency() => (latency, Some(idx)),
-                _ => (def.software_latency(), None),
-            };
-            if let Some(idx) = variant_index {
-                match self.used_masks.get(si.index()).and_then(|m| m.get(idx)) {
-                    Some(&mask) => self.fabric.mark_used_types(mask, t),
-                    None => self.fabric.mark_used(&def.variants()[idx].atoms, t),
-                }
-            }
-            let per = u64::from(latency) + u64::from(overhead);
-            let n = match next_event {
-                Some(event) if event > t => {
-                    let until_event = (event - t).div_ceil(per);
-                    until_event.min(remaining)
-                }
-                _ => remaining,
-            };
-            segments.push(match variant_index {
-                Some(v) => BurstSegment::hardware(t, n, latency, v),
-                None => BurstSegment::software(t, n, latency),
-            });
-            t += n * per;
-            remaining -= n;
-        }
-        if let Some(hs) = self.current_hot_spot {
-            self.monitor.record_executions(hs, si, u64::from(count));
-        }
+        self.arbiter
+            .execute_burst_into(0, si, count, overhead, start, segments);
     }
 
     /// Batched variant of [`RunTimeManager::execute_burst_into`]: consumes
@@ -565,67 +276,19 @@ impl<'a> RunTimeManager<'a> {
     where
         I: IntoIterator<Item = (SiId, u32, u32)>,
     {
-        segments.clear();
-        let horizon = match self.fabric.next_event_at() {
-            Some(event) if event <= start => return 0,
-            other => other,
-        };
-        let lib = self.library;
-        let mut t = start;
-        let mut consumed = 0;
-        for (si, count, overhead) in bursts {
-            if count == 0 {
-                consumed += 1;
-                continue;
-            }
-            let def = lib.si(si).expect("si within library");
-            let (latency, variant_index) = match self.best_available_variant(si) {
-                Some((idx, latency)) if latency < def.software_latency() => (latency, Some(idx)),
-                _ => (def.software_latency(), None),
-            };
-            let per = u64::from(latency) + u64::from(overhead);
-            // Unsplit iff the whole burst fits strictly before the horizon
-            // — the same `div_ceil` split bound `execute_burst_into` uses.
-            let fits = match horizon {
-                None => true,
-                Some(event) => event > t && (event - t).div_ceil(per) >= u64::from(count),
-            };
-            if !fits {
-                break;
-            }
-            self.fabric.advance_clock(t);
-            if let Some(idx) = variant_index {
-                match self.used_masks.get(si.index()).and_then(|m| m.get(idx)) {
-                    Some(&mask) => self.fabric.mark_used_types(mask, t),
-                    None => self.fabric.mark_used(&def.variants()[idx].atoms, t),
-                }
-            }
-            segments.push(match variant_index {
-                Some(v) => BurstSegment::hardware(t, u64::from(count), latency, v),
-                None => BurstSegment::software(t, u64::from(count), latency),
-            });
-            if let Some(hs) = self.current_hot_spot {
-                self.monitor.record_executions(hs, si, u64::from(count));
-            }
-            t += u64::from(count) * per;
-            consumed += 1;
-        }
-        consumed
+        self.arbiter.execute_bursts_batched(0, bursts, start, segments)
     }
 
     /// Leaves the current hot spot, folding measured execution counts into
     /// the monitor's expectations.
     pub fn exit_hot_spot(&mut self, now: u64) {
-        self.sync_fabric(now);
-        if let Some(hs) = self.current_hot_spot.take() {
-            self.monitor.end_hot_spot(hs);
-        }
+        self.arbiter.exit_hot_spot(0, now);
     }
 
     /// Advances the fabric to `now` (applying the recovery policy to any
     /// fault events on the way), returning the atoms that completed.
-    pub fn advance_to(&mut self, now: u64) -> Vec<rispp_fabric::LoadCompleted> {
-        self.sync_fabric(now)
+    pub fn advance_to(&mut self, now: u64) -> Vec<LoadCompleted> {
+        self.arbiter.advance_to(0, now)
     }
 
     /// Enables (or disables) decision capture: while on, every Molecule
@@ -633,68 +296,55 @@ impl<'a> RunTimeManager<'a> {
     /// [`DecisionExplain`], drained via [`RunTimeManager::take_decisions`].
     /// Off by default — the hot path then performs no extra work.
     pub fn set_explain_enabled(&mut self, enabled: bool) {
-        self.explain_enabled = enabled;
-        if !enabled {
-            self.decisions.clear();
-        }
+        self.arbiter.set_explain_enabled(0, enabled);
     }
 
     /// Whether decision capture is on.
     #[must_use]
     pub fn explain_enabled(&self) -> bool {
-        self.explain_enabled
+        self.arbiter.explain_enabled(0)
     }
 
     /// Moves all captured decisions (chronological order) into `out`.
     pub fn take_decisions(&mut self, out: &mut Vec<DecisionExplain>) {
-        out.append(&mut self.decisions);
+        self.arbiter.take_decisions(0, out);
     }
 
     /// Enables (or disables) the fabric's container-transition journal
     /// (see [`rispp_fabric::Fabric::set_journal_enabled`]).
     pub fn set_journal_enabled(&mut self, enabled: bool) {
-        self.fabric.set_journal_enabled(enabled);
+        self.arbiter.set_journal_enabled(enabled);
     }
 
     /// Moves buffered fabric journal entries into `out`
     /// (see [`rispp_fabric::Fabric::drain_journal`]).
     pub fn drain_fabric_journal(&mut self, out: &mut Vec<rispp_fabric::FabricJournalEntry>) {
-        self.fabric.drain_journal(out);
+        self.arbiter.drain_fabric_journal(0, out);
     }
 
     /// The active fault-recovery policy.
     #[must_use]
     pub fn recovery_policy(&self) -> RecoveryPolicy {
-        self.recovery
+        self.arbiter.recovery_policy()
     }
 
     /// Counters describing how much self-healing this run needed so far.
     /// All zero while no fault has been injected.
     #[must_use]
     pub fn recovery_stats(&self) -> RecoveryStats {
-        let fs = self.fabric.stats();
-        RecoveryStats {
-            faults_injected: fs.loads_aborted + fs.seu_corruptions + fs.permanent_failures,
-            load_retries: self.load_retries,
-            containers_quarantined: fs.containers_quarantined,
-            degraded_to_software: self.degraded_to_software,
-            fault_cycles_lost: fs.fault_cycles_lost,
-        }
+        self.arbiter.recovery_stats(0)
     }
 
     /// Effective latency of `si` with the atoms available *right now*.
     #[must_use]
     pub fn current_latency(&self, si: SiId) -> u32 {
-        self.library
-            .si(si)
-            .map(|def| def.best_latency(self.fabric.available()))
-            .unwrap_or(0)
+        self.arbiter.current_latency(0, si)
     }
 
     /// Atoms currently available on the fabric.
     #[must_use]
     pub fn available_atoms(&self) -> &Molecule {
-        self.fabric.available()
+        self.arbiter.available_atoms(0)
     }
 }
 
@@ -777,48 +427,22 @@ impl<'a> RunTimeManagerBuilder<'a> {
     /// building.
     #[must_use]
     pub fn build(self) -> RunTimeManager<'a> {
-        let mut config = FabricConfig::prototype(self.containers);
+        let mut builder = FabricArbiter::builder(self.library)
+            .containers(self.containers)
+            .tenants(1)
+            .policy(ContentionPolicy::Shared)
+            .scheduler(self.scheduler)
+            .forecast(self.policy)
+            .recovery(self.recovery)
+            .explain(self.explain);
         if let Some(bw) = self.port_bandwidth {
-            config.port = rispp_fabric::ReconfigPortConfig::with_bandwidth(bw);
+            builder = builder.port_bandwidth(bw);
         }
-        let fabric = match self.fault {
-            Some(model) => Fabric::with_fault_model(config, self.library.universe(), model),
-            None => Fabric::new(config, self.library.universe()),
-        };
+        if let Some(model) = self.fault {
+            builder = builder.fault_model(model);
+        }
         RunTimeManager {
-            library: self.library,
-            fabric,
-            monitor: ExecutionMonitor::new(self.policy),
-            scheduler: self.scheduler.create(),
-            selector: GreedySelector,
-            current_hot_spot: None,
-            selected: Vec::new(),
-            best_cache: vec![BestVariantCache::default(); self.library.len()],
-            used_masks: if self.library.arity() <= 64 {
-                (0..self.library.len())
-                    .map(|i| {
-                        self.library
-                            .si(SiId(i as u16))
-                            .expect("index within library")
-                            .variants()
-                            .iter()
-                            .map(|v| v.atoms.nonzero_mask())
-                            .collect()
-                    })
-                    .collect()
-            } else {
-                Vec::new()
-            },
-            demand_buf: Vec::new(),
-            expected_buf: Vec::new(),
-            sched_buffers: UpgradeBuffers::new(),
-            recovery: self.recovery,
-            abort_streak: vec![0; usize::from(self.containers)],
-            last_demands: Vec::new(),
-            load_retries: 0,
-            degraded_to_software: 0,
-            explain_enabled: self.explain,
-            decisions: Vec::new(),
+            arbiter: builder.build(),
         }
     }
 }

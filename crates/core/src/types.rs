@@ -30,6 +30,11 @@ pub struct ScheduleRequest<'a> {
     selected: Vec<SelectedMolecule>,
     available: Molecule,
     expected: Vec<u64>,
+    /// Per-atom-type demand pressure from *other* applications sharing the
+    /// fabric (see [`ScheduleRequest::with_foreign_pressure`]); empty on a
+    /// single-owner fabric, which keeps the schedulers' arithmetic exactly
+    /// as in the single-tenant system.
+    foreign_pressure: Vec<u64>,
 }
 
 impl<'a> ScheduleRequest<'a> {
@@ -79,7 +84,37 @@ impl<'a> ScheduleRequest<'a> {
             selected,
             available,
             expected,
+            foreign_pressure: Vec::new(),
         })
+    }
+
+    /// Attaches contention pressure from other applications sharing the
+    /// fabric: `pressure[t]` counts how many *other* apps forecast demand
+    /// for atom type `t` (their protected working sets contain it). A
+    /// contention-aware scheduler ([`HefScheduler`](crate::HefScheduler))
+    /// adds this to each candidate's atom cost, so upgrades that would
+    /// evict atoms other tenants still need must buy proportionally more
+    /// benefit. An empty vector (the default) disables the term entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pressure` is non-empty and its length differs from the
+    /// universe arity.
+    #[must_use]
+    pub fn with_foreign_pressure(mut self, pressure: Vec<u64>) -> Self {
+        assert!(
+            pressure.is_empty() || pressure.len() == self.library.arity(),
+            "foreign pressure length must match universe arity"
+        );
+        self.foreign_pressure = pressure;
+        self
+    }
+
+    /// Per-atom-type contention pressure from other applications; empty on
+    /// a single-owner fabric.
+    #[must_use]
+    pub fn foreign_pressure(&self) -> &[u64] {
+        &self.foreign_pressure
     }
 
     /// The SI library.
@@ -131,6 +166,13 @@ impl<'a> ScheduleRequest<'a> {
     #[must_use]
     pub fn into_expected(self) -> Vec<u64> {
         self.expected
+    }
+
+    /// Consumes the request, returning the `(expected, foreign_pressure)`
+    /// storage so the arbiter can reuse both allocations across plans.
+    #[must_use]
+    pub fn into_scratch(self) -> (Vec<u64>, Vec<u64>) {
+        (self.expected, self.foreign_pressure)
     }
 }
 

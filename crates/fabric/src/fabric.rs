@@ -161,6 +161,10 @@ pub struct FabricStats {
     pub containers_quarantined: u64,
     /// Port cycles wasted on loads that never became usable.
     pub fault_cycles_lost: u64,
+    /// Evictions where the victim atom was loaded on behalf of a
+    /// *different* application than the one loading (multi-tenant fabrics
+    /// only; structurally zero with a single owner or a partitioned split).
+    pub evictions_contested: u64,
 }
 
 /// A load streaming through the port.
@@ -172,6 +176,9 @@ struct InFlight {
     cycles: u64,
     /// Pre-drawn CRC verdict, revealed when the transfer completes.
     abort: bool,
+    /// Application on whose behalf the load was enqueued (0 for
+    /// single-owner fabrics).
+    app: u16,
 }
 
 /// Priority of a scheduled tile failure (strikes before everything else at
@@ -272,9 +279,10 @@ pub struct Fabric {
     config: FabricConfig,
     bitstream_bytes: Vec<u32>,
     containers: Vec<AtomContainer>,
-    /// FIFO of `(atom, not_before)`: a load never starts before its
-    /// `not_before` cycle (retry backoff uses this).
-    queue: VecDeque<(AtomTypeId, u64)>,
+    /// FIFO of `(atom, not_before, app)`: a load never starts before its
+    /// `not_before` cycle (retry backoff uses this), and carries the
+    /// application tag it was enqueued for (0 for single-owner fabrics).
+    queue: VecDeque<(AtomTypeId, u64, u16)>,
     in_flight: Option<InFlight>,
     available: Molecule,
     generation: u64,
@@ -290,6 +298,12 @@ pub struct Fabric {
     /// Container-transition journal; empty unless enabled.
     journal_enabled: bool,
     journal: Vec<FabricJournalEntry>,
+    /// Application that last loaded (or is loading) into each container —
+    /// the multi-tenant ownership tag. `None` until the first load starts.
+    owners: Vec<Option<u16>>,
+    /// Per-application `(loads_completed, port_busy_cycles)`, indexed by
+    /// app tag and grown on demand.
+    app_stats: Vec<(u64, u64)>,
 }
 
 impl Fabric {
@@ -324,6 +338,8 @@ impl Fabric {
             fault: None,
             journal_enabled: false,
             journal: Vec::new(),
+            owners: vec![None; usize::from(config.containers)],
+            app_stats: Vec::new(),
         }
     }
 
@@ -518,19 +534,40 @@ impl Fabric {
     ///
     /// Panics if the atom type is outside the universe.
     pub fn enqueue_load_after(&mut self, atom: AtomTypeId, not_before: u64) {
+        self.enqueue_load_app(0, atom, not_before);
+    }
+
+    /// Appends an atom-load request on behalf of application `app` (the
+    /// multi-tenant entry point; `app` 0 is the single-owner default). The
+    /// tag flows into the container's ownership record when the load starts
+    /// and into the per-app port accounting when it completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the atom type is outside the universe.
+    pub fn enqueue_load_app(&mut self, app: u16, atom: AtomTypeId, not_before: u64) {
         assert!(
             atom.index() < self.bitstream_bytes.len(),
             "atom type {atom} outside universe"
         );
         self.stats.loads_enqueued += 1;
-        self.queue.push_back((atom, not_before));
+        self.queue.push_back((atom, not_before, app));
         self.try_start_next(self.now);
     }
 
     /// Appends a full schedule (sequence of atom loads) to the queue.
     pub fn enqueue_schedule<I: IntoIterator<Item = AtomTypeId>>(&mut self, atoms: I) {
+        self.enqueue_schedule_app(0, atoms);
+    }
+
+    /// Appends a full schedule on behalf of application `app`.
+    pub fn enqueue_schedule_app<I: IntoIterator<Item = AtomTypeId>>(
+        &mut self,
+        app: u16,
+        atoms: I,
+    ) {
         for atom in atoms {
-            self.enqueue_load(atom);
+            self.enqueue_load_app(app, atom, 0);
         }
     }
 
@@ -541,6 +578,40 @@ impl Fabric {
     pub fn clear_pending(&mut self) {
         self.stats.loads_cancelled += self.queue.len() as u64;
         self.queue.clear();
+    }
+
+    /// Drops the queued loads tagged for application `app`, leaving other
+    /// tenants' pending loads in place. With every entry tagged `app` this
+    /// is exactly [`Fabric::clear_pending`].
+    pub fn clear_pending_app(&mut self, app: u16) {
+        let before = self.queue.len();
+        self.queue.retain(|&(_, _, a)| a != app);
+        self.stats.loads_cancelled += (before - self.queue.len()) as u64;
+    }
+
+    /// Application that last loaded (or is loading) into `container`, if
+    /// any load ever started there — the multi-tenant ownership tag.
+    #[must_use]
+    pub fn owner_of(&self, container: ContainerId) -> Option<u16> {
+        self.owners.get(container.index()).copied().flatten()
+    }
+
+    /// Per-application `(loads_completed, port_busy_cycles)` for `app`;
+    /// zero for tags that never loaded.
+    #[must_use]
+    pub fn app_port_stats(&self, app: u16) -> (u64, u64) {
+        self.app_stats
+            .get(usize::from(app))
+            .copied()
+            .unwrap_or((0, 0))
+    }
+
+    fn app_stats_mut(&mut self, app: u16) -> &mut (u64, u64) {
+        let idx = usize::from(app);
+        if idx >= self.app_stats.len() {
+            self.app_stats.resize(idx + 1, (0, 0));
+        }
+        &mut self.app_stats[idx]
     }
 
     /// Records that atoms of the executing Molecule were used at `now`;
@@ -698,7 +769,7 @@ impl Fabric {
         }
         if let Some(fl) = &self.in_flight {
             consider(fl.finish, 2, EventKind::Finish, &mut best);
-        } else if let Some(&(_, not_before)) = self.queue.front() {
+        } else if let Some(&(_, not_before, _)) = self.queue.front() {
             // Port idle with a queued load: it starts once its backoff
             // window opens (or immediately, at `now`).
             consider(not_before.max(self.now), 3, EventKind::Start, &mut best);
@@ -770,6 +841,7 @@ impl Fabric {
                     self.available.set_count(idx, have.saturating_add(1));
                     self.generation += 1;
                     self.stats.loads_completed += 1;
+                    self.app_stats_mut(fl.app).0 += 1;
                     if let Some(f) = &mut self.fault {
                         if f.model.seu_per_gcycle > 0 {
                             let lifetime = f.rng.seu_lifetime(f.model.seu_per_gcycle);
@@ -836,7 +908,7 @@ impl Fabric {
             return;
         }
         loop {
-            let Some(&(atom, not_before)) = self.queue.front() else {
+            let Some(&(atom, not_before, app)) = self.queue.front() else {
                 return;
             };
             if not_before > at {
@@ -858,6 +930,9 @@ impl Fabric {
                 // immediately: one instance of the evicted type leaves the
                 // available set.
                 self.stats.evictions += 1;
+                if self.owners[victim.index()].is_some_and(|o| o != app) {
+                    self.stats.evictions_contested += 1;
+                }
                 self.remove_available(old);
             }
             let cycles = self
@@ -867,6 +942,7 @@ impl Fabric {
                 .expect("port config validated at construction");
             let finish = at + cycles;
             self.stats.port_busy_cycles += cycles;
+            self.app_stats_mut(app).1 += cycles;
             let abort = match &mut self.fault {
                 // One CRC draw per started load, revealed at the end of the
                 // transfer (rate zero draws too, keeping the stream stable).
@@ -879,6 +955,7 @@ impl Fabric {
                 f.clear_corrupt_at(victim.index());
             }
             self.containers[victim.index()].begin_load(atom, finish);
+            self.owners[victim.index()] = Some(app);
             self.record(FabricJournalEntry::LoadStarted {
                 container: victim,
                 atom,
@@ -891,6 +968,7 @@ impl Fabric {
                 finish,
                 cycles,
                 abort,
+                app,
             });
             return;
         }

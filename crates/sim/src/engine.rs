@@ -1,13 +1,16 @@
-use rispp_core::{DecisionExplain, RecoveryPolicy, RecoveryStats, RunTimeManager, SchedulerKind};
+use rispp_core::{
+    BurstSegment, DecisionExplain, RecoveryPolicy, RecoveryStats, RunTimeManager, SchedulerKind,
+};
 use rispp_fabric::{FabricJournalEntry, FaultModel};
 use rispp_model::SiLibrary;
 use rispp_monitor::ForecastPolicy;
 
 use crate::backend::{ExecutionSystem, RisppBackend, SoftwareBackend};
 use crate::baseline::MolenSystem;
+use crate::multi::TenancyConfig;
 use crate::observer::{HotSpotOrigin, SimEvent, SimObserver};
 use crate::stats::{RunStats, DEFAULT_BUCKET_CYCLES};
-use crate::trace::Trace;
+use crate::trace::{Invocation, Trace};
 
 /// Which execution system replays the trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +104,10 @@ pub struct SimConfig {
     /// [`SimEvent::ContainerTransition`] events (RISPP only). Off by
     /// default.
     pub journal: bool,
+    /// Multi-application tenancy (see [`crate::simulate_multi`]). The
+    /// default — one tenant, shared fabric — is the classic single-owner
+    /// simulation; [`simulate`] ignores everything but the default.
+    pub tenants: TenancyConfig,
 }
 
 impl SimConfig {
@@ -118,6 +125,7 @@ impl SimConfig {
             fault: None,
             explain: false,
             journal: false,
+            tenants: TenancyConfig::default(),
         }
     }
 
@@ -135,6 +143,7 @@ impl SimConfig {
             fault: None,
             explain: false,
             journal: false,
+            tenants: TenancyConfig::default(),
         }
     }
 
@@ -152,6 +161,7 @@ impl SimConfig {
             fault: None,
             explain: false,
             journal: false,
+            tenants: TenancyConfig::default(),
         }
     }
 
@@ -210,6 +220,15 @@ impl SimConfig {
         self
     }
 
+    /// Configures multi-application tenancy (builder style): tenant count,
+    /// contention policy and burst arbitration for
+    /// [`crate::simulate_multi`].
+    #[must_use]
+    pub fn with_tenants(mut self, tenants: TenancyConfig) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
     /// Builds the configured execution system over `library`.
     ///
     /// This is the factory behind [`simulate`]: every [`SystemKind`] maps
@@ -248,7 +267,7 @@ impl SimConfig {
     }
 }
 
-fn emit(observers: &mut [&mut (dyn SimObserver + '_)], event: SimEvent) {
+pub(crate) fn emit(observers: &mut [&mut (dyn SimObserver + '_)], event: SimEvent) {
     for obs in observers.iter_mut() {
         obs.on_event(&event);
     }
@@ -373,152 +392,210 @@ pub fn simulate_with(
     trace: &Trace,
     observers: &mut [&mut (dyn SimObserver + '_)],
 ) {
+    let mut state = ReplayState::new(system, observers);
     let mut now = 0u64;
-    let mut loads_seen = 0u64;
-    let mut recovery_seen = RecoveryStats::default();
+    for inv in trace.invocations() {
+        now = replay_invocation(system, inv, now, &mut state, observers);
+    }
+    finish_replay(system, now, now, &mut state, observers);
+}
+
+/// Mutable bookkeeping of one trace replay, shared by [`simulate_with`]
+/// and the multi-tenant engine ([`crate::simulate_multi`]): counter
+/// snapshots, reusable buffers, the pre-resolved segment-observer set and
+/// the once-per-replay poll gates. One instance per (system, observer set)
+/// pair; carrying it across [`replay_invocation`] calls is what keeps the
+/// single- and multi-tenant paths the same code.
+pub(crate) struct ReplayState {
+    loads_seen: u64,
+    recovery_seen: RecoveryStats,
     // One segment buffer for the whole replay; refilled per burst.
-    let mut segments = Vec::new();
+    segments: Vec<BurstSegment>,
     // Telemetry drain buffers, reused for the whole replay; both stay
     // empty (and unallocated) while decision capture / the fabric journal
     // are disabled.
-    let mut decisions: Vec<DecisionExplain> = Vec::new();
-    let mut journal: Vec<FabricJournalEntry> = Vec::new();
+    decisions: Vec<DecisionExplain>,
+    journal: Vec<FabricJournalEntry>,
     // Observers interested in the per-segment stream, resolved once —
-    // the segment dispatch below runs millions of times per replay.
-    let seg_observers: Vec<usize> = observers
-        .iter()
-        .enumerate()
-        .filter(|(_, o)| o.wants_segments())
-        .map(|(i, _)| i)
-        .collect();
+    // the segment dispatch runs millions of times per replay.
+    seg_observers: Vec<usize>,
     // Poll gates, resolved once per replay: a backend that can never
     // produce recovery events (no fault model) or telemetry (capture off)
     // lets the loop skip those polls entirely — each skipped poll is
     // provably emission-free, because the counters it reads cannot
     // advance.
-    let recovery_active = system.recovery_active();
-    let telemetry_active = system.telemetry_active();
-    for inv in trace.invocations() {
-        emit(
-            observers,
-            SimEvent::HotSpotEntered {
-                hot_spot: inv.hot_spot,
-                now,
-                origin: HotSpotOrigin::Annotated,
-            },
-        );
-        system.enter_hot_spot(inv, now);
-        if telemetry_active {
-            poll_telemetry(system, &mut decisions, &mut journal, observers);
+    recovery_active: bool,
+    telemetry_active: bool,
+}
+
+impl ReplayState {
+    pub(crate) fn new(
+        system: &dyn ExecutionSystem,
+        observers: &[&mut (dyn SimObserver + '_)],
+    ) -> Self {
+        ReplayState {
+            loads_seen: 0,
+            recovery_seen: RecoveryStats::default(),
+            segments: Vec::new(),
+            decisions: Vec::new(),
+            journal: Vec::new(),
+            seg_observers: observers
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.wants_segments())
+                .map(|(i, _)| i)
+                .collect(),
+            recovery_active: system.recovery_active(),
+            telemetry_active: system.telemetry_active(),
         }
-        // The prologue advances the clock unconditionally, *before* the
-        // burst loop: an invocation whose bursts are all empty (count 0)
-        // must still cost its prologue, and `exit_hot_spot` below must see
-        // the advanced time even when no segment ever updates `now`.
-        now += inv.prologue_cycles;
-        poll_loads(system, &mut loads_seen, now, observers);
-        if recovery_active {
-            poll_recovery(system, &mut recovery_seen, now, observers);
+    }
+}
+
+/// Replays one invocation starting at cycle `now` and returns the cycle it
+/// finished at. Exactly one loop iteration of the classic [`simulate_with`]
+/// body — the multi-tenant engine interleaves calls to this across tenants.
+pub(crate) fn replay_invocation(
+    system: &mut dyn ExecutionSystem,
+    inv: &Invocation,
+    start: u64,
+    state: &mut ReplayState,
+    observers: &mut [&mut (dyn SimObserver + '_)],
+) -> u64 {
+    let mut now = start;
+    emit(
+        observers,
+        SimEvent::HotSpotEntered {
+            hot_spot: inv.hot_spot,
+            now,
+            origin: HotSpotOrigin::Annotated,
+        },
+    );
+    system.enter_hot_spot(inv, now);
+    if state.telemetry_active {
+        poll_telemetry(system, &mut state.decisions, &mut state.journal, observers);
+    }
+    // The prologue advances the clock unconditionally, *before* the
+    // burst loop: an invocation whose bursts are all empty (count 0)
+    // must still cost its prologue, and `exit_hot_spot` below must see
+    // the advanced time even when no segment ever updates `now`.
+    now += inv.prologue_cycles;
+    poll_loads(system, &mut state.loads_seen, now, observers);
+    if state.recovery_active {
+        poll_recovery(system, &mut state.recovery_seen, now, observers);
+    }
+    // Quietness is monotone within one burst loop: the system only
+    // acquires new pending activity in `enter_hot_spot` (planning) or
+    // while processing events it already had pending. So once the
+    // pre-burst sample reads `false`, the remaining bursts of this
+    // invocation skip the sample *and* the poll pair below.
+    let mut watch = true;
+    let bursts = inv.bursts.as_slice();
+    let mut bi = 0;
+    while bi < bursts.len() {
+        if bursts[bi].count == 0 {
+            bi += 1;
+            continue;
         }
-        // Quietness is monotone within one burst loop: the system only
-        // acquires new pending activity in `enter_hot_spot` (planning) or
-        // while processing events it already had pending. So once the
-        // pre-burst sample reads `false`, the remaining bursts of this
-        // invocation skip the sample *and* the poll pair below.
-        let mut watch = true;
-        let bursts = inv.bursts.as_slice();
-        let mut bi = 0;
-        while bi < bursts.len() {
-            if bursts[bi].count == 0 {
-                bi += 1;
-                continue;
-            }
-            // Sampled *before* the burst: a system that is quiet going in
-            // cannot advance a counter during the burst. One sample also
-            // covers a whole consumed batch: a batch is by contract
-            // event-free, so activity cannot change inside it.
-            watch = watch && system.has_pending_activity();
-            // Fast path: let the backend advance a whole run of bursts in
-            // one step. Consumed bursts process no events, so the polls
-            // they would have made per-burst are skipped as provable
-            // no-ops, and each non-empty one yields exactly one segment.
-            let consumed = system.execute_bursts_batched(&bursts[bi..], now, &mut segments);
-            if consumed > 0 {
-                let mut segs = segments.iter();
-                for b in &bursts[bi..bi + consumed] {
-                    if b.count == 0 {
-                        continue;
-                    }
-                    let seg = segs
-                        .next()
-                        .expect("one segment per non-empty consumed burst");
-                    let per = u64::from(seg.latency) + u64::from(b.overhead);
-                    let event = SimEvent::SegmentExecuted {
-                        si: b.si,
-                        segment: *seg,
-                        overhead: b.overhead,
-                    };
-                    for &i in &seg_observers {
-                        observers[i].on_event(&event);
-                    }
-                    now = seg.start + seg.count * per;
+        // Sampled *before* the burst: a system that is quiet going in
+        // cannot advance a counter during the burst. One sample also
+        // covers a whole consumed batch: a batch is by contract
+        // event-free, so activity cannot change inside it.
+        watch = watch && system.has_pending_activity();
+        // Fast path: let the backend advance a whole run of bursts in
+        // one step. Consumed bursts process no events, so the polls
+        // they would have made per-burst are skipped as provable
+        // no-ops, and each non-empty one yields exactly one segment.
+        let consumed = system.execute_bursts_batched(&bursts[bi..], now, &mut state.segments);
+        if consumed > 0 {
+            let mut segs = state.segments.iter();
+            for b in &bursts[bi..bi + consumed] {
+                if b.count == 0 {
+                    continue;
                 }
-                bi += consumed;
-                continue;
-            }
-            // Per-burst fallback: an event falls inside (or before) this
-            // burst, so the backend segments it and processes events.
-            let b = &bursts[bi];
-            system.execute_burst_into(b.si, b.count, b.overhead, now, &mut segments);
-            for seg in &segments {
+                let seg = segs
+                    .next()
+                    .expect("one segment per non-empty consumed burst");
                 let per = u64::from(seg.latency) + u64::from(b.overhead);
                 let event = SimEvent::SegmentExecuted {
                     si: b.si,
                     segment: *seg,
                     overhead: b.overhead,
                 };
-                for &i in &seg_observers {
+                for &i in &state.seg_observers {
                     observers[i].on_event(&event);
                 }
                 now = seg.start + seg.count * per;
             }
-            if watch {
-                poll_loads(system, &mut loads_seen, now, observers);
-                if recovery_active {
-                    poll_recovery(system, &mut recovery_seen, now, observers);
-                }
-                if telemetry_active {
-                    poll_telemetry(system, &mut decisions, &mut journal, observers);
-                }
+            bi += consumed;
+            continue;
+        }
+        // Per-burst fallback: an event falls inside (or before) this
+        // burst, so the backend segments it and processes events.
+        let b = &bursts[bi];
+        system.execute_burst_into(b.si, b.count, b.overhead, now, &mut state.segments);
+        for seg in &state.segments {
+            let per = u64::from(seg.latency) + u64::from(b.overhead);
+            let event = SimEvent::SegmentExecuted {
+                si: b.si,
+                segment: *seg,
+                overhead: b.overhead,
+            };
+            for &i in &state.seg_observers {
+                observers[i].on_event(&event);
             }
-            bi += 1;
+            now = seg.start + seg.count * per;
         }
-        system.exit_hot_spot(now);
-        if recovery_active {
-            poll_recovery(system, &mut recovery_seen, now, observers);
+        if watch {
+            poll_loads(system, &mut state.loads_seen, now, observers);
+            if state.recovery_active {
+                poll_recovery(system, &mut state.recovery_seen, now, observers);
+            }
+            if state.telemetry_active {
+                poll_telemetry(system, &mut state.decisions, &mut state.journal, observers);
+            }
         }
-        if telemetry_active {
-            poll_telemetry(system, &mut decisions, &mut journal, observers);
-        }
+        bi += 1;
     }
+    system.exit_hot_spot(now);
+    if state.recovery_active {
+        poll_recovery(system, &mut state.recovery_seen, now, observers);
+    }
+    if state.telemetry_active {
+        poll_telemetry(system, &mut state.decisions, &mut state.journal, observers);
+    }
+    now
+}
+
+/// The replay tail: final load/recovery polls at cycle `now` and the
+/// [`SimEvent::RunFinished`] emission. `total_cycles` is reported in the
+/// event — equal to `now` for a solo replay, the tenant's *consumed*
+/// cycles in a multi-tenant one.
+pub(crate) fn finish_replay(
+    system: &mut dyn ExecutionSystem,
+    now: u64,
+    total_cycles: u64,
+    state: &mut ReplayState,
+    observers: &mut [&mut (dyn SimObserver + '_)],
+) {
     let (loads, cycles) = system.reconfiguration_stats();
-    if loads > loads_seen {
+    if loads > state.loads_seen {
         emit(
             observers,
             SimEvent::LoadCompleted {
-                completed: loads - loads_seen,
+                completed: loads - state.loads_seen,
                 total: loads,
                 now,
             },
         );
+        state.loads_seen = loads;
     }
-    if recovery_active {
-        poll_recovery(system, &mut recovery_seen, now, observers);
+    if state.recovery_active {
+        poll_recovery(system, &mut state.recovery_seen, now, observers);
     }
     emit(
         observers,
         SimEvent::RunFinished {
-            total_cycles: now,
+            total_cycles,
             reconfigurations: loads,
             reconfiguration_cycles: cycles,
         },

@@ -84,7 +84,7 @@ pub fn latency_timeline_csv(stats: &RunStats, library: &SiLibrary) -> String {
 /// Version of the JSONL event-log schema emitted by [`event_log_jsonl`].
 /// Bumped whenever a field or variant changes shape; consumers check the
 /// `{"event":"schema","schema_version":N}` header line.
-pub const EVENT_LOG_SCHEMA_VERSION: u32 = 2;
+pub const EVENT_LOG_SCHEMA_VERSION: u32 = 3;
 
 /// Appends the JSONL schema-header line (the first line of every event
 /// log) to `out`.
@@ -191,6 +191,34 @@ pub fn write_event_jsonl(out: &mut String, event: &SimEvent) {
             let _ = writeln!(
                 out,
                 r#"{{"event":"degraded_to_software","count":{count},"total":{total},"now":{now}}}"#
+            );
+        }
+        SimEvent::TenantSwitched { tenant, now } => {
+            let _ = writeln!(
+                out,
+                r#"{{"event":"tenant_switched","tenant":{tenant},"now":{now}}}"#
+            );
+        }
+        SimEvent::AtomShared {
+            tenant,
+            count,
+            total,
+            now,
+        } => {
+            let _ = writeln!(
+                out,
+                r#"{{"event":"atom_shared","tenant":{tenant},"count":{count},"total":{total},"now":{now}}}"#
+            );
+        }
+        SimEvent::EvictionContested {
+            tenant,
+            count,
+            total,
+            now,
+        } => {
+            let _ = writeln!(
+                out,
+                r#"{{"event":"eviction_contested","tenant":{tenant},"count":{count},"total":{total},"now":{now}}}"#
             );
         }
         SimEvent::Decision(d) => {
@@ -549,6 +577,31 @@ mod tests {
                 }),
                 "container_transition",
                 &["kind", "container", "at"],
+            ),
+            (
+                SimEvent::TenantSwitched { tenant: 1, now: 94 },
+                "tenant_switched",
+                &["tenant", "now"],
+            ),
+            (
+                SimEvent::AtomShared {
+                    tenant: 1,
+                    count: 2,
+                    total: 5,
+                    now: 95,
+                },
+                "atom_shared",
+                &["tenant", "count", "total", "now"],
+            ),
+            (
+                SimEvent::EvictionContested {
+                    tenant: 0,
+                    count: 1,
+                    total: 3,
+                    now: 96,
+                },
+                "eviction_contested",
+                &["tenant", "count", "total", "now"],
             ),
             (
                 SimEvent::RunFinished {

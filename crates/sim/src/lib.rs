@@ -58,6 +58,7 @@ mod backend;
 mod baseline;
 mod engine;
 pub mod export;
+mod multi;
 mod observer;
 mod stats;
 mod sweep;
@@ -67,6 +68,10 @@ mod trace;
 pub use backend::{ExecutionSystem, RisppBackend, SoftwareBackend};
 pub use baseline::{molen_select, MolenSystem};
 pub use engine::{simulate, simulate_observed, simulate_with, FaultConfig, SimConfig, SystemKind};
+pub use multi::{
+    simulate_multi, simulate_multi_observed, MultiRunStats, TenancyConfig, TenantArbitration,
+    TenantHandle, TenantPolicy,
+};
 pub use observer::{
     HotSpotOrigin, ProgressObserver, SimEvent, SimObserver, TraceLogObserver,
 };

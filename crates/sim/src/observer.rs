@@ -115,6 +115,39 @@ pub enum SimEvent {
     /// (emitted only when [`SimConfig::journal`](crate::SimConfig) is on).
     /// Each entry carries its own exact cycle.
     ContainerTransition(FabricJournalEntry),
+    /// The multi-tenant engine switched the active tenant (emitted into
+    /// the switched-to tenant's stream at the start of its slice; never
+    /// emitted by single-tenant runs).
+    TenantSwitched {
+        /// The tenant now running.
+        tenant: u16,
+        /// Cycle (on that tenant's clock) at which the slice starts.
+        now: u64,
+    },
+    /// A tenant's plan found atoms it needs already loaded by co-tenants
+    /// (cross-app reuse under a shared fabric).
+    AtomShared {
+        /// The tenant whose plan reused foreign atoms.
+        tenant: u16,
+        /// Foreign atoms reused since the previous event.
+        count: u64,
+        /// Cumulative foreign atoms reused by this tenant.
+        total: u64,
+        /// Replay cycle at which the advance was observed.
+        now: u64,
+    },
+    /// Loads evicted atoms owned by a different application (contested
+    /// evictions on a shared fabric).
+    EvictionContested {
+        /// The tenant whose activity the evictions are attributed to.
+        tenant: u16,
+        /// Contested evictions since the previous event.
+        count: u64,
+        /// Cumulative contested evictions attributed to this tenant.
+        total: u64,
+        /// Replay cycle at which the advance was observed.
+        now: u64,
+    },
     /// The trace is fully replayed.
     RunFinished {
         /// Total execution time in cycles.
@@ -199,8 +232,15 @@ impl SimObserver for RunStats {
             SimEvent::DegradedToSoftware { total, .. } => {
                 self.degraded_to_software = *total;
             }
+            SimEvent::AtomShared { total, .. } => {
+                self.atoms_shared = *total;
+            }
+            SimEvent::EvictionContested { total, .. } => {
+                self.evictions_contested = *total;
+            }
             SimEvent::HotSpotEntered { .. }
             | SimEvent::LoadCompleted { .. }
+            | SimEvent::TenantSwitched { .. }
             | SimEvent::Decision(_)
             | SimEvent::ContainerTransition(_) => {}
         }

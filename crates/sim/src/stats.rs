@@ -55,6 +55,13 @@ pub struct RunStats {
     /// Reconfiguration-port cycles wasted on loads that never became
     /// usable.
     pub fault_cycles_lost: u64,
+    /// Foreign atoms this tenant's plans found already loaded by
+    /// co-tenants (cross-app reuse on a shared multi-tenant fabric). Zero
+    /// in every single-tenant run.
+    pub atoms_shared: u64,
+    /// Contested evictions attributed to this tenant (its loads evicted
+    /// atoms owned by a co-tenant). Zero in every single-tenant run.
+    pub evictions_contested: u64,
 }
 
 impl RunStats {
@@ -89,6 +96,8 @@ impl RunStats {
             containers_quarantined: 0,
             degraded_to_software: 0,
             fault_cycles_lost: 0,
+            atoms_shared: 0,
+            evictions_contested: 0,
         }
     }
 

@@ -207,6 +207,32 @@ impl SimObserver for MetricsObserver {
                 self.registry
                     .counter_add("rispp_degraded_to_software_total", *count);
             }
+            // Multi-tenant counters carry the application as a label, so a
+            // merged snapshot keeps the per-app breakdown.
+            SimEvent::TenantSwitched { tenant, .. } => {
+                self.labelled_counter_add(
+                    "rispp_tenant_switches_total",
+                    "tenant",
+                    u64::from(*tenant),
+                    1,
+                );
+            }
+            SimEvent::AtomShared { tenant, count, .. } => {
+                self.labelled_counter_add(
+                    "rispp_atoms_shared_total",
+                    "tenant",
+                    u64::from(*tenant),
+                    *count,
+                );
+            }
+            SimEvent::EvictionContested { tenant, count, .. } => {
+                self.labelled_counter_add(
+                    "rispp_evictions_contested_total",
+                    "tenant",
+                    u64::from(*tenant),
+                    *count,
+                );
+            }
             SimEvent::Decision(decision) => {
                 self.registry.counter_add("rispp_decisions_total", 1);
                 let upgrades = decision
@@ -288,6 +314,9 @@ const PID_CONTAINERS: u64 = 1;
 const PID_SIS: u64 = 2;
 /// Track group for run-time decisions and hot-spot markers.
 const PID_DECISIONS: u64 = 3;
+/// Track group for tenants of a multi-application run (one track per
+/// application, populated only when the stream carries tenant events).
+const PID_TENANTS: u64 = 4;
 
 /// An open span on a container track.
 #[derive(Debug, Clone, Copy)]
@@ -314,6 +343,10 @@ pub struct PerfettoTraceObserver {
     spans: Vec<Option<ContainerSpan>>,
     container_named: Vec<bool>,
     si_named: Vec<bool>,
+    tenant_named: Vec<bool>,
+    /// The tenant slice currently occupying the substrate, as
+    /// `(tenant, slice-start-cycle)`.
+    tenant_span: Option<(u16, u64)>,
     /// Scratch buffers for track names and pre-rendered args objects.
     name: String,
     args: String,
@@ -333,11 +366,14 @@ impl PerfettoTraceObserver {
         trace.process_name(PID_CONTAINERS, "Atom Containers");
         trace.process_name(PID_SIS, "Special Instructions");
         trace.process_name(PID_DECISIONS, "Run-time decisions");
+        trace.process_name(PID_TENANTS, "Tenants");
         PerfettoTraceObserver {
             trace,
             spans: Vec::new(),
             container_named: Vec::new(),
             si_named: Vec::new(),
+            tenant_named: Vec::new(),
+            tenant_span: None,
             name: String::new(),
             args: String::new(),
         }
@@ -427,6 +463,33 @@ impl PerfettoTraceObserver {
 
     fn open_span(&mut self, container: u16, span: ContainerSpan) {
         self.spans[usize::from(container)] = Some(span);
+    }
+
+    fn ensure_tenant(&mut self, tenant: u16) {
+        let i = usize::from(tenant);
+        if self.tenant_named.len() <= i {
+            self.tenant_named.resize(i + 1, false);
+        }
+        if !self.tenant_named[i] {
+            self.tenant_named[i] = true;
+            self.name.clear();
+            let _ = write!(self.name, "T{tenant}");
+            self.trace
+                .thread_name(PID_TENANTS, u64::from(tenant), &self.name);
+        }
+    }
+
+    /// Closes the active tenant slice span (if any) at cycle `at`.
+    fn close_tenant_span(&mut self, at: u64) {
+        if let Some((tenant, since)) = self.tenant_span.take() {
+            self.trace.complete(
+                PID_TENANTS,
+                u64::from(tenant),
+                "active",
+                since,
+                at.saturating_sub(since),
+            );
+        }
     }
 }
 
@@ -580,16 +643,48 @@ impl SimObserver for PerfettoTraceObserver {
                     self.open_span(container.0, ContainerSpan::Quarantined { since: at });
                 }
             },
+            SimEvent::TenantSwitched { tenant, now } => {
+                self.ensure_tenant(*tenant);
+                self.close_tenant_span(*now);
+                self.tenant_span = Some((*tenant, *now));
+            }
+            SimEvent::AtomShared { tenant, count, now, .. } if *count > 0 => {
+                self.ensure_tenant(*tenant);
+                self.args.clear();
+                let _ = write!(self.args, "{{\"count\":{count}}}");
+                self.trace.instant_with_args(
+                    PID_TENANTS,
+                    u64::from(*tenant),
+                    "atoms shared",
+                    *now,
+                    Some(&self.args),
+                );
+            }
+            SimEvent::EvictionContested { tenant, count, now, .. } if *count > 0 => {
+                self.ensure_tenant(*tenant);
+                self.args.clear();
+                let _ = write!(self.args, "{{\"count\":{count}}}");
+                self.trace.instant_with_args(
+                    PID_TENANTS,
+                    u64::from(*tenant),
+                    "contested eviction",
+                    *now,
+                    Some(&self.args),
+                );
+            }
             SimEvent::RunFinished { total_cycles, .. } => {
                 for container in 0..self.spans.len() {
                     self.close_span(container as u16, *total_cycles);
                 }
+                self.close_tenant_span(*total_cycles);
             }
             SimEvent::LoadCompleted { .. }
             | SimEvent::FaultInjected { .. }
             | SimEvent::LoadRetried { .. }
             | SimEvent::ContainerQuarantined { .. }
-            | SimEvent::DegradedToSoftware { .. } => {}
+            | SimEvent::DegradedToSoftware { .. }
+            | SimEvent::AtomShared { .. }
+            | SimEvent::EvictionContested { .. } => {}
         }
     }
 }

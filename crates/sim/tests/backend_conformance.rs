@@ -11,7 +11,8 @@ use rispp_model::{
 use rispp_monitor::HotSpotId;
 use rispp_sim::{
     simulate, simulate_with, Burst, ExecutionSystem, FaultConfig, Invocation, RunStats, SimConfig,
-    SimEvent, SimObserver, SoftwareBackend, SystemKind, Trace, TraceLogObserver,
+    simulate_multi, simulate_multi_observed, SimEvent, SimObserver, SoftwareBackend, SystemKind,
+    TenancyConfig, TenantArbitration, TenantPolicy, Trace, TraceLogObserver,
     DEFAULT_BUCKET_CYCLES,
 };
 
@@ -395,4 +396,99 @@ fn injected_custom_backend_runs_through_the_engine() {
     assert!((stats.hardware_fraction() - 1.0).abs() < f64::EPSILON);
     // 2 frames × (500 + 300·115 + 120·115) cycles.
     assert_eq!(stats.total_cycles, 2 * (500 + 420 * 115));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant arbiter: the K=1 path must be the classic single-owner path.
+// ---------------------------------------------------------------------------
+
+/// Every configuration worth pinning for the K=1 equivalence: the full
+/// `all_configs` matrix plus faulted and explain/journal RISPP runs.
+fn equivalence_configs() -> Vec<SimConfig> {
+    let mut configs = all_configs();
+    configs.push(SimConfig::rispp(4, SchedulerKind::Hef).with_fault(FaultConfig {
+        rate_ppm: 60_000,
+        seed: 0x5EED_CAFE,
+        max_retries: 2,
+    }));
+    configs.push(
+        SimConfig::rispp(4, SchedulerKind::Asf)
+            .with_explain(true)
+            .with_journal(true),
+    );
+    for kind in SchedulerKind::ALL {
+        configs.push(SimConfig::rispp(3, kind).with_detail(true));
+    }
+    configs
+}
+
+#[test]
+fn single_tenant_arbiter_stats_are_bit_identical_to_solo_path() {
+    let lib = library();
+    let t = trace(4);
+    let traces = [t.clone()];
+    for config in equivalence_configs() {
+        let solo = simulate(&lib, &t, &config);
+        for policy in [TenantPolicy::Shared, TenantPolicy::Partitioned] {
+            for arbitration in [
+                TenantArbitration::RoundRobin,
+                TenantArbitration::CycleInterleaved,
+            ] {
+                let cfg = config.with_tenants(TenancyConfig {
+                    count: 1,
+                    policy,
+                    arbitration,
+                });
+                let multi = simulate_multi(&lib, &traces, &cfg);
+                assert_eq!(multi.per_tenant.len(), 1);
+                assert_eq!(
+                    multi.per_tenant[0],
+                    solo,
+                    "{} {policy:?}/{arbitration:?}: K=1 arbiter diverged",
+                    config.system.label()
+                );
+                assert_eq!(multi.aggregate_cycles, solo.total_cycles);
+                assert_eq!(multi.makespan_cycles, solo.total_cycles);
+                assert_eq!(multi.atoms_shared, 0);
+                assert_eq!(multi.evictions_contested, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn single_tenant_arbiter_event_stream_is_bit_identical_to_solo_path() {
+    let lib = library();
+    let t = trace(4);
+    for config in equivalence_configs() {
+        let mut solo_log = TraceLogObserver::new();
+        {
+            let mut system = config.build_system(&lib);
+            let mut observers: [&mut dyn SimObserver; 1] = [&mut solo_log];
+            simulate_with(system.as_mut(), &t, &mut observers);
+        }
+        for policy in [TenantPolicy::Shared, TenantPolicy::Partitioned] {
+            let cfg = config.with_tenants(TenancyConfig {
+                count: 1,
+                policy,
+                arbitration: TenantArbitration::RoundRobin,
+            });
+            let mut multi_log = TraceLogObserver::new();
+            {
+                let mut observers: [&mut dyn SimObserver; 1] = [&mut multi_log];
+                let _ = simulate_multi_observed(
+                    &lib,
+                    std::slice::from_ref(&t),
+                    &cfg,
+                    &mut observers,
+                );
+            }
+            assert_eq!(
+                solo_log.events(),
+                multi_log.events(),
+                "{} {policy:?}: K=1 event stream diverged",
+                config.system.label()
+            );
+        }
+    }
 }

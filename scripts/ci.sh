@@ -29,6 +29,10 @@ fi
 for tier in $tiers; do
   echo "    RISPP_KERNEL_TIER=$tier"
   RISPP_KERNEL_TIER="$tier" cargo test -q -p rispp-model --test tier_equivalence >/dev/null
+  # Backend conformance includes the K=1 arbiter bit-identity suite; the
+  # single-tenant multiplexed path must match the classic path on every
+  # kernel tier, not just the dispatcher's pick.
+  RISPP_KERNEL_TIER="$tier" cargo test -q -p rispp-sim --test backend_conformance >/dev/null
 done
 
 echo "==> fault-sweep smoke (rispp-cli resilience)"
@@ -42,6 +46,21 @@ faults=$(echo "$smoke" | cut -d, -f4)
 quarantined=$(echo "$smoke" | cut -d, -f6)
 if [ "${faults:-0}" -eq 0 ] || [ "${quarantined:-0}" -eq 0 ]; then
   echo "ci: resilience smoke failed — expected nonzero faults and quarantines, got $smoke" >&2
+  exit 1
+fi
+
+echo "==> contention smoke (rispp-cli contend, 2 tenants, both policies)"
+# Two phase-shifted tenants on one small fabric must contend for real:
+# the shared policy has to report contested evictions, the partitioned
+# policy must report exactly zero (hard isolation), and the sweep must
+# exit cleanly.
+contend_csv=$(./target/release/rispp-cli contend --frames 2 --apps 2 \
+              --from 8 --to 8 --csv | tail -n +2)
+echo "$contend_csv" | sed 's/^/    /'
+shared_contested=$(echo "$contend_csv" | awk -F, '$2=="shared"{s+=$8} END{print s+0}')
+part_contested=$(echo "$contend_csv" | awk -F, '$2=="partitioned"{s+=$8} END{print s+0}')
+if [ "$shared_contested" -eq 0 ] || [ "$part_contested" -ne 0 ]; then
+  echo "ci: contention smoke failed — shared contested=$shared_contested (want >0), partitioned contested=$part_contested (want 0)" >&2
   exit 1
 fi
 
