@@ -1,0 +1,288 @@
+//! Benchmarks the `rispp-serve` daemon core: sustained job throughput
+//! with p50/p99 latency on a warm trace cache, plus a queue-capacity
+//! sweep demonstrating monotone backpressure (larger queues reject
+//! strictly less of a fixed offered burst).
+//!
+//! Usage: `serve_bench [frames] [--json [PATH]]` (default 3 frames).
+//! With `--json` a machine-readable record is written to `PATH`
+//! (default `BENCH_serve.json`).
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rispp_core::SchedulerKind;
+use rispp_h264::h264_si_library;
+use rispp_model::SiId;
+use rispp_monitor::HotSpotId;
+use rispp_serve::{encode_trace, JobSpec, JobStatus, Server, ServerConfig, SubmitResult};
+use rispp_sim::{Burst, Invocation, SimConfig, SweepRunner, Trace};
+use rispp_telemetry::Metric;
+
+/// Jobs measured in the sustained-throughput phase.
+const THROUGHPUT_JOBS: usize = 96;
+/// Outstanding-submission window for the closed throughput loop.
+const WINDOW: usize = 32;
+/// Burst offered to every queue capacity in the backpressure sweep.
+const SWEEP_OFFERED: usize = 64;
+const SWEEP_CAPACITIES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+fn job(id: String, containers: u16, trace_payload: String) -> JobSpec {
+    JobSpec {
+        id,
+        config: SimConfig::rispp(containers, SchedulerKind::Hef),
+        trace_payload,
+        deadline_ms: None,
+        chaos_panics: 0,
+    }
+}
+
+/// A long-running inline trace: occupies a worker until cancelled, so a
+/// sweep burst meets a deterministically full worker pool.
+fn blocker_payload() -> String {
+    let trace = Trace::from_invocations(
+        (0..500_000)
+            .map(|_| Invocation {
+                hot_spot: HotSpotId(0),
+                prologue_cycles: 10,
+                bursts: vec![Burst {
+                    si: SiId(0),
+                    count: 40,
+                    overhead: 2,
+                }],
+                hints: vec![(SiId(0), 40)],
+            })
+            .collect(),
+    );
+    encode_trace(&trace)
+}
+
+/// Tiny inline trace for sweep-burst jobs: admission cost dominates.
+fn tiny_payload() -> String {
+    encode_trace(&Trace::from_invocations(vec![Invocation {
+        hot_spot: HotSpotId(0),
+        prologue_cycles: 10,
+        bursts: vec![Burst {
+            si: SiId(0),
+            count: 100,
+            overhead: 2,
+        }],
+        hints: vec![(SiId(0), 100)],
+    }]))
+}
+
+struct Throughput {
+    workers: usize,
+    wall_s: f64,
+    jobs_per_s: f64,
+    p50_ms: u64,
+    p99_ms: u64,
+}
+
+/// Closed-loop throughput on a warm cache: at most [`WINDOW`] jobs
+/// outstanding, fig7-shaped configs cycling the container ladder.
+fn throughput_phase(frames: u32) -> Throughput {
+    let workers = SweepRunner::from_env().threads();
+    let server = Server::start(
+        h264_si_library(),
+        ServerConfig {
+            workers,
+            queue_capacity: WINDOW + 1,
+            ..ServerConfig::default()
+        },
+    );
+    let payload = format!("fig7:{frames}");
+
+    // Warm the trace cache (fig7 generation is the expensive path).
+    let SubmitResult::Enqueued(warm) = server.submit(job("warm".into(), 15, payload.clone()))
+    else {
+        panic!("warmup refused");
+    };
+    assert_eq!(warm.outcome.recv().expect("warmup").status, JobStatus::Completed);
+
+    let started = Instant::now();
+    let mut outstanding = VecDeque::new();
+    for i in 0..THROUGHPUT_JOBS {
+        let containers = 4 + (i % 12) as u16;
+        match server.submit(job(format!("job-{i}"), containers, payload.clone())) {
+            SubmitResult::Enqueued(t) => outstanding.push_back(t),
+            SubmitResult::Refused(o) => panic!("job-{i} refused: {:?}", o.status),
+        }
+        if outstanding.len() >= WINDOW {
+            let t: rispp_serve::JobTicket = outstanding.pop_front().expect("window");
+            assert_eq!(t.outcome.recv().expect("outcome").status, JobStatus::Completed);
+        }
+    }
+    for t in outstanding {
+        assert_eq!(t.outcome.recv().expect("outcome").status, JobStatus::Completed);
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let snapshot = server.metrics_snapshot();
+    let (p50_ms, p99_ms) = match snapshot.get("rispp_serve_job_latency_ms") {
+        Some(Metric::Histogram(h)) => (
+            h.quantile(0.5).unwrap_or(0),
+            h.quantile(0.99).unwrap_or(0),
+        ),
+        _ => (0, 0),
+    };
+    server.await_drained();
+    Throughput {
+        workers,
+        wall_s,
+        jobs_per_s: THROUGHPUT_JOBS as f64 / wall_s,
+        p50_ms,
+        p99_ms,
+    }
+}
+
+struct SweepPoint {
+    capacity: usize,
+    accepted: usize,
+    rejected: usize,
+}
+
+/// Offers a fixed burst to a server whose workers are pinned on
+/// blockers: accepted == queue capacity, so rejections fall strictly as
+/// the queue grows — the backpressure curve.
+fn backpressure_sweep() -> Vec<SweepPoint> {
+    let blocker = blocker_payload();
+    let tiny = tiny_payload();
+    SWEEP_CAPACITIES
+        .iter()
+        .map(|&capacity| {
+            let workers = 2;
+            let server = Server::start(
+                h264_si_library(),
+                ServerConfig {
+                    workers,
+                    queue_capacity: capacity,
+                    ..ServerConfig::default()
+                },
+            );
+            // Pin every worker on a blocker before offering the burst.
+            let blockers: Vec<_> = (0..workers)
+                .map(|i| {
+                    match server.submit(job(format!("blocker-{i}"), 2, blocker.clone())) {
+                        SubmitResult::Enqueued(t) => t,
+                        SubmitResult::Refused(o) => panic!("blocker refused: {:?}", o.status),
+                    }
+                })
+                .collect();
+            while server.inflight() < workers {
+                std::thread::yield_now();
+            }
+
+            let mut accepted = Vec::new();
+            let mut rejected = 0usize;
+            for i in 0..SWEEP_OFFERED {
+                match server.submit(job(format!("burst-{i}"), 4, tiny.clone())) {
+                    SubmitResult::Enqueued(t) => accepted.push(t),
+                    SubmitResult::Refused(o) => {
+                        assert!(
+                            matches!(o.status, JobStatus::Rejected { .. }),
+                            "unexpected refusal: {:?}",
+                            o.status
+                        );
+                        rejected += 1;
+                    }
+                }
+            }
+            for t in &blockers {
+                t.cancel.cancel();
+            }
+            for t in blockers.into_iter().chain(accepted.drain(..)) {
+                let _ = t.outcome.recv();
+            }
+            let point = SweepPoint {
+                capacity,
+                accepted: SWEEP_OFFERED - rejected,
+                rejected,
+            };
+            server.await_drained();
+            point
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut frames: u32 = 3;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--json" {
+            let path = args.get(i + 1).filter(|a| !a.starts_with("--")).cloned();
+            if path.is_some() {
+                i += 1;
+            }
+            json_path = Some(path.unwrap_or_else(|| "BENCH_serve.json".to_string()));
+        } else if let Ok(n) = args[i].parse() {
+            frames = n;
+        } else {
+            eprintln!("usage: serve_bench [frames] [--json [PATH]]");
+            std::process::exit(2);
+        }
+        i += 1;
+    }
+
+    eprintln!("throughput phase: {THROUGHPUT_JOBS} fig7:{frames} jobs, window {WINDOW}...");
+    let throughput = throughput_phase(frames);
+    println!(
+        "sustained: {:.1} jobs/s on {} workers ({} jobs in {:.3} s), latency p50 <= {} ms, p99 <= {} ms",
+        throughput.jobs_per_s,
+        throughput.workers,
+        THROUGHPUT_JOBS,
+        throughput.wall_s,
+        throughput.p50_ms,
+        throughput.p99_ms
+    );
+
+    eprintln!("backpressure sweep: burst of {SWEEP_OFFERED} vs queue capacities {SWEEP_CAPACITIES:?}...");
+    let sweep = backpressure_sweep();
+    println!("  capacity  accepted  rejected");
+    for p in &sweep {
+        println!("  {:>8}  {:>8}  {:>8}", p.capacity, p.accepted, p.rejected);
+    }
+    let monotone = sweep.windows(2).all(|w| w[1].rejected < w[0].rejected);
+    println!(
+        "monotone backpressure (rejections strictly fall with capacity): {}",
+        if monotone { "yes" } else { "NO" }
+    );
+
+    if let Some(path) = json_path {
+        let mut points = String::new();
+        for (i, p) in sweep.iter().enumerate() {
+            let _ = write!(
+                points,
+                "{}    {{\"queue_capacity\": {}, \"offered\": {SWEEP_OFFERED}, \"accepted\": {}, \"rejected\": {}}}",
+                if i == 0 { "" } else { ",\n" },
+                p.capacity,
+                p.accepted,
+                p.rejected
+            );
+        }
+        let json = format!(
+            "{{\n  \"benchmark\": \"serve_daemon\",\n  \"frames\": {frames},\n  \
+             \"workers\": {},\n  \"jobs\": {THROUGHPUT_JOBS},\n  \"window\": {WINDOW},\n  \
+             \"wall_clock_s\": {:.6},\n  \"jobs_per_s\": {:.3},\n  \
+             \"latency_p50_ms\": {},\n  \"latency_p99_ms\": {},\n  \
+             \"monotone_backpressure\": {monotone},\n  \"backpressure_sweep\": [\n{points}\n  ]\n}}\n",
+            throughput.workers,
+            throughput.wall_s,
+            throughput.jobs_per_s,
+            throughput.p50_ms,
+            throughput.p99_ms,
+        );
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if !monotone {
+        std::process::exit(1);
+    }
+}

@@ -16,7 +16,7 @@ use rispp_telemetry::JsonValue;
 
 use crate::args::Options;
 
-fn fail(message: &str) -> ExitCode {
+pub(crate) fn fail(message: &str) -> ExitCode {
     eprintln!("error: {message}");
     ExitCode::FAILURE
 }
@@ -39,7 +39,7 @@ impl SimObserver for DecisionLog {
 
 /// Writes `contents` to `path`, treating `.prom`/`.txt` suffixes on a
 /// metrics path as a request for the Prometheus text format.
-fn write_metrics(path: &str, snapshot: &rispp_telemetry::MetricsSnapshot) -> Result<(), String> {
+pub(crate) fn write_metrics(path: &str, snapshot: &rispp_telemetry::MetricsSnapshot) -> Result<(), String> {
     let text = if path.ends_with(".prom") || path.ends_with(".txt") {
         snapshot.to_prometheus_text()
     } else {
@@ -48,21 +48,37 @@ fn write_metrics(path: &str, snapshot: &rispp_telemetry::MetricsSnapshot) -> Res
     std::fs::write(path, text).map_err(|e| format!("cannot write metrics `{path}`: {e}"))
 }
 
-/// Parses the shared fault-injection options `--fault-rate RATE`
-/// (probability in `[0, 1]`), `--fault-seed SEED` and `--max-retries N`.
-/// Returns `None` when `--fault-rate` is absent, so runs without the flag
-/// stay bit-identical to builds that predate fault injection.
-fn fault_options(options: &Options) -> Result<Option<FaultConfig>, String> {
-    let Some(raw) = options.value("fault-rate") else {
-        return Ok(None);
-    };
+/// Parses and validates a `--fault-rate` value. The rate is a probability
+/// in `[0, 1]` that expands to integer parts-per-million inside
+/// [`rispp_fabric::fault::FaultModel`]; anything above 1 would silently
+/// saturate at [`rispp_fabric::fault::PPM`] (1,000,000 ppm = certainty)
+/// deep in the model, so the CLI rejects it up front with the ceiling
+/// spelled out. Shared by every fault-injecting subcommand (`simulate`,
+/// `resilience`, `serve` job specs) so they all fail identically.
+fn parse_fault_rate(raw: &str) -> Result<f64, String> {
     let rate: f64 = raw
         .parse()
         .map_err(|_| format!("invalid value `{raw}` for --fault-rate"))?;
-    if !(0.0..=1.0).contains(&rate) {
-        return Err(format!("--fault-rate must be in [0, 1], got {raw}"));
+    if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+        return Err(format!(
+            "--fault-rate must be a probability in [0, 1] — it scales to parts per million, \
+             capped at {} ppm (= 1.0); got `{raw}` which would silently saturate",
+            rispp_fabric::fault::PPM
+        ));
     }
-    let mut fault = FaultConfig::uniform(rate);
+    Ok(rate)
+}
+
+/// Parses the shared fault-injection options `--fault-rate RATE`
+/// (probability in `[0, 1]`, validated by [`parse_fault_rate`]),
+/// `--fault-seed SEED` and `--max-retries N`. Returns `None` when
+/// `--fault-rate` is absent, so runs without the flag stay bit-identical
+/// to builds that predate fault injection.
+pub(crate) fn fault_options(options: &Options) -> Result<Option<FaultConfig>, String> {
+    let Some(raw) = options.value("fault-rate") else {
+        return Ok(None);
+    };
+    let mut fault = FaultConfig::uniform(parse_fault_rate(raw)?);
     fault.seed = options.number("fault-seed", FaultConfig::DEFAULT_SEED)?;
     fault.max_retries = options.number("max-retries", fault.max_retries)?;
     Ok(Some(fault))
@@ -453,10 +469,9 @@ pub fn resilience(args: &[String]) -> ExitCode {
     };
     let rates: Vec<f64> = match options.value("fault-rate") {
         None => vec![0.0, 0.001, 0.005, 0.01, 0.05, 0.1, 0.25],
-        Some(raw) => match raw.parse::<f64>() {
-            Ok(r) if (0.0..=1.0).contains(&r) => vec![r],
-            Ok(_) => return fail(&format!("--fault-rate must be in [0, 1], got {raw}")),
-            Err(_) => return fail(&format!("invalid value `{raw}` for --fault-rate")),
+        Some(raw) => match parse_fault_rate(raw) {
+            Ok(r) => vec![r],
+            Err(e) => return fail(&e),
         },
     };
     let seed: u64 = match options.number("fault-seed", FaultConfig::DEFAULT_SEED) {
@@ -1003,4 +1018,46 @@ pub fn contend(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_rate_accepts_the_valid_range() {
+        assert_eq!(parse_fault_rate("0").unwrap(), 0.0);
+        assert_eq!(parse_fault_rate("0.05").unwrap(), 0.05);
+        assert_eq!(parse_fault_rate("1").unwrap(), 1.0);
+        assert_eq!(parse_fault_rate("1e-6").unwrap(), 1e-6);
+    }
+
+    #[test]
+    fn fault_rate_rejects_saturating_and_garbage_values() {
+        // Everything above 1.0 would silently clamp to PPM inside the
+        // fault model; the error must name the ceiling instead.
+        for raw in ["1.0001", "2", "1000000", "2000000", "inf", "NaN", "-0.1", "-inf"] {
+            let err = parse_fault_rate(raw).unwrap_err();
+            assert!(
+                err.contains("1000000") && err.contains("[0, 1]"),
+                "{raw}: error must cite the ppm ceiling, got: {err}"
+            );
+        }
+        assert!(parse_fault_rate("half").unwrap_err().contains("invalid value"));
+    }
+
+    #[test]
+    fn fault_options_is_shared_and_validates() {
+        let parse = |args: &[&str]| {
+            let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            Options::parse(&owned).unwrap()
+        };
+        assert!(fault_options(&parse(&[])).unwrap().is_none());
+        let f = fault_options(&parse(&["--fault-rate", "0.25", "--fault-seed", "7"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(f.rate_ppm, 250_000);
+        assert_eq!(f.seed, 7);
+        assert!(fault_options(&parse(&["--fault-rate", "1.5"])).is_err());
+    }
 }

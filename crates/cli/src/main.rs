@@ -1,11 +1,12 @@
 //! `rispp-cli` — command-line interface to the RISPP run-time system.
 //!
 //! Subcommands: `inventory`, `schedule`, `simulate`, `sweep`, `resilience`,
-//! `profile`, `contend`, `check-trace`, `hw`. Run `rispp-cli help` for
-//! details.
+//! `profile`, `contend`, `check-trace`, `hw`, `serve`, `submit`. Run
+//! `rispp-cli help` for details.
 
 mod args;
 mod commands;
+mod serving;
 
 use std::process::ExitCode;
 
@@ -17,7 +18,10 @@ fn main() -> ExitCode {
     // inside the first Molecule operation.
     if matches!(
         argv.first().map(String::as_str),
-        Some("schedule" | "simulate" | "sweep" | "resilience" | "profile" | "contend" | "hw")
+        Some(
+            "schedule" | "simulate" | "sweep" | "resilience" | "profile" | "contend" | "hw"
+                | "serve" | "submit"
+        )
     ) {
         if let Err(e) = rispp_model::init_tier_from_env() {
             eprintln!("error: {e}");
@@ -34,6 +38,8 @@ fn main() -> ExitCode {
         Some("contend") => commands::contend(&argv[1..]),
         Some("check-trace") => commands::check_trace(&argv[1..]),
         Some("hw") => commands::hw(&argv[1..]),
+        Some("serve") => serving::serve(&argv[1..]),
+        Some("submit") => serving::submit(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", HELP);
             ExitCode::SUCCESS
@@ -107,6 +113,27 @@ SUBCOMMANDS:
 
     hw
         The HEF scheduler hardware report (paper Table 3) and FSM timing.
+
+    serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+          [--deadline-ms MS] [--poison-threshold N] [--max-attempts N]
+          [--cache-capacity N] [--metrics-out PATH]
+        Run the persistent job-server daemon: simulation jobs arrive as
+        newline-delimited JSON over TCP, execute on a crash-isolated
+        worker pool and return RunStats bit-identical to `simulate`.
+        Backpressure (bounded queue), per-job deadlines, panic
+        quarantine, warm trace caching, Prometheus metrics over the
+        `metrics` op. SIGTERM drains gracefully: admission stops, every
+        admitted job finishes, then the daemon exits 0.
+
+    submit --addr HOST:PORT [--frames N] [--acs N | --from N --to N]
+           [--scheduler KIND] [--repeat K] [--fault-rate R]
+           [--fault-seed S] [--deadline-ms MS] [--chaos-panics N]
+           [--compare-local] [--shutdown] [--health]
+        Submit a fig7-shaped batch (one job per container count) to a
+        running daemon and print each outcome. --compare-local re-runs
+        every completed job through the batch path and verifies the
+        returned stats are bit-identical; --shutdown asks the daemon to
+        drain afterwards; --health just probes readiness.
 
     help
         Show this message.

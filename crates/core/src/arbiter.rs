@@ -436,7 +436,13 @@ impl<'a> FabricArbiter<'a> {
                             needs_replan = true;
                         } else {
                             let attempt = self.abort_streaks[fi][container.index()];
-                            let delay = self.recovery.backoff_cycles(attempt);
+                            // Salted by (fabric, container) so simultaneous
+                            // aborts on different tiles de-correlate instead
+                            // of retrying as a convoy; with the default
+                            // zero jitter seed this is exactly the classic
+                            // jitterless schedule.
+                            let salt = ((fi as u64) << 32) | container.index() as u64;
+                            let delay = self.recovery.backoff_cycles_salted(attempt, salt);
                             self.fabrics[fi].enqueue_load_app(
                                 owner,
                                 atom,

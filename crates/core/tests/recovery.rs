@@ -63,7 +63,7 @@ fn certain_crc_aborts_exhaust_retries_quarantine_and_degrade() {
         .recovery(RecoveryPolicy {
             max_retries: 2,
             backoff_base_cycles: 256,
-            scrub_on_seu: true,
+            ..RecoveryPolicy::default()
         })
         .build();
     mgr.enter_hot_spot(HotSpotId(0), &[(SiId(0), 400)], 0).unwrap();
@@ -238,4 +238,38 @@ fn forward_progress_under_heavy_faults_for_every_scheduler() {
         assert_eq!(mgr.recovery_stats(), again.recovery_stats(), "{kind}");
         assert_eq!(mgr.fabric().stats(), again.fabric().stats(), "{kind}");
     }
+}
+
+#[test]
+fn jittered_backoff_is_deterministic_across_identical_runs() {
+    let lib = library();
+    // Half the loads abort: the recovery path issues many backoff retries,
+    // now with seeded jitter. Two identical managers must heal identically
+    // — same segments, same fabric stats, same recovery counters.
+    let build = || {
+        RunTimeManager::builder(&lib)
+            .containers(3)
+            .scheduler(SchedulerKind::Hef)
+            .fault_model(FaultModel {
+                seed: 9,
+                crc_abort_ppm: PPM,
+                ..FaultModel::default()
+            })
+            .recovery(RecoveryPolicy {
+                backoff_jitter_seed: 0xDECAF,
+                ..RecoveryPolicy::default()
+            })
+            .build()
+    };
+    let mut a = build();
+    let mut b = build();
+    for mgr in [&mut a, &mut b] {
+        mgr.enter_hot_spot(HotSpotId(0), &[(SiId(0), 500)], 0).unwrap();
+    }
+    let sa = a.execute_burst(SiId(0), 500, 25, 0);
+    let sb = b.execute_burst(SiId(0), 500, 25, 0);
+    assert_eq!(sa, sb, "same jitter seed must give the same schedule");
+    assert_eq!(a.fabric().stats(), b.fabric().stats());
+    assert_eq!(a.recovery_stats(), b.recovery_stats());
+    assert!(a.recovery_stats().load_retries > 0, "run must actually retry");
 }

@@ -1,0 +1,77 @@
+//! SIGTERM/SIGINT → drain-flag plumbing.
+//!
+//! The workspace carries no `libc` crate, so the one POSIX call the
+//! daemon needs — installing a signal handler — is declared by hand.
+//! The handler does the only thing that is async-signal-safe here: a
+//! relaxed store to a static atomic. The daemon's accept loop polls the
+//! flag (it accepts with a non-blocking listener anyway), so handler
+//! semantics like `SA_RESTART` never matter.
+//!
+//! This module is the crate's entire unsafe surface.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has been observed since
+/// [`install_shutdown_flag`] (always `false` before installation or on
+/// non-Unix targets, where nothing is installed).
+#[must_use]
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Test/off-band hook: raises the same flag the signal handler would.
+pub fn request_shutdown() {
+    SHUTDOWN_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Installs handlers for SIGTERM (15) and SIGINT (2) that raise the
+/// drain flag, and returns the flag for polling. On non-Unix targets
+/// this installs nothing and the flag only moves via
+/// [`request_shutdown`].
+#[cfg(unix)]
+#[allow(unsafe_code)]
+pub fn install_shutdown_flag() -> &'static AtomicBool {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN_REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        // POSIX sighandler_t signal(int signum, sighandler_t handler);
+        // where sighandler_t is a pointer-sized void (*)(int).
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    // SAFETY: `on_signal` is an `extern "C" fn(i32)` matching
+    // `sighandler_t`, and its body is a single relaxed atomic store,
+    // which is async-signal-safe.
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+    &SHUTDOWN_REQUESTED
+}
+
+/// Non-Unix stub: returns the flag without installing any handler.
+#[cfg(not(unix))]
+pub fn install_shutdown_flag() -> &'static AtomicBool {
+    &SHUTDOWN_REQUESTED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_shutdown_raises_the_flag() {
+        // Note: the flag is process-global; this test only ever raises
+        // it, matching how the daemon uses it (one-way latch).
+        request_shutdown();
+        assert!(shutdown_requested());
+        assert!(install_shutdown_flag().load(Ordering::Relaxed));
+    }
+}

@@ -1,0 +1,197 @@
+//! Deadline watchdog: one thread, many tickets.
+//!
+//! Workers register a job's absolute deadline together with its
+//! [`CancelToken`]; the watchdog fires expired tickets by cancelling the
+//! token — the replay loop then stops cooperatively at the next
+//! hot-spot or burst-batch boundary. A fired ticket records *why* the
+//! token was cancelled (deadline vs. explicit cancel), which is the only
+//! way the worker can tell `timeout` from `cancelled` in the outcome.
+//!
+//! Registration returns a guard; dropping it (job finished first)
+//! unregisters the ticket, so the watchdog's list only ever holds
+//! in-flight jobs with live deadlines.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use rispp_sim::CancelToken;
+
+struct Ticket {
+    id: u64,
+    deadline: Instant,
+    token: CancelToken,
+    fired: Arc<AtomicBool>,
+}
+
+struct WatchState {
+    tickets: Vec<Ticket>,
+    shutdown: bool,
+}
+
+/// The shared watchdog. Create with [`DeadlineWatchdog::new`], start
+/// the thread with [`DeadlineWatchdog::spawn`].
+pub struct DeadlineWatchdog {
+    state: Mutex<WatchState>,
+    wake: Condvar,
+    next_id: AtomicU64,
+}
+
+impl DeadlineWatchdog {
+    /// Creates an idle watchdog.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(DeadlineWatchdog {
+            state: Mutex::new(WatchState {
+                tickets: Vec::new(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            next_id: AtomicU64::new(0),
+        })
+    }
+
+    /// Spawns the firing thread. Call once; returns the handle to join
+    /// after [`DeadlineWatchdog::shutdown`].
+    pub fn spawn(self: &Arc<Self>) -> std::thread::JoinHandle<()> {
+        let dog = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("rispp-watchdog".into())
+            .spawn(move || dog.run())
+            .expect("spawn watchdog")
+    }
+
+    fn run(&self) {
+        let mut state = self.state.lock().expect("watchdog poisoned");
+        loop {
+            if state.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            state.tickets.retain(|t| {
+                if t.deadline <= now {
+                    t.fired.store(true, Ordering::Release);
+                    t.token.cancel();
+                    false
+                } else {
+                    true
+                }
+            });
+            let sleep = state
+                .tickets
+                .iter()
+                .map(|t| t.deadline.saturating_duration_since(now))
+                .min()
+                .unwrap_or(Duration::from_secs(1));
+            let (next, _) = self
+                .wake
+                .wait_timeout(state, sleep)
+                .expect("watchdog poisoned");
+            state = next;
+        }
+    }
+
+    /// Arms a deadline for `token`. Keep the guard alive for the job's
+    /// duration; drop it on completion to disarm.
+    pub fn register(self: &Arc<Self>, deadline: Instant, token: CancelToken) -> DeadlineGuard {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let fired = Arc::new(AtomicBool::new(false));
+        {
+            let mut state = self.state.lock().expect("watchdog poisoned");
+            state.tickets.push(Ticket {
+                id,
+                deadline,
+                token,
+                fired: Arc::clone(&fired),
+            });
+        }
+        self.wake.notify_one();
+        DeadlineGuard {
+            watchdog: Arc::clone(self),
+            id,
+            fired,
+        }
+    }
+
+    /// Stops the firing thread (join the handle from
+    /// [`DeadlineWatchdog::spawn`] afterwards). Unfired tickets are
+    /// abandoned, not fired.
+    pub fn shutdown(&self) {
+        self.state.lock().expect("watchdog poisoned").shutdown = true;
+        self.wake.notify_all();
+    }
+
+    fn unregister(&self, id: u64) {
+        let mut state = self.state.lock().expect("watchdog poisoned");
+        state.tickets.retain(|t| t.id != id);
+    }
+}
+
+/// Disarms the associated deadline on drop and remembers whether it
+/// fired first.
+pub struct DeadlineGuard {
+    watchdog: Arc<DeadlineWatchdog>,
+    id: u64,
+    fired: Arc<AtomicBool>,
+}
+
+impl DeadlineGuard {
+    /// Whether the watchdog fired this deadline (cancelling the token).
+    #[must_use]
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        self.watchdog.unregister(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expired_deadlines_cancel_their_tokens() {
+        let dog = DeadlineWatchdog::new();
+        let thread = dog.spawn();
+        let token = CancelToken::new();
+        let guard = dog.register(Instant::now() + Duration::from_millis(10), token.clone());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !token.is_cancelled() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(token.is_cancelled(), "watchdog never fired");
+        assert!(guard.fired());
+        dog.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_guards_disarm_the_deadline() {
+        let dog = DeadlineWatchdog::new();
+        let thread = dog.spawn();
+        let token = CancelToken::new();
+        let guard = dog.register(Instant::now() + Duration::from_millis(30), token.clone());
+        drop(guard);
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!token.is_cancelled(), "disarmed deadline must not fire");
+        dog.shutdown();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn far_deadlines_do_not_fire_early() {
+        let dog = DeadlineWatchdog::new();
+        let thread = dog.spawn();
+        let token = CancelToken::new();
+        let guard = dog.register(Instant::now() + Duration::from_secs(60), token.clone());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!token.is_cancelled());
+        assert!(!guard.fired());
+        dog.shutdown();
+        thread.join().unwrap();
+    }
+}

@@ -7,6 +7,7 @@ use rispp_monitor::ForecastPolicy;
 
 use crate::backend::{ExecutionSystem, RisppBackend, SoftwareBackend};
 use crate::baseline::MolenSystem;
+use crate::cancel::{CancelToken, CancellableRun};
 use crate::multi::TenancyConfig;
 use crate::observer::{HotSpotOrigin, SimEvent, SimObserver};
 use crate::stats::{RunStats, DEFAULT_BUCKET_CYCLES};
@@ -400,6 +401,33 @@ pub fn simulate_with(
     finish_replay(system, now, now, &mut state, observers);
 }
 
+/// [`simulate_with`] with cooperative cancellation: the replay checks
+/// `token` at every hot-spot entry and burst-batch boundary and stops
+/// early once it fires. Returns `true` when the trace ran to completion,
+/// `false` when the token cut it short (the observers then saw a partial
+/// event stream, closed by a final [`SimEvent::RunFinished`] at the
+/// cancellation cycle).
+///
+/// A run whose token never fires is bit-identical to [`simulate_with`]:
+/// the only extra work is a relaxed atomic load per boundary.
+pub fn simulate_with_cancellable(
+    system: &mut dyn ExecutionSystem,
+    trace: &Trace,
+    observers: &mut [&mut (dyn SimObserver + '_)],
+    token: &CancelToken,
+) -> bool {
+    let mut state = ReplayState::new(system, observers).with_cancel(token.clone());
+    let mut now = 0u64;
+    for inv in trace.invocations() {
+        now = replay_invocation(system, inv, now, &mut state, observers);
+        if state.cancelled {
+            break;
+        }
+    }
+    finish_replay(system, now, now, &mut state, observers);
+    !state.cancelled
+}
+
 /// Mutable bookkeeping of one trace replay, shared by [`simulate_with`]
 /// and the multi-tenant engine ([`crate::simulate_multi`]): counter
 /// snapshots, reusable buffers, the pre-resolved segment-observer set and
@@ -426,6 +454,13 @@ pub(crate) struct ReplayState {
     // advance.
     recovery_active: bool,
     telemetry_active: bool,
+    // Cooperative cancellation: `None` for classic runs (the boundary
+    // checks reduce to one branch), `Some` when driven through
+    // [`simulate_with_cancellable`]. `cancelled` latches once the token
+    // is observed fired, so callers distinguish complete from cut-short
+    // replays.
+    cancel: Option<CancelToken>,
+    pub(crate) cancelled: bool,
 }
 
 impl ReplayState {
@@ -447,7 +482,25 @@ impl ReplayState {
                 .collect(),
             recovery_active: system.recovery_active(),
             telemetry_active: system.telemetry_active(),
+            cancel: None,
+            cancelled: false,
         }
+    }
+
+    /// Attaches a cancellation token (builder style).
+    pub(crate) fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Samples the token (if any) and latches the cancelled flag.
+    fn poll_cancel(&mut self) -> bool {
+        if !self.cancelled {
+            if let Some(token) = &self.cancel {
+                self.cancelled = token.is_cancelled();
+            }
+        }
+        self.cancelled
     }
 }
 
@@ -462,6 +515,12 @@ pub(crate) fn replay_invocation(
     observers: &mut [&mut (dyn SimObserver + '_)],
 ) -> u64 {
     let mut now = start;
+    // Hot-spot-entry cancellation point: a job cancelled between
+    // invocations stops before planning (and paying for) the next hot
+    // spot.
+    if state.poll_cancel() {
+        return now;
+    }
     emit(
         observers,
         SimEvent::HotSpotEntered {
@@ -492,6 +551,12 @@ pub(crate) fn replay_invocation(
     let bursts = inv.bursts.as_slice();
     let mut bi = 0;
     while bi < bursts.len() {
+        // Burst-batch cancellation point: bounded latency of one batch
+        // (or one burst on the fallback path). The hot spot is still
+        // exited below so the backend stays coherent for diagnostics.
+        if state.poll_cancel() {
+            break;
+        }
         if bursts[bi].count == 0 {
             bi += 1;
             continue;
@@ -646,6 +711,60 @@ pub fn simulate_observed(
 #[must_use]
 pub fn simulate(library: &SiLibrary, trace: &Trace, config: &SimConfig) -> RunStats {
     simulate_observed(library, trace, config, &mut [])
+}
+
+/// [`simulate_observed`] with cooperative cancellation: stops early once
+/// `token` fires (see [`simulate_with_cancellable`] for the boundary
+/// semantics). A run whose token never fires returns statistics
+/// bit-identical to [`simulate_observed`] — same code path, the check just
+/// never triggers.
+///
+/// # Panics
+///
+/// Panics if the trace references SIs outside `library`.
+#[must_use]
+pub fn simulate_observed_cancellable(
+    library: &SiLibrary,
+    trace: &Trace,
+    config: &SimConfig,
+    token: &CancelToken,
+    extra: &mut [&mut (dyn SimObserver + '_)],
+) -> CancellableRun {
+    let mut system = config.build_system(library);
+    let mut stats = RunStats::new(
+        system.label(),
+        library.len(),
+        config.bucket_cycles,
+        config.detail,
+    );
+    let completed = {
+        let mut observers: Vec<&mut (dyn SimObserver + '_)> = Vec::with_capacity(1 + extra.len());
+        observers.push(&mut stats);
+        for obs in extra.iter_mut() {
+            observers.push(&mut **obs);
+        }
+        simulate_with_cancellable(system.as_mut(), trace, &mut observers, token)
+    };
+    CancellableRun {
+        stats,
+        cancelled: !completed,
+    }
+}
+
+/// [`simulate`] with cooperative cancellation — the job-server execution
+/// path. See [`simulate_observed_cancellable`].
+///
+/// # Panics
+///
+/// Panics if the trace references SIs outside `library`.
+#[must_use]
+pub fn simulate_cancellable(
+    library: &SiLibrary,
+    trace: &Trace,
+    config: &SimConfig,
+    token: &CancelToken,
+) -> CancellableRun {
+    simulate_observed_cancellable(library, trace, config, token, &mut [])
 }
 
 #[cfg(test)]
@@ -841,6 +960,77 @@ mod tests {
             );
             assert_eq!(stats.total_executions(), 0, "{}", config.system.label());
         }
+    }
+
+    #[test]
+    fn unfired_token_is_bit_identical_to_plain_simulate() {
+        let lib = library();
+        let t = trace(6);
+        for config in [
+            SimConfig::software_only(),
+            SimConfig::molen(4),
+            SimConfig::rispp(4, SchedulerKind::Hef).with_detail(true),
+            SimConfig::rispp(3, SchedulerKind::Asf),
+        ] {
+            let plain = simulate(&lib, &t, &config);
+            let run = simulate_cancellable(&lib, &t, &config, &CancelToken::new());
+            assert!(!run.cancelled, "{}", config.system.label());
+            assert_eq!(run.stats, plain, "{}", config.system.label());
+        }
+    }
+
+    #[test]
+    fn prefired_token_stops_before_any_execution() {
+        let lib = library();
+        let t = trace(6);
+        let token = CancelToken::new();
+        token.cancel();
+        let run = simulate_cancellable(&lib, &t, &SimConfig::rispp(4, SchedulerKind::Hef), &token);
+        assert!(run.cancelled);
+        assert_eq!(run.stats.total_executions(), 0);
+        assert_eq!(run.stats.total_cycles, 0);
+    }
+
+    #[test]
+    fn mid_run_cancellation_yields_partial_stats() {
+        let lib = library();
+        let t = trace(64);
+        let full = simulate(&lib, &t, &SimConfig::rispp(4, SchedulerKind::Hef));
+
+        // Fire the token from an observer once some executions happened:
+        // the replay must stop at the next boundary, well short of the
+        // full trace.
+        struct FireAfter {
+            token: CancelToken,
+            segments: u32,
+        }
+        impl SimObserver for FireAfter {
+            fn on_event(&mut self, event: &SimEvent) {
+                if matches!(event, SimEvent::SegmentExecuted { .. }) {
+                    self.segments += 1;
+                    if self.segments == 3 {
+                        self.token.cancel();
+                    }
+                }
+            }
+        }
+        let token = CancelToken::new();
+        let mut fire = FireAfter {
+            token: token.clone(),
+            segments: 0,
+        };
+        let mut extra: [&mut dyn SimObserver; 1] = [&mut fire];
+        let run = simulate_observed_cancellable(
+            &lib,
+            &t,
+            &SimConfig::rispp(4, SchedulerKind::Hef),
+            &token,
+            &mut extra,
+        );
+        assert!(run.cancelled);
+        assert!(run.stats.total_executions() > 0);
+        assert!(run.stats.total_executions() < full.total_executions());
+        assert!(run.stats.total_cycles < full.total_cycles);
     }
 
     #[test]

@@ -56,6 +56,7 @@
 
 mod backend;
 mod baseline;
+mod cancel;
 mod engine;
 pub mod export;
 mod multi;
@@ -67,7 +68,11 @@ mod trace;
 
 pub use backend::{ExecutionSystem, RisppBackend, SoftwareBackend};
 pub use baseline::{molen_select, MolenSystem};
-pub use engine::{simulate, simulate_observed, simulate_with, FaultConfig, SimConfig, SystemKind};
+pub use cancel::{CancelToken, CancellableRun};
+pub use engine::{
+    simulate, simulate_cancellable, simulate_observed, simulate_observed_cancellable,
+    simulate_with, simulate_with_cancellable, FaultConfig, SimConfig, SystemKind,
+};
 pub use multi::{
     simulate_multi, simulate_multi_observed, MultiRunStats, TenancyConfig, TenantArbitration,
     TenantHandle, TenantPolicy,

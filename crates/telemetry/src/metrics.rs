@@ -89,6 +89,31 @@ impl Histogram {
         &self.counts
     }
 
+    /// Upper-bound estimate of the `q`-quantile (`q` clamped to
+    /// `[0, 1]`): the upper bound of the first bucket whose cumulative
+    /// count reaches `ceil(q * count)`. Observations in the `+Inf`
+    /// overflow bucket report the largest finite bound (the histogram
+    /// cannot resolve beyond it). Returns `None` for an empty histogram
+    /// or one with no finite bounds.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || self.bounds.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil without floats drifting: rank in [1, count].
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (slot, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                let bound_slot = slot.min(self.bounds.len() - 1);
+                return Some(self.bounds[bound_slot]);
+            }
+        }
+        Some(*self.bounds.last().expect("non-empty bounds"))
+    }
+
     /// Adds `other` into `self` bucket-wise. Both histograms must share
     /// the same bounds (they do when both came from the same metric name).
     pub fn merge(&mut self, other: &Histogram) {
@@ -470,5 +495,33 @@ mod tests {
         let s = r.snapshot();
         assert_eq!(s.to_json(), s.to_json());
         assert!(s.to_json().starts_with("{\"schema_version\":1,\"metrics\":{\"a\""));
+    }
+    #[test]
+    fn quantile_walks_cumulative_buckets() {
+        let mut h = Histogram::new(&[10, 100, 1_000]);
+        assert_eq!(h.quantile(0.5), None);
+        for _ in 0..50 {
+            h.observe(5); // bucket <=10
+        }
+        for _ in 0..40 {
+            h.observe(60); // bucket <=100
+        }
+        for _ in 0..10 {
+            h.observe(600); // bucket <=1000
+        }
+        assert_eq!(h.quantile(0.0), Some(10));
+        assert_eq!(h.quantile(0.5), Some(10));
+        assert_eq!(h.quantile(0.51), Some(100));
+        assert_eq!(h.quantile(0.9), Some(100));
+        assert_eq!(h.quantile(0.99), Some(1_000));
+        assert_eq!(h.quantile(1.0), Some(1_000));
+    }
+
+    #[test]
+    fn quantile_clamps_overflow_to_largest_finite_bound() {
+        let mut h = Histogram::new(&[10]);
+        h.observe(1_000_000); // +Inf bucket
+        assert_eq!(h.quantile(0.5), Some(10));
+        assert_eq!(h.quantile(1.0), Some(10));
     }
 }

@@ -78,6 +78,43 @@ grep -q '"rispp_simulated_cycles_total"' target/ci_metrics.json || {
   exit 1
 }
 
+echo "==> serve smoke (daemon boot, NDJSON batch, SIGTERM drain)"
+# Boot the job-server daemon on an ephemeral port, push a fig7-shaped
+# batch over the socket with --compare-local (the client re-runs every
+# completed job through the batch path and fails on any stats
+# divergence), then SIGTERM the daemon: it must drain gracefully —
+# exit 0 and account for every admitted job (4 completed, nothing
+# lost, duplicated, rejected or dropped).
+./target/release/rispp-cli serve --addr 127.0.0.1:0 --workers 2 \
+  >target/ci_serve.log 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "rispp-serve listening on" target/ci_serve.log 2>/dev/null && break
+  sleep 0.1
+done
+serve_addr=$(grep -m1 "rispp-serve listening on" target/ci_serve.log | awk '{print $NF}')
+if [ -z "${serve_addr:-}" ]; then
+  echo "ci: serve smoke failed — daemon never announced its address" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+./target/release/rispp-cli submit --addr "$serve_addr" --frames 2 \
+  --from 6 --to 9 --compare-local | sed 's/^/    /'
+kill -TERM "$serve_pid"
+serve_rc=0
+wait "$serve_pid" || serve_rc=$?
+if [ "$serve_rc" -ne 0 ]; then
+  echo "ci: serve smoke failed — daemon exited $serve_rc after SIGTERM" >&2
+  exit 1
+fi
+if ! grep -q "drained: 4 completed, 0 rejected, 0 timeouts, 0 cancelled, 0 panicked, 0 poisoned" \
+    target/ci_serve.log; then
+  echo "ci: serve smoke failed — drain summary lost or duplicated jobs:" >&2
+  cat target/ci_serve.log >&2
+  exit 1
+fi
+echo "    $(grep -m1 'drained:' target/ci_serve.log)"
+
 echo "==> cargo bench --no-run --workspace"
 cargo bench --no-run --workspace
 
