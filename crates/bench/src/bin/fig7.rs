@@ -9,7 +9,7 @@ use std::time::Instant;
 
 use rispp_bench::experiments::{quick_workload, scheduler_sweep_observed, AC_SWEEP};
 use rispp_bench::report::fig7_table;
-use rispp_core::SchedulerKind;
+use rispp_core::{PlanCacheHandle, SchedulerKind};
 use rispp_sim::SweepRunner;
 
 fn main() {
@@ -53,7 +53,9 @@ fn main() {
         s.me_executions_per_frame,
         s.mean_psnr_y
     );
-    let runner = SweepRunner::from_env();
+    // Cross-job plan cache (results stay bit-identical at any thread
+    // count; only how often the planner actually runs changes).
+    let runner = SweepRunner::from_env().with_plan_cache(PlanCacheHandle::default());
     let ac_count = AC_SWEEP.clone().count();
     let jobs = 1 + ac_count * (SchedulerKind::ALL.len() + 1);
     eprintln!(

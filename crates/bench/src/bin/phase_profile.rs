@@ -23,6 +23,7 @@ struct Timed<'a> {
     inner: Box<dyn ExecutionSystem + 'a>,
     enter: Duration,
     burst: Duration,
+    burst_single: Duration,
     exit: Duration,
     calls: u64,
     batched_calls: u64,
@@ -65,7 +66,9 @@ impl ExecutionSystem for Timed<'_> {
     ) {
         let t = Instant::now();
         self.inner.execute_burst_into(si, count, overhead, start, out);
-        self.burst += t.elapsed();
+        let dt = t.elapsed();
+        self.burst += dt;
+        self.burst_single += dt;
         self.calls += 1;
         self.segments += out.len() as u64;
     }
@@ -130,6 +133,7 @@ fn main() {
     for kind in SchedulerKind::ALL {
         let mut enter = Duration::ZERO;
         let mut burst = Duration::ZERO;
+        let mut burst_single = Duration::ZERO;
         let mut exit = Duration::ZERO;
         let mut total = Duration::ZERO;
         for ac in 5..=24u16 {
@@ -138,6 +142,7 @@ fn main() {
                 inner: config.build_system(&library),
                 enter: Duration::ZERO,
                 burst: Duration::ZERO,
+                burst_single: Duration::ZERO,
                 exit: Duration::ZERO,
                 calls: 0,
                 batched_calls: 0,
@@ -150,6 +155,7 @@ fn main() {
             total += t.elapsed();
             enter += sys.enter;
             burst += sys.burst;
+            burst_single += sys.burst_single;
             exit += sys.exit;
             if ac == 20 {
                 eprintln!(
@@ -164,13 +170,14 @@ fn main() {
             }
         }
         println!(
-            "{:5} total {:8.1}ms  enter {:8.1}ms ({:4.1}%)  burst {:8.1}ms ({:4.1}%)  exit {:6.1}ms  engine {:6.1}ms",
+            "{:5} total {:8.1}ms  enter {:8.1}ms ({:4.1}%)  burst {:8.1}ms ({:4.1}%, single {:6.1}ms)  exit {:6.1}ms  engine {:6.1}ms",
             kind.abbreviation(),
             total.as_secs_f64() * 1e3,
             enter.as_secs_f64() * 1e3,
             enter.as_secs_f64() / total.as_secs_f64() * 100.0,
             burst.as_secs_f64() * 1e3,
             burst.as_secs_f64() / total.as_secs_f64() * 100.0,
+            burst_single.as_secs_f64() * 1e3,
             exit.as_secs_f64() * 1e3,
             (total - enter - burst - exit).as_secs_f64() * 1e3,
         );

@@ -8,8 +8,8 @@
 use std::time::Instant;
 
 use rispp_core::{
-    GreedySelector, RunTimeManager, ScheduleRequest, SchedulerKind, SelectionRequest,
-    UpgradeBuffers,
+    GreedySelector, PlanCacheHandle, RunTimeManager, ScheduleRequest, SchedulerKind,
+    SelectionRequest, UpgradeBuffers,
 };
 use rispp_h264::{h264_si_library, HotSpot, SiKind};
 use rispp_model::{Molecule, SiId};
@@ -104,6 +104,41 @@ fn main() {
         mgr.enter_hot_spot(hs, &hints, now * 1000).expect("valid");
         now += 1;
     });
+
+    // Plan-cache cold vs warm: identical pinned-profile entries (the
+    // oracle path, so the evolving forecast cannot perturb the key) with
+    // a dwell long enough for every scheduled load to complete — planned
+    // from scratch on every entry vs replayed from a steady-state hit.
+    let dwell = 10_000_000u64;
+    let mut cold_mgr = RunTimeManager::builder(&library).containers(containers).build();
+    let mut now = 0u64;
+    bench("enter_with_profile (cold plan)", iters, || {
+        cold_mgr
+            .enter_hot_spot_with_profile(HotSpot::MotionEstimation.id(), &hints, now)
+            .expect("valid");
+        now += dwell;
+        cold_mgr.exit_hot_spot(now);
+        now += 100;
+    });
+    let mut warm_mgr = RunTimeManager::builder(&library)
+        .containers(containers)
+        .plan_cache(PlanCacheHandle::default())
+        .build();
+    let mut now = 0u64;
+    bench("enter_with_profile (warm plan)", iters, || {
+        warm_mgr
+            .enter_hot_spot_with_profile(HotSpot::MotionEstimation.id(), &hints, now)
+            .expect("valid");
+        now += dwell;
+        warm_mgr.exit_hot_spot(now);
+        now += 100;
+    });
+    let stats = warm_mgr.plan_cache_stats();
+    let rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64 * 100.0;
+    println!(
+        "plan cache: {} hits / {} misses ({rate:.1}% hit rate)",
+        stats.hits, stats.misses
+    );
 
     // Keep the sink observable so the optimiser cannot delete the loops.
     assert!(sink > 0);

@@ -7,7 +7,8 @@ use rispp_fabric::ReconfigPortConfig;
 use rispp_h264::{h264_si_library, EncoderConfig, EncoderWorkload, SiKind};
 use rispp_model::Molecule;
 use rispp_sim::{
-    simulate as run_simulation, simulate_multi, simulate_observed, FaultConfig, MetricsObserver,
+    simulate as run_simulation, simulate_multi, simulate_observed_planned, FaultConfig,
+    MetricsObserver,
     PerfettoTraceObserver, ProgressObserver, SimConfig, SimEvent, SimObserver, SweepJob,
     SweepRunner, SystemKind, TenancyConfig, TenantArbitration, TenantPolicy, Trace,
     TraceLogObserver,
@@ -301,6 +302,7 @@ pub fn simulate(args: &[String]) -> ExitCode {
         },
     };
 
+    let mut plan_stats = None;
     let stats = {
         let mut extra: Vec<&mut dyn SimObserver> = Vec::new();
         if let Some(m) = metrics.as_mut() {
@@ -318,9 +320,15 @@ pub fn simulate(args: &[String]) -> ExitCode {
         if extra.is_empty() {
             run_simulation(&library, workload.trace(), &config)
         } else {
-            simulate_observed(&library, workload.trace(), &config, &mut extra)
+            let (stats, plan) =
+                simulate_observed_planned(&library, workload.trace(), &config, None, &mut extra);
+            plan_stats = Some(plan);
+            stats
         }
     };
+    if let (Some(m), Some(plan)) = (metrics.as_mut(), plan_stats.as_ref()) {
+        m.record_plan_cache(plan);
+    }
 
     if let Some((path, mut l)) = log {
         if let Err(e) = l.finish() {
@@ -592,13 +600,14 @@ pub fn profile(args: &[String]) -> ExitCode {
 
     let mut metrics = MetricsObserver::new();
     let mut perfetto = options.value("trace-out").map(|_| PerfettoTraceObserver::new());
-    let stats = {
+    let (stats, plan) = {
         let mut extra: Vec<&mut dyn SimObserver> = vec![&mut metrics];
         if let Some(p) = perfetto.as_mut() {
             extra.push(p);
         }
-        simulate_observed(&library, workload.trace(), &config, &mut extra)
+        simulate_observed_planned(&library, workload.trace(), &config, None, &mut extra)
     };
+    metrics.record_plan_cache(&plan);
     let snapshot = metrics.into_snapshot();
 
     println!(
@@ -614,6 +623,18 @@ pub fn profile(args: &[String]) -> ExitCode {
         snapshot.counter("rispp_reconfigurations_total"),
         snapshot.counter("rispp_decisions_total")
     );
+    if plan.lookups() > 0 {
+        println!(
+            "plan cache: {} hits / {} lookups ({:.1}% hit rate), {} insertions, \
+             {} evictions, {} epoch bumps",
+            plan.hits,
+            plan.lookups(),
+            plan.hit_rate() * 100.0,
+            plan.insertions,
+            plan.evictions,
+            plan.epoch_bumps
+        );
+    }
 
     println!("\nper-SI cycle profile:");
     println!("  SI            executions   hw share    cycles     mean lat");

@@ -25,13 +25,16 @@
 //! the multi-tenant path are one code path by construction — K=1 `Shared`
 //! is bit-identical to the pre-arbiter manager.
 
-use rispp_fabric::{Fabric, FabricConfig, FabricEvent, FaultModel, LoadCompleted};
+use rispp_fabric::{ContainerState, Fabric, FabricConfig, FabricEvent, FaultModel, LoadCompleted};
 use rispp_model::{Molecule, SiId, SiLibrary};
 use rispp_monitor::{ExecutionMonitor, ForecastPolicy, HotSpotId};
 
 use crate::context::UpgradeBuffers;
 use crate::explain::{DecisionExplain, ScheduleExplain, SelectionExplain};
 use crate::manager::{BurstSegment, SiExecution};
+use crate::plan_cache::{
+    fnv1a_words, library_fingerprint, PlanCacheHandle, PlanCacheStats, PlannedDecision,
+};
 use crate::recovery::{RecoveryPolicy, RecoveryStats};
 use crate::scheduler::{AtomScheduler, SchedulerKind};
 use crate::selection::{GreedySelector, SelectionRequest};
@@ -107,11 +110,44 @@ struct SharedScratch {
     expected_buf: Vec<u64>,
     sched_buffers: UpgradeBuffers,
     pressure_buf: Vec<u64>,
+    /// Canonical plan-key words of the current lookup (reused so a
+    /// steady-state cache hit allocates nothing).
+    key_buf: Vec<u64>,
     /// Per-SI, per-variant [`Molecule::nonzero_mask`] of the variant's
     /// atoms (burst LRU marking from one precomputed word). Derived from
     /// the shared library, hence identical for every context. Empty when
     /// the universe is wider than 64 types.
     used_masks: Vec<Vec<u64>>,
+    /// Per-SI resolution memo of one batched burst call (reused across
+    /// calls so the steady state allocates nothing) — see
+    /// [`FabricArbiter::execute_bursts_batched`].
+    batch_memo: Vec<BatchMemo>,
+    /// Event window reused by [`FabricArbiter::sync_fabric_into`].
+    event_buf: Vec<FabricEvent>,
+    /// Completion list reused by [`FabricArbiter::sync_fabric_discard`].
+    completion_buf: Vec<LoadCompleted>,
+}
+
+/// One SI's resolved execution state inside a single batched burst call.
+/// Valid for the whole call because a batch processes no fabric events,
+/// so the fabric generation — and with it the best available variant —
+/// cannot change between its bursts.
+#[derive(Debug, Clone, Copy, Default)]
+struct BatchMemo {
+    /// Whether this SI has been resolved in the current call.
+    resolved: bool,
+    /// Effective per-execution latency (hardware or software).
+    latency: u32,
+    /// Hardware variant index, `None` when trapping to software.
+    variant: Option<usize>,
+    /// Precomputed nonzero mask of the variant's atoms, when available.
+    mask: Option<u64>,
+    /// Executions accumulated for the monitor, flushed once per call.
+    executed: u64,
+    /// Start cycle of this SI's last burst in the call — its deferred
+    /// LRU stamp (later bursts overwrite earlier ones, as the per-burst
+    /// marking sequence would).
+    last_used: Option<u64>,
 }
 
 /// Arbiter over the reconfigurable substrate: owns the fabric(s) and the
@@ -132,6 +168,19 @@ pub struct FabricArbiter<'a> {
     /// Consecutive aborted loads per container, per fabric; reset on a
     /// completion.
     abort_streaks: Vec<Vec<u32>>,
+    scheduler_kind: SchedulerKind,
+    /// Memoised planning decisions (intra-run private or shared across
+    /// jobs/requests); `None` plans from scratch on every entry.
+    plan_cache: Option<PlanCacheHandle>,
+    /// Handle namespace XOR the library fingerprint — the first key word.
+    plan_namespace: u64,
+    /// Per-fabric plan-invalidation epoch: bumped on every quarantine and
+    /// permanent tile failure, embedded in every plan key (see
+    /// [`crate::PlanCache`] module docs).
+    epochs: Vec<u64>,
+    /// Deterministic per-arbiter cache counters (the cache's own totals
+    /// are racy under sharing).
+    plan_stats: PlanCacheStats,
 }
 
 impl<'a> FabricArbiter<'a> {
@@ -150,6 +199,7 @@ impl<'a> FabricArbiter<'a> {
             fault: None,
             recovery: RecoveryPolicy::default(),
             explain: false,
+            plan_cache: None,
         }
     }
 
@@ -258,7 +308,7 @@ impl<'a> FabricArbiter<'a> {
     ) -> Result<(), CoreError> {
         let a = usize::from(app);
         let fi = self.fabric_index(a);
-        self.sync_fabric(fi, now);
+        self.sync_fabric_discard(fi, now);
         let ctx = &mut self.contexts[a];
         ctx.monitor.begin_hot_spot(hot_spot);
         ctx.current_hot_spot = Some(hot_spot);
@@ -311,6 +361,26 @@ impl<'a> FabricArbiter<'a> {
             }
         }
 
+        // Content-addressed plan lookup: the decision below is a pure
+        // function of the key words, so a verified hit replays it without
+        // running selection or scheduling at all (see `crate::PlanCache`).
+        let mut key = std::mem::take(&mut self.scratch.key_buf);
+        key.clear();
+        let mut plan_hash = 0u64;
+        if self.plan_cache.is_some() {
+            self.build_plan_key(app, fi, demands, &pressure, &mut key);
+            plan_hash = fnv1a_words(&key);
+            let handle = self.plan_cache.as_ref().expect("checked above");
+            if let Some(entry) = handle.cache().lookup(&key, plan_hash) {
+                self.plan_stats.hits += 1;
+                self.replay_decision(app, plan_now, demands, &entry);
+                self.scratch.key_buf = key;
+                self.scratch.pressure_buf = pressure;
+                return Ok(());
+            }
+            self.plan_stats.misses += 1;
+        }
+
         let ctx = &mut self.contexts[app];
         let mut sel_explain = ctx.explain_enabled.then(SelectionExplain::default);
         ctx.selected = GreedySelector.select_explained(&selection_request, sel_explain.as_mut());
@@ -343,15 +413,25 @@ impl<'a> FabricArbiter<'a> {
             sched_explain.as_mut(),
         );
         debug_assert!(schedule.validate(&request).is_ok());
-        if let (Some(selection), Some(schedule_ex)) = (sel_explain, sched_explain) {
-            ctx.decisions.push(DecisionExplain {
-                now: plan_now,
-                hot_spot: ctx.current_hot_spot,
-                containers: usable,
-                selection,
-                schedule: schedule_ex,
-            });
-        }
+        let explain_payload = match (sel_explain, sched_explain) {
+            (Some(selection), Some(schedule_ex)) => {
+                // Explain records are pure functions of the plan key, so
+                // they are memoised with the decision and replayed on hits.
+                let payload = self
+                    .plan_cache
+                    .is_some()
+                    .then(|| Box::new((selection.clone(), schedule_ex.clone())));
+                ctx.decisions.push(DecisionExplain {
+                    now: plan_now,
+                    hot_spot: ctx.current_hot_spot,
+                    containers: usable,
+                    selection,
+                    schedule: schedule_ex,
+                });
+                payload
+            }
+            _ => None,
+        };
 
         let sup = request.supremum();
         if shared_multi {
@@ -383,12 +463,139 @@ impl<'a> FabricArbiter<'a> {
         .unwrap_or_else(|| Molecule::zero(self.library.arity()));
         self.fabrics[fi].set_protected(protect);
         self.fabrics[fi].enqueue_schedule_app(app_tag(app), schedule.atoms());
+        if let Some(handle) = &self.plan_cache {
+            let decision = PlannedDecision {
+                key: key.as_slice().into(),
+                selected: self.contexts[app].selected.clone(),
+                atoms: schedule.atoms().collect(),
+                supremum: self.contexts[app].supremum.clone(),
+                explain: explain_payload,
+            };
+            self.plan_stats.insertions += 1;
+            self.plan_stats.evictions += handle.cache().insert(plan_hash, decision);
+        }
         // Hand the allocations back for the next hot-spot entry.
         self.scratch.sched_buffers.reclaim(schedule);
         let (expected, pressure) = request.into_scratch();
         self.scratch.expected_buf = expected;
         self.scratch.pressure_buf = pressure;
+        self.scratch.key_buf = key;
         Ok(())
+    }
+
+    /// Writes the canonical plan-key words for planning `demands` of `app`
+    /// on fabric `fi` into `key` (see the `crate::PlanCache` module docs
+    /// for the layout). Every input the selection/scheduling pipeline and
+    /// the replay side effects read is either a key word or recomputed
+    /// live on a hit.
+    fn build_plan_key(
+        &self,
+        app: usize,
+        fi: usize,
+        demands: &[(SiId, u64)],
+        pressure: &[u64],
+        key: &mut Vec<u64>,
+    ) {
+        let fabric = &self.fabrics[fi];
+        key.push(self.plan_namespace);
+        key.push(self.scheduler_kind as u64);
+        key.push(self.epochs[fi]);
+        key.push(self.contexts.len() as u64);
+        key.push(app as u64);
+        key.push(u64::from(self.contexts[app].explain_enabled));
+        key.push(u64::from(fabric.usable_container_count()));
+        key.push(u64::from(fabric.container_count()));
+        key.push(demands.len() as u64);
+        for &(si, expected) in demands {
+            key.push(u64::from(si.0));
+            key.push(expected);
+        }
+        let available = fabric.available();
+        key.push(available.arity() as u64);
+        for &count in available.counts() {
+            key.push(u64::from(count));
+        }
+        key.push(pressure.len() as u64);
+        key.extend_from_slice(pressure);
+        // Fabric-state fingerprint: one word per container packing the
+        // state tag, the loaded/loading/faulty atom (+1 so "no atom" is
+        // distinct from atom 0) and the owner tag (+1 likewise).
+        for container in fabric.containers() {
+            let (tag, atom) = match container.state() {
+                ContainerState::Empty => (0u64, 0u64),
+                ContainerState::Loading { atom, .. } => (1, u64::from(atom.0) + 1),
+                ContainerState::Loaded { atom } => (2, u64::from(atom.0) + 1),
+                ContainerState::Faulty { atom } => (3, u64::from(atom.0) + 1),
+                ContainerState::Quarantined => (4, 0),
+            };
+            let owner = fabric
+                .owner_of(container.id())
+                .map_or(0u64, |o| u64::from(o) + 1);
+            key.push(tag | (atom << 3) | (owner << 24));
+        }
+    }
+
+    /// Replays a memoised [`PlannedDecision`] for `app`: restores the
+    /// selection, re-applies the side effects `plan_app` would have
+    /// produced (degradation accounting, explain capture, cross-app reuse
+    /// counting, supremum claim, protected set, reconfiguration queue) and
+    /// enqueues the cached Atom loading sequence verbatim.
+    fn replay_decision(
+        &mut self,
+        app: usize,
+        plan_now: u64,
+        demands: &[(SiId, u64)],
+        entry: &PlannedDecision,
+    ) {
+        let fi = self.fabric_index(app);
+        let usable = self.fabrics[fi].usable_container_count();
+        let total = self.fabrics[fi].container_count();
+        let ctx = &mut self.contexts[app];
+        ctx.selected.clear();
+        ctx.selected.extend_from_slice(&entry.selected);
+        if !demands.is_empty() && ctx.selected.is_empty() && usable < total {
+            ctx.degraded_to_software += 1;
+        }
+        if ctx.explain_enabled {
+            let (selection, schedule) = entry
+                .explain
+                .as_deref()
+                .cloned()
+                .expect("explain flag is a key word, so explain entries carry explains");
+            ctx.decisions.push(DecisionExplain {
+                now: plan_now,
+                hot_spot: ctx.current_hot_spot,
+                containers: usable,
+                selection,
+                schedule,
+            });
+        }
+        let shared_multi =
+            matches!(self.policy, ContentionPolicy::Shared) && self.contexts.len() > 1;
+        if shared_multi {
+            let fabric = &self.fabrics[fi];
+            let mut reused = 0u64;
+            for c in fabric.containers() {
+                if let (Some(atom), Some(owner)) = (c.loaded_atom(), fabric.owner_of(c.id())) {
+                    if usize::from(owner) != app && entry.supremum.count(atom.index()) > 0 {
+                        reused += 1;
+                    }
+                }
+            }
+            self.contexts[app].atoms_shared += reused;
+        }
+        self.contexts[app].supremum.clone_from(&entry.supremum);
+        self.fabrics[fi].clear_pending_app(app_tag(app));
+        let protect = Molecule::supremum(
+            self.contexts
+                .iter()
+                .enumerate()
+                .filter(|&(a, _)| self.fabric_index(a) == fi)
+                .map(|(_, c)| &c.supremum),
+        )
+        .unwrap_or_else(|| Molecule::zero(self.library.arity()));
+        self.fabrics[fi].set_protected(protect);
+        self.fabrics[fi].enqueue_schedule_app(app_tag(app), entry.atoms.iter().copied());
     }
 
     /// Advances fabric `fi` to `now` and applies the [`RecoveryPolicy`] to
@@ -401,17 +608,37 @@ impl<'a> FabricArbiter<'a> {
     /// cascade inside one sync. Returns the successful completions.
     fn sync_fabric(&mut self, fi: usize, now: u64) -> Vec<LoadCompleted> {
         let mut completions = Vec::new();
+        self.sync_fabric_into(fi, now, &mut completions);
+        completions
+    }
+
+    /// [`FabricArbiter::sync_fabric`] for callers that discard the
+    /// completions: same recovery cascade, but both the event window and
+    /// the completion list live in reused scratch buffers, so the
+    /// event-processing hot path (burst execution crossing a load
+    /// completion) allocates nothing.
+    fn sync_fabric_discard(&mut self, fi: usize, now: u64) {
+        let mut completions = std::mem::take(&mut self.scratch.completion_buf);
+        completions.clear();
+        self.sync_fabric_into(fi, now, &mut completions);
+        self.scratch.completion_buf = completions;
+    }
+
+    /// Core of [`FabricArbiter::sync_fabric`]: appends the successful
+    /// completions to `completions`.
+    fn sync_fabric_into(&mut self, fi: usize, now: u64, completions: &mut Vec<LoadCompleted>) {
+        let mut events = std::mem::take(&mut self.scratch.event_buf);
         loop {
             let Some(t) = self.fabrics[fi].next_event_at().filter(|&t| t <= now) else {
                 // Nothing left inside the window: land the fabric clock on
-                // `now` and stop.
-                let tail = self.fabrics[fi].advance_events(now);
-                debug_assert!(tail.is_empty());
-                return completions;
+                // `now` and stop (`advance_clock` debug-asserts exactly
+                // what the filter above established — no event is due).
+                self.fabrics[fi].advance_clock(now);
+                break;
             };
-            let events = self.fabrics[fi].advance_events(t);
+            self.fabrics[fi].advance_events_into(t, &mut events);
             let mut needs_replan = false;
-            for event in events {
+            for event in events.drain(..) {
                 match event {
                     FabricEvent::Completed(done) => {
                         self.abort_streaks[fi][done.container.index()] = 0;
@@ -433,6 +660,10 @@ impl<'a> FabricArbiter<'a> {
                             self.fabrics[fi]
                                 .quarantine(container)
                                 .expect("fabric event names one of its own containers");
+                            // Structural change: invalidate every plan
+                            // memoised against the old fabric shape.
+                            self.epochs[fi] = self.epochs[fi].wrapping_add(1);
+                            self.plan_stats.epoch_bumps += 1;
                             needs_replan = true;
                         } else {
                             let attempt = self.abort_streaks[fi][container.index()];
@@ -463,6 +694,10 @@ impl<'a> FabricArbiter<'a> {
                         }
                     }
                     FabricEvent::ContainerFailed { .. } => {
+                        // Permanent tile failure: same invalidation rule
+                        // as a quarantine.
+                        self.epochs[fi] = self.epochs[fi].wrapping_add(1);
+                        self.plan_stats.epoch_bumps += 1;
                         needs_replan = true;
                     }
                 }
@@ -471,6 +706,7 @@ impl<'a> FabricArbiter<'a> {
                 self.replan_fabric(fi);
             }
         }
+        self.scratch.event_buf = events;
     }
 
     /// Re-plans every application on fabric `fi` with an active hot spot
@@ -532,7 +768,7 @@ impl<'a> FabricArbiter<'a> {
     pub fn execute_si(&mut self, app: u16, si: SiId, now: u64) -> SiExecution {
         let a = usize::from(app);
         let fi = self.fabric_index(a);
-        self.sync_fabric(fi, now);
+        self.sync_fabric_discard(fi, now);
         let lib = self.library;
         let def = lib.si(si).expect("si within library");
         let execution = match self.best_available_variant(app, si) {
@@ -585,7 +821,7 @@ impl<'a> FabricArbiter<'a> {
             // the segment-splitting horizon.
             let next_event = match self.fabrics[fi].next_event_at() {
                 Some(event) if event <= t => {
-                    self.sync_fabric(fi, t);
+                    self.sync_fabric_discard(fi, t);
                     self.fabrics[fi].next_event_at()
                 }
                 other => {
@@ -651,46 +887,114 @@ impl<'a> FabricArbiter<'a> {
             other => other,
         };
         let lib = self.library;
+        // A batch processes no fabric events, so the fabric generation is
+        // constant across the loop: each distinct SI resolves its variant
+        // once into the memo, monitor counts fold into one flush per SI
+        // (its counters are add-accumulate, so the folded recording is
+        // state-identical to the per-burst sequence), and the clock lands
+        // once on the start of the last consumed non-empty burst — the
+        // exact cycle the per-burst path leaves it on.
+        let mut memo = std::mem::take(&mut self.scratch.batch_memo);
+        memo.clear();
+        memo.resize(lib.len(), BatchMemo::default());
+        // Deferred LRU flush buffers one mark per SI on the stack; a
+        // library too large for it (never the paper's) marks inline.
+        let mut marks: [(u64, u64); 64] = [(0, 0); 64];
+        let defer_marks = memo.len() <= marks.len();
         let mut t = start;
         let mut consumed = 0;
+        let mut last_started = None;
         for (si, count, overhead) in bursts {
             if count == 0 {
                 consumed += 1;
                 continue;
             }
-            let def = lib.si(si).expect("si within library");
-            let (latency, variant_index) = match self.best_available_variant(app, si) {
-                Some((idx, latency)) if latency < def.software_latency() => (latency, Some(idx)),
-                _ => (def.software_latency(), None),
-            };
-            let per = u64::from(latency) + u64::from(overhead);
-            // Unsplit iff the whole burst fits strictly before the horizon
-            // — the same `div_ceil` split bound `execute_burst_into` uses.
-            let fits = match horizon {
-                None => true,
-                Some(event) => event > t && (event - t).div_ceil(per) >= u64::from(count),
-            };
-            if !fits {
-                break;
+            let mi = si.index();
+            if !memo[mi].resolved {
+                let def = lib.si(si).expect("si within library");
+                let (latency, variant) = match self.best_available_variant(app, si) {
+                    Some((idx, latency)) if latency < def.software_latency() => {
+                        (latency, Some(idx))
+                    }
+                    _ => (def.software_latency(), None),
+                };
+                let mask = variant.and_then(|idx| {
+                    self.scratch.used_masks.get(mi).and_then(|m| m.get(idx)).copied()
+                });
+                memo[mi] = BatchMemo {
+                    resolved: true,
+                    latency,
+                    variant,
+                    mask,
+                    executed: 0,
+                    last_used: None,
+                };
             }
-            self.fabrics[fi].advance_clock(t);
-            if let Some(idx) = variant_index {
-                match self.scratch.used_masks.get(si.index()).and_then(|m| m.get(idx)) {
-                    Some(&mask) => self.fabrics[fi].mark_used_types(mask, t),
-                    None => self.fabrics[fi].mark_used(&def.variants()[idx].atoms, t),
+            let m = &mut memo[mi];
+            let per = u64::from(m.latency) + u64::from(overhead);
+            // Unsplit iff the whole burst fits strictly before the horizon
+            // — `div_ceil(event − t, per) ≥ count` exactly as in
+            // `execute_burst_into`, restated multiplicatively (in u128, so
+            // extreme `count × per` products cannot wrap) to keep the
+            // 64-bit division off the per-burst path.
+            if let Some(event) = horizon {
+                if event <= t
+                    || u128::from(event - t) <= (u128::from(count) - 1) * u128::from(per)
+                {
+                    break;
                 }
             }
-            segments.push(match variant_index {
-                Some(v) => BurstSegment::hardware(t, u64::from(count), latency, v),
-                None => BurstSegment::software(t, u64::from(count), latency),
-            });
-            let ctx = &mut self.contexts[a];
-            if let Some(hs) = ctx.current_hot_spot {
-                ctx.monitor.record_executions(hs, si, u64::from(count));
+            match (m.variant, m.mask) {
+                // LRU marking is deferred: only the *last* use of each
+                // type inside the batch survives (assignments of a
+                // monotone clock), so `last_used` per SI plus an ordered
+                // flush below lands every `type_used` stamp on exactly
+                // the cycle the per-burst sequence would leave.
+                (Some(_), Some(_)) if defer_marks => m.last_used = Some(t),
+                (Some(_), Some(mask)) => self.fabrics[fi].mark_used_types(mask, t),
+                (Some(idx), None) => {
+                    let def = lib.si(si).expect("si within library");
+                    self.fabrics[fi].mark_used(&def.variants()[idx].atoms, t);
+                }
+                (None, _) => {}
             }
+            segments.push(match m.variant {
+                Some(v) => BurstSegment::hardware(t, u64::from(count), m.latency, v),
+                None => BurstSegment::software(t, u64::from(count), m.latency),
+            });
+            m.executed += u64::from(count);
+            last_started = Some(t);
             t += u64::from(count) * per;
             consumed += 1;
         }
+        // Flush deferred LRU marks oldest-first: a later (larger) stamp
+        // must win on types shared between SIs, exactly as the per-burst
+        // assignment order would have it.
+        let mut n_marks = 0;
+        for m in &memo {
+            if let (Some(at), Some(mask)) = (m.last_used, m.mask) {
+                marks[n_marks] = (at, mask);
+                n_marks += 1;
+            }
+        }
+        let marks = &mut marks[..n_marks];
+        marks.sort_unstable_by_key(|&(at, _)| at);
+        for &(at, mask) in marks.iter() {
+            self.fabrics[fi].mark_used_types(mask, at);
+        }
+        if let Some(at) = last_started {
+            self.fabrics[fi].advance_clock(at);
+        }
+        let ctx = &mut self.contexts[a];
+        if let Some(hs) = ctx.current_hot_spot {
+            for (i, m) in memo.iter().enumerate() {
+                if m.executed > 0 {
+                    let si = SiId(u16::try_from(i).expect("library index fits u16"));
+                    ctx.monitor.record_executions(hs, si, m.executed);
+                }
+            }
+        }
+        self.scratch.batch_memo = memo;
         consumed
     }
 
@@ -699,7 +1003,7 @@ impl<'a> FabricArbiter<'a> {
     pub fn exit_hot_spot(&mut self, app: u16, now: u64) {
         let a = usize::from(app);
         let fi = self.fabric_index(a);
-        self.sync_fabric(fi, now);
+        self.sync_fabric_discard(fi, now);
         let ctx = &mut self.contexts[a];
         if let Some(hs) = ctx.current_hot_spot.take() {
             ctx.monitor.end_hot_spot(hs);
@@ -814,6 +1118,21 @@ impl<'a> FabricArbiter<'a> {
     pub fn available_atoms(&self, app: u16) -> &Molecule {
         self.fabric_for(app).available()
     }
+
+    /// Deterministic plan-cache counters of this arbiter (all zero when no
+    /// cache is attached — planning then always runs from scratch).
+    #[must_use]
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_stats
+    }
+
+    /// Current plan-invalidation epoch of `app`'s fabric: bumped on every
+    /// container quarantine and permanent tile failure, and embedded in
+    /// every plan key derived afterwards.
+    #[must_use]
+    pub fn fabric_epoch(&self, app: u16) -> u64 {
+        self.epochs[self.fabric_index(usize::from(app))]
+    }
 }
 
 /// The `u16` application tag used on the fabric queue/owner records.
@@ -834,6 +1153,7 @@ pub struct FabricArbiterBuilder<'a> {
     fault: Option<FaultModel>,
     recovery: RecoveryPolicy,
     explain: bool,
+    plan_cache: Option<PlanCacheHandle>,
 }
 
 impl<'a> FabricArbiterBuilder<'a> {
@@ -906,6 +1226,16 @@ impl<'a> FabricArbiterBuilder<'a> {
         self
     }
 
+    /// Attaches a [`PlanCache`](crate::PlanCache) through `handle`:
+    /// planning decisions are memoised and replayed on verified key hits.
+    /// The handle may wrap a cache shared across runs (sweeps, the job
+    /// server); without one, every hot-spot entry plans from scratch.
+    #[must_use]
+    pub fn plan_cache(mut self, handle: PlanCacheHandle) -> Self {
+        self.plan_cache = Some(handle);
+        self
+    }
+
     /// Finalises the arbiter with empty fabric(s) at cycle 0.
     ///
     /// # Panics
@@ -973,6 +1303,11 @@ impl<'a> FabricArbiterBuilder<'a> {
         } else {
             Vec::new()
         };
+        let plan_namespace = self
+            .plan_cache
+            .as_ref()
+            .map_or(0, |h| h.namespace() ^ library_fingerprint(self.library));
+        let epochs = vec![0u64; fabrics.len()];
         FabricArbiter {
             library: self.library,
             policy: self.policy,
@@ -984,6 +1319,11 @@ impl<'a> FabricArbiterBuilder<'a> {
             },
             recovery: self.recovery,
             abort_streaks,
+            scheduler_kind: self.scheduler,
+            plan_cache: self.plan_cache,
+            plan_namespace,
+            epochs,
+            plan_stats: PlanCacheStats::default(),
         }
     }
 }

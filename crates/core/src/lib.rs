@@ -65,6 +65,7 @@ mod explain;
 mod fsfr;
 mod hef;
 mod manager;
+mod plan_cache;
 mod recovery;
 mod scheduler;
 mod selection;
@@ -82,6 +83,10 @@ pub use explain::{
 pub use fsfr::FsfrScheduler;
 pub use hef::HefScheduler;
 pub use manager::{BurstSegment, RunTimeManager, RunTimeManagerBuilder, SiExecution};
+pub use plan_cache::{
+    fnv1a_words, library_fingerprint, PlanCache, PlanCacheHandle, PlanCacheStats, PlanKey,
+    PlannedDecision,
+};
 pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use scheduler::{AtomScheduler, SchedulerKind};
 pub use selection::{ExhaustiveSelector, GreedySelector, SelectionRequest};

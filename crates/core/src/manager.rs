@@ -104,6 +104,7 @@ impl<'a> RunTimeManager<'a> {
             fault: None,
             recovery: RecoveryPolicy::default(),
             explain: false,
+            plan_cache: None,
         }
     }
 
@@ -335,6 +336,20 @@ impl<'a> RunTimeManager<'a> {
         self.arbiter.recovery_stats(0)
     }
 
+    /// Deterministic plan-cache counters of this run (all zero when the
+    /// manager was built without a [`PlanCache`](crate::PlanCache)).
+    #[must_use]
+    pub fn plan_cache_stats(&self) -> crate::PlanCacheStats {
+        self.arbiter.plan_cache_stats()
+    }
+
+    /// Current plan-invalidation epoch of the fabric (see
+    /// [`FabricArbiter::fabric_epoch`]).
+    #[must_use]
+    pub fn fabric_epoch(&self) -> u64 {
+        self.arbiter.fabric_epoch(0)
+    }
+
     /// Effective latency of `si` with the atoms available *right now*.
     #[must_use]
     pub fn current_latency(&self, si: SiId) -> u32 {
@@ -359,6 +374,7 @@ pub struct RunTimeManagerBuilder<'a> {
     fault: Option<FaultModel>,
     recovery: RecoveryPolicy,
     explain: bool,
+    plan_cache: Option<crate::PlanCacheHandle>,
 }
 
 impl<'a> RunTimeManagerBuilder<'a> {
@@ -418,6 +434,14 @@ impl<'a> RunTimeManagerBuilder<'a> {
         self
     }
 
+    /// Attaches a [`PlanCache`](crate::PlanCache) through `handle` (see
+    /// [`FabricArbiterBuilder::plan_cache`](crate::FabricArbiterBuilder::plan_cache)).
+    #[must_use]
+    pub fn plan_cache(mut self, handle: crate::PlanCacheHandle) -> Self {
+        self.plan_cache = Some(handle);
+        self
+    }
+
     /// Finalises the manager with an empty fabric at cycle 0.
     ///
     /// # Panics
@@ -440,6 +464,9 @@ impl<'a> RunTimeManagerBuilder<'a> {
         }
         if let Some(model) = self.fault {
             builder = builder.fault_model(model);
+        }
+        if let Some(handle) = self.plan_cache {
+            builder = builder.plan_cache(handle);
         }
         RunTimeManager {
             arbiter: builder.build(),

@@ -1,4 +1,4 @@
-use rispp_model::{Molecule, SiId, SiLibrary};
+use rispp_model::{Molecule, SiDefinition, SiId, SiLibrary};
 
 use crate::explain::{CandidateScore, SelectionExplain, SelectionRound};
 use crate::types::SelectedMolecule;
@@ -85,44 +85,38 @@ impl GreedySelector {
         let library = request.library();
         let budget = u32::from(request.containers());
 
-        let mut demands: Vec<(SiId, u64)> = request
+        // Most important first; ties by id for determinism. Weights are
+        // precomputed — `weight` scans an SI's variant table, which the
+        // sort would otherwise repeat per comparison.
+        let mut ranked: Vec<(u64, SiId, u64)> = request
             .demands()
             .iter()
             .copied()
             .filter(|&(si, expected)| expected > 0 && library.si(si).is_some())
+            .map(|d| (weight(library, d), d.0, d.1))
             .collect();
-        // Most important first; ties by id for determinism.
-        demands.sort_by(|a, b| {
-            let wa = weight(library, *a);
-            let wb = weight(library, *b);
-            wb.cmp(&wa).then(a.0.cmp(&b.0))
-        });
-
-        // SiId → expected executions, so the phase-2 upgrade loop does one
-        // slot read per selection instead of scanning the demand list.
-        let mut expected_by_si = vec![0u64; library.len()];
-        for &(si, e) in &demands {
-            expected_by_si[si.index()] = e;
-        }
+        ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
 
         let arity = library.arity();
-        let mut selection: Vec<SelectedMolecule> = Vec::new();
+        let mut selection: Vec<SelectedMolecule> = Vec::with_capacity(ranked.len());
+        // Per accepted selection: its SI definition and expected
+        // executions, resolved once — phase 2 only changes variant
+        // indices, never the selection's composition.
+        let mut slots: Vec<(&SiDefinition, u64)> = Vec::with_capacity(ranked.len());
         let mut sup = Molecule::zero(arity);
 
-        // Phase 1: smallest molecule per SI while it fits. The budget check
-        // runs on the fused `|sup ∪ atoms|` kernel; the union is only
-        // materialised for accepted SIs.
-        for &(si_id, _) in &demands {
+        // Phase 1: smallest molecule per SI while it fits. The library
+        // orders each SI's variants by (total atoms, latency), so the
+        // smallest is always variant 0; the budget check runs on the
+        // fused `|sup ∪ atoms|` kernel and accepted SIs fold into the
+        // running supremum in place.
+        for &(_, si_id, expected) in &ranked {
             let si = library.si(si_id).expect("filtered");
-            let (idx, variant) = si
-                .variants()
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, v)| (v.atoms.total_atoms(), v.latency))
-                .expect("validated library has variants");
+            let variant = si.smallest_variant();
             if sup.union_atoms(&variant.atoms) <= budget {
-                selection.push(SelectedMolecule::new(si_id, idx));
-                sup = sup.union(&variant.atoms);
+                selection.push(SelectedMolecule::new(si_id, 0));
+                slots.push((si, expected));
+                sup.union_assign(&variant.atoms);
             } else if let Some(ex) = explain.as_deref_mut() {
                 ex.rejected.push(si_id);
             }
@@ -130,7 +124,7 @@ impl GreedySelector {
         drop(sup);
         if let Some(ex) = explain.as_deref_mut() {
             ex.containers = request.containers();
-            ex.demands = demands.clone();
+            ex.demands = ranked.iter().map(|&(_, si, e)| (si, e)).collect();
             ex.initial = selection.clone();
         }
 
@@ -140,24 +134,25 @@ impl GreedySelector {
         // O(n + n·variants) Molecule unions instead of the O(n²·variants)
         // of recomputing the full supremum per candidate; candidates are
         // sized with the fused `union_atoms` kernel, which never writes a
-        // result Molecule. The prefix/suffix buffers persist across rounds.
-        let atoms_of = |s: &SelectedMolecule| {
-            &library.si(s.si).expect("selected").variants()[s.variant_index].atoms
-        };
-        let mut prefix: Vec<Molecule> = Vec::with_capacity(selection.len() + 1);
-        let mut suffix: Vec<Molecule> = Vec::with_capacity(selection.len() + 1);
+        // result Molecule. All round state lives in buffers allocated
+        // once (`n` is fixed in phase 2): `prefix[0]`/`suffix[n]` stay
+        // zero, interior entries are overwritten in place each round, and
+        // `others` is one reused scratch Molecule — no per-round
+        // construction at all.
+        let n = selection.len();
+        let mut prefix: Vec<Molecule> = vec![Molecule::zero(arity); n + 1];
+        let mut suffix: Vec<Molecule> = vec![Molecule::zero(arity); n + 1];
+        let mut others = Molecule::zero(arity);
         loop {
-            let n = selection.len();
-            prefix.clear();
-            prefix.push(Molecule::zero(arity));
-            for s in &selection {
-                let joined = prefix.last().expect("non-empty").union(atoms_of(s));
-                prefix.push(joined);
+            for i in 0..n {
+                let atoms = &slots[i].0.variants()[selection[i].variant_index].atoms;
+                let (head, tail) = prefix.split_at_mut(i + 1);
+                head[i].union_into(atoms, &mut tail[0]);
             }
-            suffix.clear();
-            suffix.resize(n + 1, Molecule::zero(arity));
             for i in (0..n).rev() {
-                suffix[i] = suffix[i + 1].union(atoms_of(&selection[i]));
+                let atoms = &slots[i].0.variants()[selection[i].variant_index].atoms;
+                let (head, tail) = suffix.split_at_mut(i + 1);
+                tail[0].union_into(atoms, &mut head[i]);
             }
             // `prefix[n]` is the current supremum — no separate tracking.
             let sup_atoms = prefix[n].total_atoms();
@@ -165,20 +160,42 @@ impl GreedySelector {
             let mut best: Option<(usize, usize, u64, u32)> = None; // (sel idx, variant, gain, cost)
             let mut scored: Vec<CandidateScore> = Vec::new(); // only filled when explaining
             for (sel_idx, sel) in selection.iter().enumerate() {
-                let si = library.si(sel.si).expect("selected");
-                let expected = expected_by_si[sel.si.index()];
+                let (si, expected) = slots[sel_idx];
                 let current_latency = si.variants()[sel.variant_index].latency;
-                let others = prefix[sel_idx].union(&suffix[sel_idx + 1]);
+                let totals = si.variant_atom_totals();
+                prefix[sel_idx].union_into(&suffix[sel_idx + 1], &mut others);
                 for (v_idx, v) in si.variants().iter().enumerate() {
                     if v.latency >= current_latency {
                         continue;
                     }
-                    let new_sup_atoms = others.union_atoms(&v.atoms);
-                    if new_sup_atoms > budget {
+                    // `|others ∪ v| ≥ |v|`, so a candidate bigger than the
+                    // whole budget can never fit — same predicate as the
+                    // exact check below, decided without the kernel.
+                    if totals[v_idx] > budget {
                         continue;
                     }
                     let gain = expected * u64::from(current_latency - v.latency);
                     if gain == 0 {
+                        continue;
+                    }
+                    // Ratio prune: the same bound gives `cost ≥ |v| − |sup|`,
+                    // and a larger cost only lowers gain/cost — so when even
+                    // the lower-bound ratio cannot beat the incumbent, the
+                    // exact cost is irrelevant and the kernel is skipped.
+                    // Explaining records every feasible candidate's exact
+                    // score, so the shortcut is disabled there.
+                    if explain.is_none() {
+                        if let Some((_, _, bg, bc)) = best {
+                            let lb = totals[v_idx].saturating_sub(sup_atoms);
+                            if u128::from(gain) * u128::from(bc.max(1))
+                                <= u128::from(bg) * u128::from(lb.max(1))
+                            {
+                                continue;
+                            }
+                        }
+                    }
+                    let new_sup_atoms = others.union_atoms(&v.atoms);
+                    if new_sup_atoms > budget {
                         continue;
                     }
                     let cost = new_sup_atoms.saturating_sub(sup_atoms);

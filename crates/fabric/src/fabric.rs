@@ -705,16 +705,29 @@ impl Fabric {
     ///
     /// Panics if `now` moves backwards.
     pub fn advance_events(&mut self, now: u64) -> Vec<FabricEvent> {
-        assert!(now >= self.now, "time must be monotone");
         let mut events = Vec::new();
+        self.advance_events_into(now, &mut events);
+        events
+    }
+
+    /// Buffer-reusing form of [`Fabric::advance_events`]: clears `events`
+    /// and writes the occurred events into it, so event-driven hot loops
+    /// (the arbiter's fabric sync) can step many event windows without
+    /// allocating a `Vec` per window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` moves backwards.
+    pub fn advance_events_into(&mut self, now: u64, events: &mut Vec<FabricEvent>) {
+        assert!(now >= self.now, "time must be monotone");
+        events.clear();
         while let Some((t, kind)) = self.next_internal_event() {
             if t > now {
                 break;
             }
-            self.process_event(t, kind, &mut events);
+            self.process_event(t, kind, events);
         }
         self.now = now;
-        events
     }
 
     /// Earliest cycle at which the fabric state next changes on its own
@@ -980,47 +993,51 @@ impl Fabric {
     /// recently used first), otherwise the globally least recently used
     /// loaded container. Quarantined containers are never candidates.
     fn pick_container(&self) -> Option<ContainerId> {
-        if let Some(c) = self
-            .containers
-            .iter()
-            .find(|c| matches!(c.state(), ContainerState::Empty))
-        {
-            return Some(c.id());
-        }
-        if let Some(c) = self
-            .containers
-            .iter()
-            .find(|c| matches!(c.state(), ContainerState::Faulty { .. }))
-        {
-            return Some(c.id());
-        }
-        // Count loaded instances per type to find excess over protected.
-        let loaded: Vec<u16> = {
-            let mut v = vec![0u16; self.available.arity()];
-            for c in &self.containers {
-                if let Some(a) = c.loaded_atom() {
-                    v[a.index()] += 1;
-                }
+        // One pass covers the first two preference tiers and gathers the
+        // loaded-instances-per-type counts the eviction tiers need: the
+        // first empty container wins outright, the first faulty one is
+        // remembered as the scrub target.
+        let arity = self.available.arity();
+        let mut stack = [0u16; 64];
+        let mut heap = Vec::new();
+        let loaded: &mut [u16] = if arity <= stack.len() {
+            &mut stack[..arity]
+        } else {
+            heap.resize(arity, 0);
+            &mut heap
+        };
+        let mut faulty = None;
+        for c in &self.containers {
+            match c.state() {
+                ContainerState::Empty => return Some(c.id()),
+                ContainerState::Faulty { .. } if faulty.is_none() => faulty = Some(c.id()),
+                _ => {}
             }
-            v
-        };
-        let evictable = |c: &&AtomContainer| {
-            c.loaded_atom()
-                .map(|a| loaded[a.index()] > self.protected.count(a.index()))
-                .unwrap_or(false)
-        };
-        if let Some(c) = self
-            .containers
-            .iter()
-            .filter(evictable)
-            .min_by_key(|c| self.effective_last_used(c))
-        {
-            return Some(c.id());
+            if let Some(a) = c.loaded_atom() {
+                loaded[a.index()] += 1;
+            }
         }
-        self.containers
-            .iter()
-            .filter(|c| c.loaded_atom().is_some())
-            .min_by_key(|c| self.effective_last_used(c))
-            .map(AtomContainer::id)
+        if faulty.is_some() {
+            return faulty;
+        }
+        // Second pass fuses the last two tiers — least-recently-used among
+        // containers holding an atom in excess of the protected set, else
+        // least-recently-used loaded overall — tracking both minima at
+        // once. Strict `<` keeps `min_by_key`'s first-minimum tie-break.
+        let mut excess: Option<(u64, ContainerId)> = None;
+        let mut any: Option<(u64, ContainerId)> = None;
+        for c in &self.containers {
+            let Some(a) = c.loaded_atom() else { continue };
+            let eff = self.effective_last_used(c);
+            if loaded[a.index()] > self.protected.count(a.index())
+                && excess.is_none_or(|(best, _)| eff < best)
+            {
+                excess = Some((eff, c.id()));
+            }
+            if any.is_none_or(|(best, _)| eff < best) {
+                any = Some((eff, c.id()));
+            }
+        }
+        excess.or(any).map(|(_, id)| id)
     }
 }

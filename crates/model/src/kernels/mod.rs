@@ -222,6 +222,13 @@ dispatch!(
     union_into(a: &[u16], b: &[u16], out: &mut [u16])
 );
 dispatch!(
+    /// Component-wise maximum folded into `acc`, `accᵢ ← max(accᵢ, bᵢ)`
+    /// (dispatched). The in-place form of [`union_into`] for accumulator
+    /// loops (running suprema) that would otherwise construct a fresh
+    /// vector per step.
+    union_in_place(acc: &mut [u16], b: &[u16])
+);
+dispatch!(
     /// Component-wise minimum into `out` (dispatched).
     intersect_into(a: &[u16], b: &[u16], out: &mut [u16])
 );

@@ -39,6 +39,13 @@ pub fn union_into(a: &[u16], b: &[u16], out: &mut [u16]) {
     }
 }
 
+/// Component-wise maximum folded into `acc` (`accᵢ ← max(accᵢ, bᵢ)`).
+pub fn union_in_place(acc: &mut [u16], b: &[u16]) {
+    for (x, &y) in acc.iter_mut().zip(b) {
+        *x = (*x).max(y);
+    }
+}
+
 /// Component-wise minimum into `out`.
 pub fn intersect_into(a: &[u16], b: &[u16], out: &mut [u16]) {
     for ((&x, &y), o) in a.iter().zip(b).zip(out) {

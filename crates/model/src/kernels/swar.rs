@@ -161,6 +161,29 @@ pub fn union_into(a: &[u16], b: &[u16], out: &mut [u16]) {
     zip_words(a, b, out, pmax);
 }
 
+/// Component-wise maximum folded into `acc` (`accᵢ ← max(accᵢ, bᵢ)`).
+pub fn union_in_place(acc: &mut [u16], b: &[u16]) {
+    debug_assert_eq!(acc.len(), b.len());
+    let mut wa = acc.chunks_exact_mut(4);
+    let mut wb = b.chunks_exact(4);
+    for (ca, cb) in (&mut wa).zip(&mut wb) {
+        let w = pmax(
+            pack((&*ca).try_into().expect("exact chunk")),
+            pack(cb.try_into().expect("exact chunk")),
+        );
+        ca.copy_from_slice(&unpack(w));
+    }
+    let (ra, rb) = (wa.into_remainder(), wb.remainder());
+    if !ra.is_empty() {
+        let mut ta = [0u16; 4];
+        let mut tb = [0u16; 4];
+        ta[..ra.len()].copy_from_slice(ra);
+        tb[..rb.len()].copy_from_slice(rb);
+        let w = unpack(pmax(pack(&ta), pack(&tb)));
+        ra.copy_from_slice(&w[..ra.len()]);
+    }
+}
+
 /// Component-wise minimum into `out`.
 pub fn intersect_into(a: &[u16], b: &[u16], out: &mut [u16]) {
     zip_words(a, b, out, pmin);

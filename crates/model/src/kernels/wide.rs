@@ -114,6 +114,22 @@ mod avx2 {
     zip_kernel!(intersect_into, _mm256_min_epu16);
     zip_kernel!(saturating_add_into, _mm256_adds_epu16);
 
+    /// Component-wise maximum folded into `acc` (`accᵢ ← max(accᵢ, bᵢ)`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn union_in_place(acc: &mut [u16], b: &[u16]) {
+        debug_assert_eq!(acc.len(), b.len());
+        let mut i = 0;
+        while i + LANES <= acc.len() {
+            let v = _mm256_max_epu16(load(&acc[i..i + LANES]), load(&b[i..i + LANES]));
+            store(&mut acc[i..i + LANES], v);
+            i += LANES;
+        }
+        if i < acc.len() {
+            let v = _mm256_max_epu16(load(&acc[i..]), load(&b[i..]));
+            store(&mut acc[i..], v);
+        }
+    }
+
     /// Residual direction: saturating `o − a`, so the operands swap.
     #[target_feature(enable = "avx2")]
     pub unsafe fn residual_into(a: &[u16], o: &[u16], out: &mut [u16]) {
@@ -284,6 +300,10 @@ macro_rules! safe_wrapper {
 safe_wrapper!(
     /// Component-wise maximum into `out`.
     union_into(a: &[u16], b: &[u16], out: &mut [u16])
+);
+safe_wrapper!(
+    /// Component-wise maximum folded into `acc` (`accᵢ ← max(accᵢ, bᵢ)`).
+    union_in_place(acc: &mut [u16], b: &[u16])
 );
 safe_wrapper!(
     /// Component-wise minimum into `out`.

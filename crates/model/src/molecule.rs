@@ -139,6 +139,16 @@ impl Molecule {
         }
     }
 
+    /// Mutable view of the per-type instance counts (private: callers
+    /// must preserve the zero-tail invariant of the inline repr, which
+    /// every lane-wise kernel does).
+    fn counts_mut(&mut self) -> &mut [u16] {
+        match &mut self.repr {
+            Repr::Inline { len, lanes } => &mut lanes[..usize::from(*len)],
+            Repr::Spill(v) => v,
+        }
+    }
+
     /// Instance count of atom type `index`, or 0 when out of range.
     #[must_use]
     pub fn count(&self, index: usize) -> u16 {
@@ -205,6 +215,33 @@ impl Molecule {
     /// Returns [`ModelError::ArityMismatch`] when the arities differ.
     pub fn checked_union(&self, other: &Molecule) -> Result<Molecule, ModelError> {
         self.binary(other, kernels::union_into)
+    }
+
+    /// In-place union `self ← self ∪ other`: like [`Molecule::union`] but
+    /// folds into an existing accumulator without constructing a result.
+    /// Hot loops maintaining a running supremum (one fold per considered
+    /// Molecule) use this to stay allocation- and copy-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    pub fn union_assign(&mut self, other: &Molecule) {
+        assert_eq!(self.arity(), other.arity(), "molecule arity mismatch");
+        kernels::union_in_place(self.counts_mut(), other.counts());
+    }
+
+    /// Writes `self ∪ other` into `out`, overwriting its counts: the
+    /// three-operand form of [`Molecule::union`] for callers that keep
+    /// reusable result buffers (e.g. the selector's prefix/suffix
+    /// supremum tables, rebuilt every upgrade round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three arities are not all equal.
+    pub fn union_into(&self, other: &Molecule, out: &mut Molecule) {
+        assert_eq!(self.arity(), other.arity(), "molecule arity mismatch");
+        assert_eq!(self.arity(), out.arity(), "molecule arity mismatch");
+        kernels::union_into(self.counts(), other.counts(), out.counts_mut());
     }
 
     /// The Meta-Molecule `m ∩ o` (component-wise minimum): atoms that are

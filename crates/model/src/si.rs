@@ -62,6 +62,9 @@ pub struct SiDefinition {
     name: String,
     software_latency: u32,
     variants: Vec<MoleculeVariant>,
+    /// `|atoms|` per variant, aligned with `variants`; filled by
+    /// [`SiLibraryBuilder::build`] after the variant sort.
+    variant_totals: Vec<u32>,
 }
 
 impl SiDefinition {
@@ -88,6 +91,15 @@ impl SiDefinition {
     #[must_use]
     pub fn variants(&self) -> &[MoleculeVariant] {
         &self.variants
+    }
+
+    /// `|atoms|` of every variant, aligned with
+    /// [`variants`](Self::variants): precomputed at build time so hot
+    /// selection loops get a constant-time candidate-size lower bound
+    /// instead of a per-candidate reduction kernel.
+    #[must_use]
+    pub fn variant_atom_totals(&self) -> &[u32] {
+        &self.variant_totals
     }
 
     /// Number of hardware Molecules.
@@ -149,17 +161,14 @@ impl SiDefinition {
 
     /// The smallest Molecule: minimum total atoms, ties broken by lowest
     /// latency.
+    ///
+    /// O(1): [`SiLibraryBuilder::build`] orders every SI's variants by
+    /// exactly this key, so the smallest variant is always variant 0 —
+    /// the selector's phase 1 leans on the same invariant once per
+    /// demanded SI per plan.
     #[must_use]
     pub fn smallest_variant(&self) -> &MoleculeVariant {
-        self.variants
-            .iter()
-            .min_by(|a, b| {
-                a.atoms
-                    .total_atoms()
-                    .cmp(&b.atoms.total_atoms())
-                    .then(a.latency.cmp(&b.latency))
-            })
-            .expect("validated SI has at least one variant")
+        &self.variants[0]
     }
 }
 
@@ -272,6 +281,7 @@ impl SiLibraryBuilder {
             name,
             software_latency,
             variants: Vec::new(),
+            variant_totals: Vec::new(),
         });
         Ok(SiBuilder {
             arity: self.universe.arity(),
@@ -299,6 +309,7 @@ impl SiLibraryBuilder {
                     .cmp(&b.atoms.total_atoms())
                     .then(a.latency.cmp(&b.latency))
             });
+            si.variant_totals = si.variants.iter().map(|v| v.atoms.total_atoms()).collect();
         }
         Ok(SiLibrary {
             universe: self.universe,
@@ -418,6 +429,22 @@ mod tests {
         assert_eq!(sizes, sorted);
         assert_eq!(si.smallest_variant().atoms.total_atoms(), 2);
         assert_eq!(si.largest_variant().atoms.total_atoms(), 6);
+    }
+
+    #[test]
+    fn smallest_variant_is_variant_zero() {
+        // `build()` orders variants by (total atoms, latency); both the
+        // O(1) `smallest_variant` and the selector's phase 1 depend on
+        // variant 0 being the minimum under exactly that key.
+        let lib = two_type_library();
+        let si = lib.by_name("DEMO").unwrap();
+        let by_scan = si
+            .variants()
+            .iter()
+            .min_by_key(|v| (v.atoms.total_atoms(), v.latency))
+            .unwrap();
+        assert_eq!(si.smallest_variant(), by_scan);
+        assert_eq!(si.smallest_variant(), &si.variants()[0]);
     }
 
     #[test]

@@ -128,6 +128,24 @@ proptest! {
         assert_into_tiers_agree!(saturating_add_into, &a, &b);
     }
 
+    /// The in-place union accumulator must agree with the three-operand
+    /// union in every tier (same folding, no construction).
+    #[test]
+    fn union_in_place_agrees_across_tiers((a, b) in pair()) {
+        let expected = run_into(scalar::union_into, &a, &b);
+        let mut acc = a.clone();
+        scalar::union_in_place(&mut acc, &b);
+        prop_assert_eq!(&acc, &expected, "scalar union_in_place");
+        let mut acc = a.clone();
+        swar::union_in_place(&mut acc, &b);
+        prop_assert_eq!(&acc, &expected, "swar union_in_place");
+        if wide::available() {
+            let mut acc = a.clone();
+            wide::union_in_place(&mut acc, &b);
+            prop_assert_eq!(&acc, &expected, "wide union_in_place");
+        }
+    }
+
     #[test]
     fn reductions_agree_across_tiers((a, b) in pair()) {
         assert_fold_tiers_agree!(residual_atoms, &a, &b);
@@ -163,6 +181,13 @@ proptest! {
     fn union_matches_scalar((a, b) in pair()) {
         let (ma, mb) = (Molecule::from_counts(a.clone()), Molecule::from_counts(b.clone()));
         prop_assert_eq!(ma.union(&mb).counts(), &scalar::union(&a, &b)[..]);
+        // The in-place and write-into forms are the same fold.
+        let mut acc = ma.clone();
+        acc.union_assign(&mb);
+        prop_assert_eq!(acc.counts(), &scalar::union(&a, &b)[..]);
+        let mut out = Molecule::zero(ma.arity());
+        ma.union_into(&mb, &mut out);
+        prop_assert_eq!(out.counts(), &scalar::union(&a, &b)[..]);
     }
 
     #[test]

@@ -22,8 +22,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use rispp_core::{PlanCache, PlanCacheHandle};
 use rispp_model::SiLibrary;
-use rispp_sim::{simulate_cancellable, CancelToken, SweepRunner, Trace};
+use rispp_sim::{simulate_cancellable_shared, CancelToken, SweepRunner, Trace};
 use rispp_telemetry::{MetricsRegistry, MetricsSnapshot};
 
 use crate::cache::LruCache;
@@ -100,6 +101,11 @@ struct ServerInner {
     library: SiLibrary,
     queue: AdmissionQueue<QueuedJob>,
     cache: LruCache<Trace>,
+    /// Warm cross-request plan cache, namespaced per config hash. Repeat
+    /// requests for the same `(config, trace)` replay memoised planning
+    /// decisions instead of re-running the selector and scheduler; results
+    /// are bit-identical either way, so this is invisible to clients.
+    plan_cache: Arc<PlanCache>,
     poison: PoisonList,
     watchdog: Arc<DeadlineWatchdog>,
     metrics: Mutex<MetricsRegistry>,
@@ -134,6 +140,7 @@ impl Server {
         let inner = Arc::new(ServerInner {
             queue: AdmissionQueue::new(config.queue_capacity),
             cache: LruCache::new(config.trace_cache_capacity),
+            plan_cache: Arc::new(PlanCache::default()),
             poison: PoisonList::new(config.poison_threshold),
             watchdog,
             metrics: Mutex::new(MetricsRegistry::new()),
@@ -294,6 +301,14 @@ impl Server {
         self.inner.cache.stats()
     }
 
+    /// Lifetime totals of the warm cross-request plan cache. Racy under
+    /// concurrent jobs (they are gauges, not per-run stats), but hits
+    /// plus misses always equals completed planning lookups.
+    #[must_use]
+    pub fn plan_cache_totals(&self) -> rispp_core::PlanCacheStats {
+        self.inner.plan_cache.totals()
+    }
+
     /// Quarantined config count.
     #[must_use]
     pub fn poisoned_configs(&self) -> usize {
@@ -326,6 +341,23 @@ impl Server {
         registry.gauge_set(
             "rispp_serve_configs_poisoned",
             i64::try_from(self.poisoned_configs()).unwrap_or(i64::MAX),
+        );
+        let plans = self.inner.plan_cache.totals();
+        registry.gauge_set(
+            "rispp_serve_plan_cache_hits",
+            i64::try_from(plans.hits).unwrap_or(i64::MAX),
+        );
+        registry.gauge_set(
+            "rispp_serve_plan_cache_misses",
+            i64::try_from(plans.misses).unwrap_or(i64::MAX),
+        );
+        registry.gauge_set(
+            "rispp_serve_plan_cache_insertions",
+            i64::try_from(plans.insertions).unwrap_or(i64::MAX),
+        );
+        registry.gauge_set(
+            "rispp_serve_plan_cache_evictions",
+            i64::try_from(plans.evictions).unwrap_or(i64::MAX),
         );
         registry.into_snapshot()
     }
@@ -443,7 +475,17 @@ fn run_job(inner: &Arc<ServerInner>, job: &QueuedJob) -> JobOutcome {
         let chaos = attempts <= spec.chaos_panics;
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             assert!(!chaos, "chaos: injected panic (attempt {attempts})");
-            simulate_cancellable(&inner.library, &trace, &spec.config, &job.token)
+            // The warm plan cache is namespaced by the config hash, so
+            // jobs with different configs can never cross-hit each other.
+            let plans =
+                PlanCacheHandle::new(Arc::clone(&inner.plan_cache)).with_namespace(config_hash);
+            simulate_cancellable_shared(
+                &inner.library,
+                &trace,
+                &spec.config,
+                &job.token,
+                Some(&plans),
+            )
         }));
         match result {
             Ok(run) if !run.cancelled => {

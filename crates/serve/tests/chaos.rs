@@ -375,7 +375,7 @@ fn deadline_timeout_is_reported_as_timeout() {
             ..ServerConfig::default()
         },
     );
-    let mut job = spec("slow", faulty_config(2), payload(20_000, 40), 0);
+    let mut job = spec("slow", faulty_config(2), payload(400_000, 40), 0);
     job.deadline_ms = Some(50);
     let SubmitResult::Enqueued(t) = server.submit(job) else {
         panic!("refused");

@@ -113,6 +113,13 @@ pub trait ExecutionSystem {
         rispp_core::RecoveryStats::default()
     }
 
+    /// Deterministic plan-cache counters of this run. Backends without a
+    /// [`rispp_core::PlanCache`] (the baselines, software-only execution
+    /// and most custom backends) keep the default: all zero.
+    fn plan_cache_stats(&self) -> rispp_core::PlanCacheStats {
+        rispp_core::PlanCacheStats::default()
+    }
+
     /// Whether the system may still generate reconfiguration or recovery
     /// events on its own (loads queued or in flight, scheduled faults).
     /// The replay loop samples this *before* each burst and skips the
@@ -272,6 +279,10 @@ impl ExecutionSystem for RisppBackend<'_> {
 
     fn recovery_stats(&self) -> rispp_core::RecoveryStats {
         self.manager.recovery_stats()
+    }
+
+    fn plan_cache_stats(&self) -> rispp_core::PlanCacheStats {
+        self.manager.plan_cache_stats()
     }
 
     fn has_pending_activity(&self) -> bool {

@@ -1,5 +1,6 @@
 use rispp_core::{
-    BurstSegment, DecisionExplain, RecoveryPolicy, RecoveryStats, RunTimeManager, SchedulerKind,
+    BurstSegment, DecisionExplain, PlanCacheHandle, PlanCacheStats, RecoveryPolicy, RecoveryStats,
+    RunTimeManager, SchedulerKind,
 };
 use rispp_fabric::{FabricJournalEntry, FaultModel};
 use rispp_model::SiLibrary;
@@ -109,6 +110,20 @@ pub struct SimConfig {
     /// default — one tenant, shared fabric — is the classic single-owner
     /// simulation; [`simulate`] ignores everything but the default.
     pub tenants: TenancyConfig,
+    /// Memoise planning decisions in a [`rispp_core::PlanCache`] (RISPP
+    /// only). Results are bit-identical either way — a verified hit
+    /// replays exactly the decision the planner would have produced — so
+    /// this is purely a speed/memory trade. Defaults to on unless the
+    /// `RISPP_PLAN_CACHE` environment variable is `0` at configuration
+    /// time (the cache-off escape hatch for A/B comparisons); when off,
+    /// shared caches handed to the engine are ignored too.
+    pub plan_cache: bool,
+}
+
+/// Constructor-time default of [`SimConfig::plan_cache`]: on, unless
+/// `RISPP_PLAN_CACHE=0`.
+fn plan_cache_default() -> bool {
+    std::env::var("RISPP_PLAN_CACHE").map_or(true, |v| v != "0")
 }
 
 impl SimConfig {
@@ -127,6 +142,7 @@ impl SimConfig {
             explain: false,
             journal: false,
             tenants: TenancyConfig::default(),
+            plan_cache: plan_cache_default(),
         }
     }
 
@@ -145,6 +161,7 @@ impl SimConfig {
             explain: false,
             journal: false,
             tenants: TenancyConfig::default(),
+            plan_cache: plan_cache_default(),
         }
     }
 
@@ -163,6 +180,7 @@ impl SimConfig {
             explain: false,
             journal: false,
             tenants: TenancyConfig::default(),
+            plan_cache: plan_cache_default(),
         }
     }
 
@@ -230,6 +248,15 @@ impl SimConfig {
         self
     }
 
+    /// Enables or disables plan-decision memoisation (builder style),
+    /// overriding the `RISPP_PLAN_CACHE` constructor default. See
+    /// [`SimConfig::plan_cache`].
+    #[must_use]
+    pub fn with_plan_cache(mut self, plan_cache: bool) -> Self {
+        self.plan_cache = plan_cache;
+        self
+    }
+
     /// Builds the configured execution system over `library`.
     ///
     /// This is the factory behind [`simulate`]: every [`SystemKind`] maps
@@ -238,12 +265,31 @@ impl SimConfig {
     /// implementation to [`simulate_with`] directly.
     #[must_use]
     pub fn build_system<'a>(&self, library: &'a SiLibrary) -> Box<dyn ExecutionSystem + 'a> {
+        self.build_system_shared(library, None)
+    }
+
+    /// [`build_system`](SimConfig::build_system) with an optional *shared*
+    /// plan cache: when `plan_cache` is on and `shared` is supplied, the
+    /// RISPP backend memoises into it (cross-job/cross-request reuse);
+    /// with `None` it gets a private per-run cache. When
+    /// [`SimConfig::plan_cache`] is off, `shared` is ignored entirely.
+    #[must_use]
+    pub fn build_system_shared<'a>(
+        &self,
+        library: &'a SiLibrary,
+        shared: Option<&PlanCacheHandle>,
+    ) -> Box<dyn ExecutionSystem + 'a> {
         match self.system {
             SystemKind::Rispp(kind) => {
                 let mut builder = RunTimeManager::builder(library)
                     .containers(self.containers)
                     .scheduler(kind)
                     .forecast(self.forecast);
+                if self.plan_cache {
+                    builder = builder.plan_cache(
+                        shared.cloned().unwrap_or_else(PlanCacheHandle::private),
+                    );
+                }
                 if let Some(bw) = self.port_bandwidth {
                     builder = builder.port_bandwidth(bw);
                 }
@@ -572,6 +618,22 @@ pub(crate) fn replay_invocation(
         // no-ops, and each non-empty one yields exactly one segment.
         let consumed = system.execute_bursts_batched(&bursts[bi..], now, &mut state.segments);
         if consumed > 0 {
+            // With no segment observers only the clock matters, and each
+            // consumed segment advances it independently of the previous
+            // one (`seg.start` comes from the backend) — so land directly
+            // on the end of the last consumed non-empty burst.
+            if state.seg_observers.is_empty() {
+                if let Some(seg) = state.segments.last() {
+                    let b = bursts[bi..bi + consumed]
+                        .iter()
+                        .rfind(|b| b.count != 0)
+                        .expect("a segment implies a non-empty consumed burst");
+                    let per = u64::from(seg.latency) + u64::from(b.overhead);
+                    now = seg.start + seg.count * per;
+                }
+                bi += consumed;
+                continue;
+            }
             let mut segs = state.segments.iter();
             for b in &bursts[bi..bi + consumed] {
                 if b.count == 0 {
@@ -683,20 +745,44 @@ pub fn simulate_observed(
     config: &SimConfig,
     extra: &mut [&mut (dyn SimObserver + '_)],
 ) -> RunStats {
-    let mut system = config.build_system(library);
+    simulate_observed_planned(library, trace, config, None, extra).0
+}
+
+/// [`simulate_observed`] with an optional *shared* plan cache, returning
+/// the run's deterministic [`PlanCacheStats`] alongside the statistics.
+/// With `shared: None` and [`SimConfig::plan_cache`] on, the run uses a
+/// private cache (intra-run memoisation only); when `plan_cache` is off
+/// the returned counters are all zero. The [`RunStats`] are bit-identical
+/// in every case.
+///
+/// # Panics
+///
+/// Panics if the trace references SIs outside `library`.
+#[must_use]
+pub fn simulate_observed_planned(
+    library: &SiLibrary,
+    trace: &Trace,
+    config: &SimConfig,
+    shared: Option<&PlanCacheHandle>,
+    extra: &mut [&mut (dyn SimObserver + '_)],
+) -> (RunStats, PlanCacheStats) {
+    let mut system = config.build_system_shared(library, shared);
     let mut stats = RunStats::new(
         system.label(),
         library.len(),
         config.bucket_cycles,
         config.detail,
     );
-    let mut observers: Vec<&mut (dyn SimObserver + '_)> = Vec::with_capacity(1 + extra.len());
-    observers.push(&mut stats);
-    for obs in extra.iter_mut() {
-        observers.push(&mut **obs);
+    {
+        let mut observers: Vec<&mut (dyn SimObserver + '_)> = Vec::with_capacity(1 + extra.len());
+        observers.push(&mut stats);
+        for obs in extra.iter_mut() {
+            observers.push(&mut **obs);
+        }
+        simulate_with(system.as_mut(), trace, &mut observers);
     }
-    simulate_with(system.as_mut(), trace, &mut observers);
-    stats
+    let plan = system.plan_cache_stats();
+    (stats, plan)
 }
 
 /// Replays `trace` on the configured system and returns the run statistics.
@@ -730,7 +816,26 @@ pub fn simulate_observed_cancellable(
     token: &CancelToken,
     extra: &mut [&mut (dyn SimObserver + '_)],
 ) -> CancellableRun {
-    let mut system = config.build_system(library);
+    simulate_observed_cancellable_shared(library, trace, config, token, None, extra)
+}
+
+/// [`simulate_observed_cancellable`] with an optional *shared* plan cache
+/// (the warm-cache job-server path). See
+/// [`simulate_observed_planned`] for the sharing semantics.
+///
+/// # Panics
+///
+/// Panics if the trace references SIs outside `library`.
+#[must_use]
+pub fn simulate_observed_cancellable_shared(
+    library: &SiLibrary,
+    trace: &Trace,
+    config: &SimConfig,
+    token: &CancelToken,
+    shared: Option<&PlanCacheHandle>,
+    extra: &mut [&mut (dyn SimObserver + '_)],
+) -> CancellableRun {
+    let mut system = config.build_system_shared(library, shared);
     let mut stats = RunStats::new(
         system.label(),
         library.len(),
@@ -765,6 +870,24 @@ pub fn simulate_cancellable(
     token: &CancelToken,
 ) -> CancellableRun {
     simulate_observed_cancellable(library, trace, config, token, &mut [])
+}
+
+/// [`simulate_cancellable`] against a *shared* warm plan cache — the
+/// job-server execution path with cross-request plan reuse. See
+/// [`simulate_observed_planned`] for the sharing semantics.
+///
+/// # Panics
+///
+/// Panics if the trace references SIs outside `library`.
+#[must_use]
+pub fn simulate_cancellable_shared(
+    library: &SiLibrary,
+    trace: &Trace,
+    config: &SimConfig,
+    token: &CancelToken,
+    shared: Option<&PlanCacheHandle>,
+) -> CancellableRun {
+    simulate_observed_cancellable_shared(library, trace, config, token, shared, &mut [])
 }
 
 #[cfg(test)]

@@ -70,8 +70,10 @@ pub use backend::{ExecutionSystem, RisppBackend, SoftwareBackend};
 pub use baseline::{molen_select, MolenSystem};
 pub use cancel::{CancelToken, CancellableRun};
 pub use engine::{
-    simulate, simulate_cancellable, simulate_observed, simulate_observed_cancellable,
-    simulate_with, simulate_with_cancellable, FaultConfig, SimConfig, SystemKind,
+    simulate, simulate_cancellable, simulate_cancellable_shared, simulate_observed,
+    simulate_observed_cancellable, simulate_observed_cancellable_shared,
+    simulate_observed_planned, simulate_with, simulate_with_cancellable, FaultConfig, SimConfig,
+    SystemKind,
 };
 pub use multi::{
     simulate_multi, simulate_multi_observed, MultiRunStats, TenancyConfig, TenantArbitration,

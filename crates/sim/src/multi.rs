@@ -332,6 +332,12 @@ fn simulate_multi_rispp(
         .scheduler(kind)
         .forecast(config.forecast)
         .explain(config.explain);
+    if config.plan_cache {
+        // One private cache per multi-tenant run: the application index
+        // and tenant count are plan-key words, so K tenants share the
+        // cache without ever sharing a decision across apps.
+        builder = builder.plan_cache(rispp_core::PlanCacheHandle::private());
+    }
     if let Some(bw) = config.port_bandwidth {
         builder = builder.port_bandwidth(bw);
     }

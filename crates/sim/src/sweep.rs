@@ -19,10 +19,11 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use rispp_core::PlanCacheHandle;
 use rispp_model::SiLibrary;
 use rispp_telemetry::MetricsSnapshot;
 
-use crate::engine::{simulate, simulate_observed, SimConfig};
+use crate::engine::{simulate_observed_planned, SimConfig};
 use crate::observer::SimObserver;
 use crate::stats::RunStats;
 use crate::telemetry::MetricsObserver;
@@ -49,9 +50,15 @@ impl<'t> SweepJob<'t> {
 }
 
 /// Work-queue runner for embarrassingly parallel sweeps.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SweepRunner {
     threads: usize,
+    /// Optional cross-job plan cache: jobs memoise planning decisions into
+    /// one shared [`rispp_core::PlanCache`]. Results stay bit-identical at
+    /// any thread count — a verified hit replays exactly what the planner
+    /// would have produced — sharing only changes how often the planner
+    /// actually runs.
+    plan_cache: Option<PlanCacheHandle>,
 }
 
 impl Default for SweepRunner {
@@ -74,7 +81,10 @@ impl SweepRunner {
             },
             Err(_) => Self::machine_parallelism(),
         };
-        SweepRunner { threads }
+        SweepRunner {
+            threads,
+            plan_cache: None,
+        }
     }
 
     /// Creates a runner with an explicit worker count (clamped to ≥ 1).
@@ -82,7 +92,23 @@ impl SweepRunner {
     pub fn with_threads(threads: usize) -> Self {
         SweepRunner {
             threads: threads.max(1),
+            plan_cache: None,
         }
+    }
+
+    /// Attaches a cross-job plan cache (builder style): every job of this
+    /// runner memoises into `handle`'s cache instead of a private per-run
+    /// one. Jobs whose [`SimConfig::plan_cache`] is off ignore it.
+    #[must_use]
+    pub fn with_plan_cache(mut self, handle: PlanCacheHandle) -> Self {
+        self.plan_cache = Some(handle);
+        self
+    }
+
+    /// The cross-job plan cache, if one was attached.
+    #[must_use]
+    pub fn plan_cache(&self) -> Option<&PlanCacheHandle> {
+        self.plan_cache.as_ref()
     }
 
     /// The configured worker count.
@@ -154,12 +180,19 @@ impl SweepRunner {
     /// # Panics
     ///
     /// Panics if a trace references SIs outside `library` (propagated from
-    /// [`simulate`]).
+    /// [`simulate`](crate::simulate)).
     #[must_use]
     pub fn run(&self, library: &SiLibrary, jobs: &[SweepJob<'_>]) -> Vec<RunStats> {
         self.run_map(jobs.len(), |i| {
             let job = &jobs[i];
-            simulate(library, job.trace, &job.config)
+            simulate_observed_planned(
+                library,
+                job.trace,
+                &job.config,
+                self.plan_cache.as_ref(),
+                &mut [],
+            )
+            .0
         })
     }
 
@@ -177,7 +210,7 @@ impl SweepRunner {
     /// # Panics
     ///
     /// Panics if a trace references SIs outside `library` (propagated from
-    /// [`simulate`]).
+    /// [`simulate`](crate::simulate)).
     #[must_use]
     pub fn run_observed<'s, F>(
         &self,
@@ -193,7 +226,14 @@ impl SweepRunner {
             let mut boxes = observers(i);
             let mut extra: Vec<&mut (dyn SimObserver + 's)> =
                 boxes.iter_mut().map(|b| b.as_mut()).collect();
-            simulate_observed(library, job.trace, &job.config, &mut extra)
+            simulate_observed_planned(
+                library,
+                job.trace,
+                &job.config,
+                self.plan_cache.as_ref(),
+                &mut extra,
+            )
+            .0
         })
     }
 
@@ -207,7 +247,7 @@ impl SweepRunner {
     /// # Panics
     ///
     /// Panics if a trace references SIs outside `library` (propagated from
-    /// [`simulate`]).
+    /// [`simulate`](crate::simulate)).
     #[must_use]
     pub fn run_metered(
         &self,
@@ -217,10 +257,17 @@ impl SweepRunner {
         let pairs = self.run_map(jobs.len(), |i| {
             let job = &jobs[i];
             let mut metrics = MetricsObserver::new();
-            let stats = {
+            let (stats, plan) = {
                 let mut extra: [&mut dyn SimObserver; 1] = [&mut metrics];
-                simulate_observed(library, job.trace, &job.config, &mut extra)
+                simulate_observed_planned(
+                    library,
+                    job.trace,
+                    &job.config,
+                    self.plan_cache.as_ref(),
+                    &mut extra,
+                )
             };
+            metrics.record_plan_cache(&plan);
             (stats, metrics.into_snapshot())
         });
         let mut merged = MetricsSnapshot::default();

@@ -148,6 +148,28 @@ impl MetricsObserver {
         self.registry.counter_add(&name, delta);
         self.name = name;
     }
+
+    /// Folds a run's deterministic plan-cache counters into the registry
+    /// (they are pulled from the backend after the run rather than carried
+    /// on the event stream, which stays bit-identical cache-on vs
+    /// cache-off). All-zero stats — cache off, or a non-RISPP backend —
+    /// add nothing, so such snapshots are byte-identical to runs recorded
+    /// before the plan cache existed.
+    pub fn record_plan_cache(&mut self, stats: &rispp_core::PlanCacheStats) {
+        if stats.is_zero() {
+            return;
+        }
+        self.registry
+            .counter_add("rispp_plan_cache_hits_total", stats.hits);
+        self.registry
+            .counter_add("rispp_plan_cache_misses_total", stats.misses);
+        self.registry
+            .counter_add("rispp_plan_cache_insertions_total", stats.insertions);
+        self.registry
+            .counter_add("rispp_plan_cache_evictions_total", stats.evictions);
+        self.registry
+            .counter_add("rispp_plan_cache_epoch_bumps_total", stats.epoch_bumps);
+    }
 }
 
 impl SimObserver for MetricsObserver {

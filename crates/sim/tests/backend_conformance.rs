@@ -4,16 +4,16 @@
 
 use std::borrow::Cow;
 
-use rispp_core::{BurstSegment, SchedulerKind};
+use rispp_core::{BurstSegment, PlanCacheHandle, SchedulerKind};
 use rispp_model::{
     AtomTypeInfo, AtomUniverse, Molecule, SiId, SiLibrary, SiLibraryBuilder,
 };
 use rispp_monitor::HotSpotId;
 use rispp_sim::{
-    simulate, simulate_with, Burst, ExecutionSystem, FaultConfig, Invocation, RunStats, SimConfig,
-    simulate_multi, simulate_multi_observed, SimEvent, SimObserver, SoftwareBackend, SystemKind,
-    TenancyConfig, TenantArbitration, TenantPolicy, Trace, TraceLogObserver,
-    DEFAULT_BUCKET_CYCLES,
+    simulate, simulate_observed_planned, simulate_with, Burst, ExecutionSystem, FaultConfig,
+    Invocation, RunStats, SimConfig, simulate_multi, simulate_multi_observed, SimEvent,
+    SimObserver, SoftwareBackend, SweepJob, SweepRunner, SystemKind, TenancyConfig,
+    TenantArbitration, TenantPolicy, Trace, TraceLogObserver, DEFAULT_BUCKET_CYCLES,
 };
 
 fn library() -> SiLibrary {
@@ -491,4 +491,169 @@ fn single_tenant_arbiter_event_stream_is_bit_identical_to_solo_path() {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache: memoisation must be invisible — cache-on replays are
+// bit-identical to cache-off planning for every configuration.
+// ---------------------------------------------------------------------------
+
+/// Full event stream of one run under `config`.
+fn event_log(lib: &SiLibrary, t: &Trace, config: &SimConfig) -> TraceLogObserver {
+    let mut log = TraceLogObserver::new();
+    {
+        let mut system = config.build_system(lib);
+        let mut observers: [&mut dyn SimObserver; 1] = [&mut log];
+        simulate_with(system.as_mut(), t, &mut observers);
+    }
+    log
+}
+
+#[test]
+fn plan_cache_on_is_bit_identical_to_off_for_every_config() {
+    let lib = library();
+    let t = trace(6);
+    for config in equivalence_configs() {
+        let on = config.with_plan_cache(true);
+        let off = config.with_plan_cache(false);
+        assert_eq!(
+            simulate(&lib, &t, &on),
+            simulate(&lib, &t, &off),
+            "{}: stats diverged with the plan cache on",
+            config.system.label()
+        );
+        assert_eq!(
+            event_log(&lib, &t, &on).events(),
+            event_log(&lib, &t, &off).events(),
+            "{}: event stream diverged with the plan cache on",
+            config.system.label()
+        );
+    }
+}
+
+#[test]
+fn plan_cache_rispp_runs_actually_hit_in_steady_state() {
+    // Guard against the cache silently never matching (which would make
+    // the bit-identity tests above vacuous): a periodic trace must reach
+    // hits once the forecast converges.
+    let lib = library();
+    let t = trace(40);
+    for kind in SchedulerKind::ALL {
+        let config = SimConfig::rispp(4, kind).with_plan_cache(true);
+        let (_, plan) = simulate_observed_planned(&lib, &t, &config, None, &mut []);
+        assert!(
+            plan.hits > 0,
+            "{kind}: no plan-cache hits on a periodic 40-frame trace: {plan:?}"
+        );
+        assert_eq!(plan.lookups(), plan.hits + plan.misses);
+        assert_eq!(plan.evictions, 0, "{kind}: workload far below capacity");
+    }
+}
+
+#[test]
+fn plan_cache_is_bit_identical_for_multi_tenant_runs() {
+    let lib = library();
+    let traces: Vec<Trace> = vec![trace(4), trace(5), trace(3)];
+    for count in [2u16, 3] {
+        let slice = &traces[..usize::from(count)];
+        for kind in [SchedulerKind::Hef, SchedulerKind::Asf] {
+            for policy in [TenantPolicy::Shared, TenantPolicy::Partitioned] {
+                let base = SimConfig::rispp(6, kind).with_tenants(TenancyConfig {
+                    count,
+                    policy,
+                    arbitration: TenantArbitration::RoundRobin,
+                });
+                let on = simulate_multi(&lib, slice, &base.with_plan_cache(true));
+                let off = simulate_multi(&lib, slice, &base.with_plan_cache(false));
+                assert_eq!(on, off, "{kind} K={count} {policy:?}: multi-tenant diverged");
+
+                // Per-tenant event streams must match too (one observer
+                // per trace, as the multi API requires).
+                let mut on_logs: Vec<TraceLogObserver> =
+                    (0..count).map(|_| TraceLogObserver::new()).collect();
+                {
+                    let mut observers: Vec<&mut dyn SimObserver> =
+                        on_logs.iter_mut().map(|l| l as &mut dyn SimObserver).collect();
+                    let _ = simulate_multi_observed(
+                        &lib,
+                        slice,
+                        &base.with_plan_cache(true),
+                        &mut observers,
+                    );
+                }
+                let mut off_logs: Vec<TraceLogObserver> =
+                    (0..count).map(|_| TraceLogObserver::new()).collect();
+                {
+                    let mut observers: Vec<&mut dyn SimObserver> =
+                        off_logs.iter_mut().map(|l| l as &mut dyn SimObserver).collect();
+                    let _ = simulate_multi_observed(
+                        &lib,
+                        slice,
+                        &base.with_plan_cache(false),
+                        &mut observers,
+                    );
+                }
+                for (tenant, (on_log, off_log)) in
+                    on_logs.iter().zip(off_logs.iter()).enumerate()
+                {
+                    assert_eq!(
+                        on_log.events(),
+                        off_log.events(),
+                        "{kind} K={count} {policy:?} tenant {tenant}: event stream diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_cache_shared_sweep_is_bit_identical_at_any_thread_count() {
+    // Cross-job sharing (tentpole layer 2): one shared cache across a
+    // sweep must leave every result bit-identical to the cache-off
+    // sequential loop, at 1, 2, 4 and 8 worker threads — insertion order
+    // into the shared cache is scheduling-dependent, results must not be.
+    let lib = library();
+    let t = trace(5);
+    let jobs: Vec<SweepJob<'_>> = equivalence_configs()
+        .into_iter()
+        .map(|c| SweepJob::new(c.with_plan_cache(true), &t))
+        .collect();
+    let baseline: Vec<RunStats> = jobs
+        .iter()
+        .map(|j| simulate(&lib, j.trace, &j.config.with_plan_cache(false)))
+        .collect();
+    for threads in [1usize, 2, 4, 8] {
+        let runner =
+            SweepRunner::with_threads(threads).with_plan_cache(PlanCacheHandle::default());
+        let results = runner.run(&lib, &jobs);
+        assert_eq!(
+            results, baseline,
+            "{threads}-thread shared-cache sweep diverged from sequential cache-off"
+        );
+    }
+}
+
+#[test]
+fn plan_cache_env_escape_disables_the_default() {
+    // `RISPP_PLAN_CACHE=0` must flip the constructor default off (an
+    // operational escape hatch); any other value, or unset, leaves it on.
+    // An explicit `with_plan_cache` always wins over the environment.
+    let lib = library();
+    let t = trace(4);
+    std::env::set_var("RISPP_PLAN_CACHE", "0");
+    let off_default = SimConfig::rispp(4, SchedulerKind::Hef);
+    assert!(!off_default.plan_cache, "RISPP_PLAN_CACHE=0 must disable");
+    let escaped = simulate(&lib, &t, &off_default);
+    std::env::set_var("RISPP_PLAN_CACHE", "1");
+    assert!(SimConfig::rispp(4, SchedulerKind::Hef).plan_cache);
+    std::env::remove_var("RISPP_PLAN_CACHE");
+    assert!(SimConfig::rispp(4, SchedulerKind::Hef).plan_cache);
+    // And of course: the escape hatch does not change results either.
+    let cached = simulate(
+        &lib,
+        &t,
+        &SimConfig::rispp(4, SchedulerKind::Hef).with_plan_cache(true),
+    );
+    assert_eq!(escaped, cached, "cache-off escape must be bit-identical");
 }

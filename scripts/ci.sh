@@ -78,6 +78,22 @@ grep -q '"rispp_simulated_cycles_total"' target/ci_metrics.json || {
   exit 1
 }
 
+echo "==> plan-cache smoke (cache on/off CSV byte-identity)"
+# The PlanCache is a pure memoisation layer: the same simulation run
+# with the cache enabled (default) and disabled via the RISPP_PLAN_CACHE=0
+# escape hatch must produce byte-identical CSV output. Any divergence
+# means a cached decision leaked state it should not have.
+RISPP_PLAN_CACHE=1 ./target/release/rispp-cli simulate --frames 2 --acs 8 \
+  --csv >target/ci_plan_on.csv
+RISPP_PLAN_CACHE=0 ./target/release/rispp-cli simulate --frames 2 --acs 8 \
+  --csv >target/ci_plan_off.csv
+if ! cmp -s target/ci_plan_on.csv target/ci_plan_off.csv; then
+  echo "ci: plan-cache smoke failed — cache-on and cache-off CSV outputs differ:" >&2
+  diff target/ci_plan_on.csv target/ci_plan_off.csv >&2 || true
+  exit 1
+fi
+echo "    cache-on and cache-off outputs byte-identical"
+
 echo "==> serve smoke (daemon boot, NDJSON batch, SIGTERM drain)"
 # Boot the job-server daemon on an ephemeral port, push a fig7-shaped
 # batch over the socket with --compare-local (the client re-runs every
