@@ -13,7 +13,7 @@ use rispp_sim::{
     SweepRunner, SystemKind, TenancyConfig, TenantArbitration, TenantPolicy, Trace,
     TraceLogObserver,
 };
-use rispp_telemetry::JsonValue;
+use rispp_telemetry::{Bundle, JsonValue};
 
 use crate::args::Options;
 
@@ -746,6 +746,134 @@ pub fn check_trace(args: &[String]) -> ExitCode {
     if decision_events == 0 {
         return fail("no scheduler decision events in trace");
     }
+    ExitCode::SUCCESS
+}
+
+/// `rispp-cli forensics --file PATH`.
+///
+/// Loads a flight-recorder diagnostic bundle spilled by `rispp-serve`
+/// and renders the causal chain behind the failure: admission identity,
+/// plan-cache state at the dump, retained scheduler decisions, the
+/// fabric journal tail and the event tail. Exits 0 iff the bundle
+/// parses; a truncated-but-readable bundle is rendered with a warning.
+pub fn forensics(args: &[String]) -> ExitCode {
+    let options = match Options::parse(args) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let Some(path) = options.value("file") else {
+        return fail("forensics requires --file PATH");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read `{path}`: {e}")),
+    };
+    let bundle = match Bundle::parse(&text) {
+        Ok(b) => b,
+        Err(e) => return fail(&format!("`{path}` is not a flight bundle: {e}")),
+    };
+    let meta = &bundle.meta;
+    println!("flight bundle {path}");
+    println!("  reason       {}", meta.reason);
+    println!(
+        "  identity     job `{}`  trace {}  tenant {}  attempt {}",
+        meta.job_id, meta.trace_id, meta.tenant, meta.attempt
+    );
+    println!(
+        "  config       hash {:016x}  (event schema v{})",
+        meta.config_hash, meta.event_schema_version
+    );
+    if !bundle.complete {
+        println!("  WARNING      bundle is truncated; the tail below is partial");
+    }
+
+    let count = |name: &str| {
+        bundle
+            .events
+            .iter()
+            .filter(|e| e.get("event").and_then(JsonValue::as_str) == Some(name))
+            .count()
+    };
+    let event_u64 = |row: &JsonValue, key: &str| row.get(key).and_then(JsonValue::as_u64);
+
+    println!("\ncausal chain:");
+    println!(
+        "  admission    job `{}` admitted as trace {}; bundle captures attempt {}",
+        meta.job_id, meta.trace_id, meta.attempt
+    );
+    println!(
+        "  plan/replay  warm plan cache at dump: {} hits / {} misses",
+        meta.plan_hits, meta.plan_misses
+    );
+    println!(
+        "  bursts       event tail retains {} rows ({} older rows fell off the ring): \
+         {} hot-spot entries, {} segments, {} atom loads",
+        bundle.events.len(),
+        meta.events_dropped,
+        count("hot_spot_entered"),
+        count("segment_executed"),
+        count("load_completed"),
+    );
+    println!(
+        "  faults       {} injected, {} load retries, {} quarantines, {} cISA degradations",
+        count("fault_injected"),
+        count("load_retried"),
+        count("container_quarantined"),
+        count("degraded_to_software"),
+    );
+    let last_cycle = bundle
+        .events
+        .iter()
+        .rev()
+        .find_map(|e| event_u64(e, "now").or_else(|| event_u64(e, "at")))
+        .unwrap_or(0);
+    if count("run_finished") > 0 {
+        println!("  outcome      {} — run reached its end", meta.reason);
+    } else {
+        println!(
+            "  outcome      {} — run stopped near cycle {last_cycle}, no run_finished event",
+            meta.reason
+        );
+    }
+
+    if bundle.explains.is_empty() {
+        println!("\nno retained scheduler decisions");
+    } else {
+        println!(
+            "\nlast {} scheduler decision(s) ({} older dropped):",
+            bundle.explains.len(),
+            meta.decisions_dropped
+        );
+        for (now, summary) in &bundle.explains {
+            println!("  @{now:>12}  {summary}");
+        }
+    }
+    if bundle.journal.is_empty() {
+        println!("no retained fabric-journal entries");
+    } else {
+        println!(
+            "last {} fabric-journal entries ({} older dropped):",
+            bundle.journal.len(),
+            meta.journal_dropped
+        );
+        for entry in &bundle.journal {
+            let kind = entry.get("kind").and_then(JsonValue::as_str).unwrap_or("?");
+            let container = event_u64(entry, "container").unwrap_or(0);
+            let at = event_u64(entry, "at").unwrap_or(0);
+            match event_u64(entry, "atom") {
+                Some(atom) => println!("  @{at:>12}  AC{container} {kind} atom {atom}"),
+                None => println!("  @{at:>12}  AC{container} {kind}"),
+            }
+        }
+    }
+    println!(
+        "perfetto fragment: {}",
+        if bundle.perfetto.is_some() {
+            "present (extract with any JSONL tool, open at https://ui.perfetto.dev)"
+        } else {
+            "absent"
+        }
+    );
     ExitCode::SUCCESS
 }
 

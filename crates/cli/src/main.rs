@@ -1,8 +1,8 @@
 //! `rispp-cli` — command-line interface to the RISPP run-time system.
 //!
 //! Subcommands: `inventory`, `schedule`, `simulate`, `sweep`, `resilience`,
-//! `profile`, `contend`, `check-trace`, `hw`, `serve`, `submit`. Run
-//! `rispp-cli help` for details.
+//! `profile`, `contend`, `check-trace`, `forensics`, `hw`, `serve`,
+//! `submit`. Run `rispp-cli help` for details.
 
 mod args;
 mod commands;
@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         Some("profile") => commands::profile(&argv[1..]),
         Some("contend") => commands::contend(&argv[1..]),
         Some("check-trace") => commands::check_trace(&argv[1..]),
+        Some("forensics") => commands::forensics(&argv[1..]),
         Some("hw") => commands::hw(&argv[1..]),
         Some("serve") => serving::serve(&argv[1..]),
         Some("submit") => serving::submit(&argv[1..]),
@@ -111,19 +112,29 @@ SUBCOMMANDS:
         Validate a --trace-out document: well-formed Chrome trace-event
         JSON with container tracks and scheduler decision events.
 
+    forensics --file PATH
+        Load a flight-recorder diagnostic bundle spilled by the serve
+        daemon (`serve --flight-dir`) and render the causal chain behind
+        the failure: admission identity, plan-cache state, retained
+        scheduler decisions, fabric journal and event-tail statistics.
+
     hw
         The HEF scheduler hardware report (paper Table 3) and FSM timing.
 
     serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
           [--deadline-ms MS] [--poison-threshold N] [--max-attempts N]
-          [--cache-capacity N] [--metrics-out PATH]
+          [--cache-capacity N] [--metrics-out PATH] [--flight-dir DIR]
+          [--flight-events N]
         Run the persistent job-server daemon: simulation jobs arrive as
         newline-delimited JSON over TCP, execute on a crash-isolated
         worker pool and return RunStats bit-identical to `simulate`.
         Backpressure (bounded queue), per-job deadlines, panic
         quarantine, warm trace caching, Prometheus metrics over the
         `metrics` op. SIGTERM drains gracefully: admission stops, every
-        admitted job finishes, then the daemon exits 0.
+        admitted job finishes, then the daemon exits 0. --flight-dir
+        arms a per-job flight recorder that spills a diagnostic bundle
+        (readable with `forensics`) on timeout, retry exhaustion or
+        poison-listing; --flight-events sets its ring capacity.
 
     submit --addr HOST:PORT [--frames N] [--acs N | --from N --to N]
            [--scheduler KIND] [--repeat K] [--fault-rate R]

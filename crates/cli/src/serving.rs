@@ -16,7 +16,8 @@ use crate::commands::{fail, fault_options, write_metrics};
 
 /// `rispp-cli serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
 /// [--deadline-ms MS] [--poison-threshold N] [--max-attempts N]
-/// [--cache-capacity N] [--metrics-out PATH]`.
+/// [--cache-capacity N] [--metrics-out PATH] [--flight-dir DIR]
+/// [--flight-events N]`.
 pub fn serve(args: &[String]) -> ExitCode {
     let options = match Options::parse(args) {
         Ok(o) => o,
@@ -34,6 +35,10 @@ pub fn serve(args: &[String]) -> ExitCode {
         if options.value("deadline-ms").is_some() {
             config.default_deadline_ms = Some(options.number("deadline-ms", 0u64)?);
         }
+        if let Some(dir) = options.value("flight-dir") {
+            config.flight_dir = Some(std::path::PathBuf::from(dir));
+        }
+        config.flight_events = options.number("flight-events", config.flight_events)?;
         Ok(())
     })();
     if let Err(e) = parsed {

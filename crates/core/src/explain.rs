@@ -208,6 +208,44 @@ pub struct DecisionExplain {
     pub schedule: ScheduleExplain,
 }
 
+impl DecisionExplain {
+    /// Compact one-line rendering for log tails where the full
+    /// multi-line [`fmt::Display`] form is too verbose (flight-recorder
+    /// bundles, forensics listings): cycle, hot spot, usable containers,
+    /// final selection size, rejected demand count, committed upgrade
+    /// rounds and the scheduler's name with its round count.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+
+        let mut out = String::new();
+        let _ = write!(out, "decision @ cycle {}: ", self.now);
+        match self.hot_spot {
+            Some(hs) => {
+                let _ = write!(out, "hot spot {}", hs.0);
+            }
+            None => out.push_str("no hot spot"),
+        }
+        let upgrades = self
+            .selection
+            .rounds
+            .iter()
+            .filter(|r| r.chosen.is_some())
+            .count();
+        let _ = write!(
+            out,
+            ", {} containers, {} selected, {} in software, {} upgrades, {} schedule rounds [{}]",
+            self.containers,
+            self.selection.selection.len(),
+            self.selection.rejected.len(),
+            upgrades,
+            self.schedule.rounds.len(),
+            self.schedule.scheduler,
+        );
+        out
+    }
+}
+
 impl fmt::Display for DecisionExplain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.hot_spot {
@@ -280,6 +318,43 @@ mod tests {
         assert!(text.contains("gain 194000"));
         assert!(text.contains("schedule [HEF]"));
         assert!(text.contains("round 1 [upgrade]"));
+    }
+
+    #[test]
+    fn summary_is_one_line_and_names_the_key_facts() {
+        let explain = DecisionExplain {
+            now: 77,
+            hot_spot: Some(HotSpotId(3)),
+            containers: 8,
+            selection: SelectionExplain {
+                containers: 8,
+                rejected: vec![SiId(5)],
+                rounds: vec![
+                    SelectionRound {
+                        candidates: vec![],
+                        chosen: Some(CandidateScore {
+                            si: SiId(0),
+                            variant_index: 1,
+                            gain: 10,
+                            cost: 1,
+                        }),
+                    },
+                    SelectionRound::default(),
+                ],
+                selection: vec![SelectedMolecule::new(SiId(0), 1)],
+                ..SelectionExplain::default()
+            },
+            schedule: ScheduleExplain::new("SJF"),
+        };
+        let line = explain.summary();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("cycle 77"));
+        assert!(line.contains("hot spot 3"));
+        assert!(line.contains("1 selected"));
+        assert!(line.contains("1 in software"));
+        assert!(line.contains("1 upgrades"));
+        assert!(line.contains("[SJF]"));
+        assert!(DecisionExplain::default().summary().contains("no hot spot"));
     }
 
     #[test]

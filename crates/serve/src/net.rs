@@ -33,10 +33,11 @@ enum Pending {
 fn health_line(server: &Server) -> String {
     let status = if server.is_draining() { "draining" } else { "ready" };
     format!(
-        r#"{{"ok":true,"status":"{status}","queue_depth":{},"queue_capacity":{},"inflight":{}}}"#,
+        r#"{{"ok":true,"status":"{status}","queue_depth":{},"queue_capacity":{},"inflight":{},"bundles_written":{}}}"#,
         server.queue_depth(),
         server.queue_capacity(),
-        server.inflight()
+        server.inflight(),
+        server.bundles_written()
     )
 }
 

@@ -18,13 +18,17 @@
 
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rispp_core::{PlanCache, PlanCacheHandle};
 use rispp_model::SiLibrary;
-use rispp_sim::{simulate_cancellable_shared, CancelToken, SweepRunner, Trace};
+use rispp_sim::{
+    simulate_observed_cancellable_shared, CancelCause, CancelToken, FlightRecorder,
+    FlightRecorderConfig, SimObserver, SweepRunner, Trace, TraceContext,
+};
 use rispp_telemetry::{MetricsRegistry, MetricsSnapshot};
 
 use crate::cache::LruCache;
@@ -56,6 +60,14 @@ pub struct ServerConfig {
     pub retry_backoff_ms: u64,
     /// Warm-trace-cache capacity in entries.
     pub trace_cache_capacity: usize,
+    /// Flight-recorder spill directory. `Some` attaches a bounded
+    /// [`FlightRecorder`] to every job and dumps a diagnostic bundle
+    /// there when a job terminally fails (panicked / poisoned /
+    /// timeout). `None` (the default) disables forensics entirely —
+    /// jobs then run with no extra observers attached.
+    pub flight_dir: Option<PathBuf>,
+    /// Flight-recorder event-ring capacity (events retained per job).
+    pub flight_events: usize,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +80,8 @@ impl Default for ServerConfig {
             max_attempts: 3,
             retry_backoff_ms: 10,
             trace_cache_capacity: 32,
+            flight_dir: None,
+            flight_events: 256,
         }
     }
 }
@@ -75,6 +89,9 @@ impl Default for ServerConfig {
 struct QueuedJob {
     spec: JobSpec,
     submitted: Instant,
+    /// Causal trace id minted at admission; stamps every attempt's
+    /// [`TraceContext`] and names the job's flight bundle.
+    trace_id: u64,
     token: CancelToken,
     respond: mpsc::Sender<JobOutcome>,
 }
@@ -110,6 +127,10 @@ struct ServerInner {
     watchdog: Arc<DeadlineWatchdog>,
     metrics: Mutex<MetricsRegistry>,
     active: Mutex<HashMap<String, Vec<CancelToken>>>,
+    /// Monotonic trace-id mint; ids are unique per daemon lifetime.
+    trace_ids: AtomicU64,
+    /// Flight-recorder bundles successfully spilled to disk.
+    bundles_written: AtomicU64,
     draining: AtomicBool,
     /// Admitted-but-unresolved jobs (queued + executing). Zero together
     /// with `draining` means the drain is complete.
@@ -145,6 +166,8 @@ impl Server {
             watchdog,
             metrics: Mutex::new(MetricsRegistry::new()),
             active: Mutex::new(HashMap::new()),
+            trace_ids: AtomicU64::new(0),
+            bundles_written: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             pending: AtomicUsize::new(0),
             inflight: AtomicUsize::new(0),
@@ -184,6 +207,9 @@ impl Server {
         let job = QueuedJob {
             spec,
             submitted: Instant::now(),
+            // Trace ids start at 1; 0 is the "no context" sentinel in
+            // bundles dumped before any context was stamped.
+            trace_id: inner.trace_ids.fetch_add(1, Ordering::Relaxed) + 1,
             token: token.clone(),
             respond: tx,
         };
@@ -315,6 +341,14 @@ impl Server {
         self.inner.poison.quarantined()
     }
 
+    /// Flight-recorder bundles successfully written to the flight
+    /// directory over the daemon's lifetime. Always 0 with forensics
+    /// disabled ([`ServerConfig::flight_dir`] `None`).
+    #[must_use]
+    pub fn bundles_written(&self) -> u64 {
+        self.inner.bundles_written.load(Ordering::Relaxed)
+    }
+
     /// Point-in-time metrics: counters and latency histogram from the
     /// registry plus live gauges (queue depth, in-flight, cache,
     /// quarantine).
@@ -358,6 +392,23 @@ impl Server {
         registry.gauge_set(
             "rispp_serve_plan_cache_evictions",
             i64::try_from(plans.evictions).unwrap_or(i64::MAX),
+        );
+        let (armed, fired, disarmed) = self.inner.watchdog.counts();
+        registry.gauge_set(
+            "rispp_serve_deadlines_armed",
+            i64::try_from(armed).unwrap_or(i64::MAX),
+        );
+        registry.gauge_set(
+            "rispp_serve_deadlines_fired",
+            i64::try_from(fired).unwrap_or(i64::MAX),
+        );
+        registry.gauge_set(
+            "rispp_serve_deadlines_disarmed",
+            i64::try_from(disarmed).unwrap_or(i64::MAX),
+        );
+        registry.gauge_set(
+            "rispp_serve_bundles_written",
+            i64::try_from(self.bundles_written()).unwrap_or(i64::MAX),
         );
         registry.into_snapshot()
     }
@@ -469,9 +520,34 @@ fn run_job(inner: &Arc<ServerInner>, job: &QueuedJob) -> JobOutcome {
         Err(e) => return outcome(JobStatus::Error(e), None, 0),
     };
 
+    // The flight recorder lives outside the retry loop so its ring
+    // allocations are paid once per job; each attempt resets and
+    // re-stamps it, and only the final (failing) attempt is dumped.
+    let mut recorder = inner.config.flight_dir.is_some().then(|| {
+        FlightRecorder::with_config(FlightRecorderConfig {
+            event_capacity: inner.config.flight_events,
+            ..FlightRecorderConfig::default()
+        })
+    });
+    // With forensics on, force explain + journal so bundles carry the
+    // decision and fabric context. Neither influences simulated stats,
+    // so completed results stay bit-identical to a recorder-less run.
+    let mut run_config = spec.config;
+    if recorder.is_some() {
+        run_config = run_config.with_explain(true).with_journal(true);
+    }
+
     let mut attempts = 0u32;
     loop {
         attempts += 1;
+        let ctx = TraceContext::new(job.trace_id).with_attempt(attempts);
+        run_config = run_config.with_trace(ctx);
+        if let Some(recorder) = recorder.as_mut() {
+            // Stamp eagerly: a chaos panic that fires before the engine
+            // hands contexts to observers still dumps the right id.
+            recorder.reset();
+            recorder.set_trace_context(ctx);
+        }
         let chaos = attempts <= spec.chaos_panics;
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             assert!(!chaos, "chaos: injected panic (attempt {attempts})");
@@ -479,12 +555,17 @@ fn run_job(inner: &Arc<ServerInner>, job: &QueuedJob) -> JobOutcome {
             // jobs with different configs can never cross-hit each other.
             let plans =
                 PlanCacheHandle::new(Arc::clone(&inner.plan_cache)).with_namespace(config_hash);
-            simulate_cancellable_shared(
+            let mut observers: Vec<&mut (dyn SimObserver + '_)> = Vec::new();
+            if let Some(recorder) = recorder.as_mut() {
+                observers.push(recorder);
+            }
+            simulate_observed_cancellable_shared(
                 &inner.library,
                 &trace,
-                &spec.config,
+                &run_config,
                 &job.token,
                 Some(&plans),
+                &mut observers,
             )
         }));
         match result {
@@ -493,14 +574,18 @@ fn run_job(inner: &Arc<ServerInner>, job: &QueuedJob) -> JobOutcome {
                 return outcome(JobStatus::Completed, Some(run.stats), attempts);
             }
             Ok(_) => {
-                // Cooperative cancellation: deadline fired vs. client
-                // cancel, told apart by the watchdog guard.
-                let timed_out = guard.as_ref().is_some_and(crate::watchdog::DeadlineGuard::fired);
-                let status = if timed_out {
-                    JobStatus::Timeout
-                } else {
-                    JobStatus::Cancelled
+                // Disarm the deadline *before* any bundle work, then
+                // classify off the token's recorded cause: a client
+                // cancel racing the watchdog can never be misreported
+                // (or dumped) as a timeout, and vice versa.
+                drop(guard);
+                let status = match job.token.cause() {
+                    Some(CancelCause::Deadline) => JobStatus::Timeout,
+                    _ => JobStatus::Cancelled,
                 };
+                if status == JobStatus::Timeout {
+                    dump_bundle(inner, recorder.as_ref(), "timeout", spec, config_hash);
+                }
                 return outcome(status, None, attempts);
             }
             Err(_) => {
@@ -510,9 +595,11 @@ fn run_job(inner: &Arc<ServerInner>, job: &QueuedJob) -> JobOutcome {
                     inner.counter("rispp_serve_configs_poisoned_total", 1);
                 }
                 if inner.poison.is_poisoned(config_hash) {
+                    dump_bundle(inner, recorder.as_ref(), "poisoned", spec, config_hash);
                     return outcome(JobStatus::Poisoned, None, attempts);
                 }
                 if attempts >= inner.config.max_attempts.max(1) {
+                    dump_bundle(inner, recorder.as_ref(), "panicked", spec, config_hash);
                     return outcome(JobStatus::Panicked, None, attempts);
                 }
                 if job.token.is_cancelled() {
@@ -525,6 +612,42 @@ fn run_job(inner: &Arc<ServerInner>, job: &QueuedJob) -> JobOutcome {
                     .saturating_mul(1 << (attempts - 1).min(10));
                 std::thread::sleep(Duration::from_millis(backoff.min(2_000)));
             }
+        }
+    }
+}
+
+/// Spills `recorder`'s retained state as a diagnostic bundle into the
+/// configured flight directory. No-op when forensics is disabled. A
+/// write failure is counted and logged, never propagated — forensics
+/// must not turn a diagnosable failure into a different failure.
+fn dump_bundle(
+    inner: &Arc<ServerInner>,
+    recorder: Option<&FlightRecorder>,
+    reason: &str,
+    spec: &JobSpec,
+    config_hash: u64,
+) {
+    let (Some(recorder), Some(dir)) = (recorder, inner.config.flight_dir.as_ref()) else {
+        return;
+    };
+    let totals = inner.plan_cache.totals();
+    let bundle = recorder.dump(reason, &spec.id, config_hash, totals.hits, totals.misses);
+    let trace_id = recorder.context().unwrap_or_default().trace_id;
+    let path = dir.join(format!("bundle-{trace_id}-{reason}.jsonl"));
+    match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, bundle)) {
+        Ok(()) => {
+            inner.bundles_written.fetch_add(1, Ordering::Relaxed);
+            inner.counter(
+                &format!(r#"rispp_serve_bundles_written_total{{reason="{reason}"}}"#),
+                1,
+            );
+        }
+        Err(e) => {
+            inner.counter("rispp_serve_bundle_errors_total", 1);
+            eprintln!(
+                "rispp-serve: failed to write flight bundle {}: {e}",
+                path.display()
+            );
         }
     }
 }

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use rispp_sim::CancelToken;
+use rispp_sim::{CancelCause, CancelToken};
 
 struct Ticket {
     id: u64,
@@ -35,6 +35,13 @@ pub struct DeadlineWatchdog {
     state: Mutex<WatchState>,
     wake: Condvar,
     next_id: AtomicU64,
+    /// Deadlines ever registered.
+    armed: AtomicU64,
+    /// Deadlines that expired and cancelled their token.
+    fired: AtomicU64,
+    /// Deadlines disarmed by their guard before expiring (the job
+    /// finished first). `armed - fired - disarmed` is the live count.
+    disarmed: AtomicU64,
 }
 
 impl DeadlineWatchdog {
@@ -48,7 +55,21 @@ impl DeadlineWatchdog {
             }),
             wake: Condvar::new(),
             next_id: AtomicU64::new(0),
+            armed: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+            disarmed: AtomicU64::new(0),
         })
+    }
+
+    /// Lifetime `(armed, fired, disarmed)` ticket counts — the
+    /// timeout-vs-finished split surfaced on serve `/metrics`.
+    #[must_use]
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (
+            self.armed.load(Ordering::Relaxed),
+            self.fired.load(Ordering::Relaxed),
+            self.disarmed.load(Ordering::Relaxed),
+        )
     }
 
     /// Spawns the firing thread. Call once; returns the handle to join
@@ -68,10 +89,15 @@ impl DeadlineWatchdog {
                 return;
             }
             let now = Instant::now();
+            let fired = &self.fired;
             state.tickets.retain(|t| {
                 if t.deadline <= now {
                     t.fired.store(true, Ordering::Release);
-                    t.token.cancel();
+                    // Record *why* on the token itself — first cause
+                    // wins, so a racing client cancel cannot turn a
+                    // genuine timeout into `cancelled` or vice versa.
+                    t.token.cancel_with(CancelCause::Deadline);
+                    fired.fetch_add(1, Ordering::Relaxed);
                     false
                 } else {
                     true
@@ -95,6 +121,7 @@ impl DeadlineWatchdog {
     /// duration; drop it on completion to disarm.
     pub fn register(self: &Arc<Self>, deadline: Instant, token: CancelToken) -> DeadlineGuard {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.armed.fetch_add(1, Ordering::Relaxed);
         let fired = Arc::new(AtomicBool::new(false));
         {
             let mut state = self.state.lock().expect("watchdog poisoned");
@@ -123,7 +150,13 @@ impl DeadlineWatchdog {
 
     fn unregister(&self, id: u64) {
         let mut state = self.state.lock().expect("watchdog poisoned");
+        let before = state.tickets.len();
         state.tickets.retain(|t| t.id != id);
+        // Count a disarm only when the ticket was actually still armed —
+        // a guard whose deadline already fired removes nothing.
+        if state.tickets.len() < before {
+            self.disarmed.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -165,6 +198,14 @@ mod tests {
         }
         assert!(token.is_cancelled(), "watchdog never fired");
         assert!(guard.fired());
+        // The cause is recorded on the token itself.
+        assert_eq!(token.cause(), Some(CancelCause::Deadline));
+        let (armed, fired, _) = dog.counts();
+        assert_eq!((armed, fired), (1, 1));
+        // The guard's drop finds no live ticket: a fired deadline never
+        // also counts as disarmed.
+        drop(guard);
+        assert_eq!(dog.counts().2, 0);
         dog.shutdown();
         thread.join().unwrap();
     }
@@ -178,6 +219,7 @@ mod tests {
         drop(guard);
         std::thread::sleep(Duration::from_millis(80));
         assert!(!token.is_cancelled(), "disarmed deadline must not fire");
+        assert_eq!(dog.counts(), (1, 0, 1));
         dog.shutdown();
         thread.join().unwrap();
     }

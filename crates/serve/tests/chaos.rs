@@ -28,7 +28,7 @@ use rispp_serve::{
     Server, ServerConfig, SubmitResult,
 };
 use rispp_sim::{simulate, Burst, FaultConfig, Invocation, SimConfig, Trace};
-use rispp_telemetry::JsonValue;
+use rispp_telemetry::{Bundle, JsonValue};
 
 fn library() -> SiLibrary {
     let universe = AtomUniverse::from_types([AtomTypeInfo::new("A1")]).unwrap();
@@ -397,4 +397,188 @@ fn deadline_timeout_is_reported_as_timeout() {
     let outcome = t.outcome.recv_timeout(Duration::from_secs(60)).expect("outcome");
     assert_eq!(outcome.status, JobStatus::Completed, "after {:?}", started.elapsed());
     server.await_drained();
+}
+
+/// A fresh, empty flight directory unique to this test process + tag.
+fn flight_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rispp-flight-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bundles_in(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map(|rd| rd.filter_map(Result::ok).map(|e| e.path()).collect())
+        .unwrap_or_default();
+    paths.sort();
+    paths
+}
+
+fn parse_only_bundle(dir: &std::path::Path) -> Bundle {
+    let paths = bundles_in(dir);
+    assert_eq!(paths.len(), 1, "expected exactly one bundle, got {paths:?}");
+    let text = std::fs::read_to_string(&paths[0]).expect("read bundle");
+    let bundle = Bundle::parse(&text)
+        .unwrap_or_else(|e| panic!("{}: not a parseable bundle: {e}", paths[0].display()));
+    assert!(bundle.complete, "bundle reported truncated");
+    bundle
+}
+
+#[test]
+fn retry_exhaustion_dumps_exactly_one_parseable_bundle() {
+    quiet_chaos_panics();
+    let dir = flight_dir("panic");
+    let server = Server::start(
+        library(),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 4,
+            // High threshold: the job exhausts retries (Panicked) well
+            // before its config would be poison-listed.
+            poison_threshold: 100,
+            max_attempts: 2,
+            retry_backoff_ms: 1,
+            flight_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        },
+    );
+    let job = spec("always-panics", faulty_config(5), payload(10, 30), u32::MAX);
+    let SubmitResult::Enqueued(t) = server.submit(job) else {
+        panic!("refused");
+    };
+    let outcome = t.outcome.recv_timeout(Duration::from_secs(60)).expect("outcome");
+    assert_eq!(outcome.status, JobStatus::Panicked);
+    assert_eq!(outcome.attempts, 2);
+
+    // Only the final, failing attempt is dumped — exactly one bundle.
+    let bundle = parse_only_bundle(&dir);
+    assert_eq!(bundle.meta.reason, "panicked");
+    assert_eq!(bundle.meta.job_id, "always-panics");
+    assert_eq!(bundle.meta.attempt, 2, "bundle must capture the last attempt");
+    assert!(bundle.meta.trace_id > 0, "trace ids are minted from 1");
+    assert_eq!(server.bundles_written(), 1);
+    let snapshot = server.metrics_snapshot();
+    assert_eq!(
+        snapshot.counter(r#"rispp_serve_bundles_written_total{reason="panicked"}"#),
+        1
+    );
+    assert_eq!(snapshot.gauge("rispp_serve_bundles_written"), 1);
+    server.await_drained();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn forced_timeout_increments_exactly_one_and_dumps_one_bundle() {
+    let dir = flight_dir("timeout");
+    let server = Server::start(
+        library(),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 4,
+            flight_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        },
+    );
+    let mut slow = spec("slow", faulty_config(2), payload(400_000, 40), 0);
+    slow.deadline_ms = Some(50);
+    let SubmitResult::Enqueued(t) = server.submit(slow) else {
+        panic!("refused");
+    };
+    let outcome = t.outcome.recv_timeout(Duration::from_secs(60)).expect("outcome");
+    assert_eq!(outcome.status, JobStatus::Timeout);
+
+    // A companion job that finishes comfortably must not disturb either
+    // the timeout counter or the bundle count.
+    let mut quick = spec("quick", faulty_config(2), payload(10, 30), 0);
+    quick.deadline_ms = Some(60_000);
+    let SubmitResult::Enqueued(t) = server.submit(quick) else {
+        panic!("refused");
+    };
+    let outcome = t.outcome.recv_timeout(Duration::from_secs(60)).expect("outcome");
+    assert_eq!(outcome.status, JobStatus::Completed);
+
+    // The forced timeout increments the Timeout counter exactly once —
+    // and never leaks into the Cancelled split.
+    let snapshot = server.metrics_snapshot();
+    assert_eq!(snapshot.counter("rispp_serve_jobs_timeout_total"), 1);
+    assert_eq!(snapshot.counter("rispp_serve_jobs_cancelled_total"), 0);
+    assert_eq!(snapshot.gauge("rispp_serve_deadlines_armed"), 2);
+    assert_eq!(snapshot.gauge("rispp_serve_deadlines_fired"), 1);
+    assert_eq!(snapshot.gauge("rispp_serve_deadlines_disarmed"), 1);
+
+    let bundle = parse_only_bundle(&dir);
+    assert_eq!(bundle.meta.reason, "timeout");
+    assert_eq!(bundle.meta.job_id, "slow");
+    // The run was cut mid-replay: the ring retained real engine events.
+    assert!(!bundle.events.is_empty(), "timeout bundle has no event tail");
+    server.await_drained();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn client_cancel_disarms_the_deadline_and_writes_no_bundle() {
+    let dir = flight_dir("cancel");
+    let server = Server::start(
+        library(),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 4,
+            flight_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        },
+    );
+    // A slow job with a far-away deadline: the client cancel always
+    // beats the watchdog.
+    let mut job = spec("abandoned", faulty_config(2), payload(400_000, 40), 0);
+    job.deadline_ms = Some(600_000);
+    let SubmitResult::Enqueued(t) = server.submit(job) else {
+        panic!("refused");
+    };
+    // Let it start executing so the guard is armed, then give up.
+    std::thread::sleep(Duration::from_millis(100));
+    t.cancel.cancel();
+    let outcome = t.outcome.recv_timeout(Duration::from_secs(60)).expect("outcome");
+    assert_eq!(outcome.status, JobStatus::Cancelled, "cancel misreported");
+
+    // The guard was disarmed (not fired) and no bundle was dumped: a
+    // client cancel is not a forensic event.
+    let snapshot = server.metrics_snapshot();
+    assert_eq!(snapshot.gauge("rispp_serve_deadlines_fired"), 0);
+    assert_eq!(snapshot.gauge("rispp_serve_deadlines_disarmed"), 1);
+    assert_eq!(server.bundles_written(), 0);
+    assert!(bundles_in(&dir).is_empty(), "client cancel must not dump a bundle");
+    server.await_drained();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn poison_listing_dumps_one_bundle_with_the_quarantine_reason() {
+    quiet_chaos_panics();
+    let dir = flight_dir("poison");
+    let server = Server::start(
+        library(),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 4,
+            poison_threshold: 1,
+            max_attempts: 3,
+            retry_backoff_ms: 1,
+            flight_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        },
+    );
+    let job = spec("toxic", faulty_config(6), payload(10, 30), u32::MAX);
+    let SubmitResult::Enqueued(t) = server.submit(job) else {
+        panic!("refused");
+    };
+    let outcome = t.outcome.recv_timeout(Duration::from_secs(60)).expect("outcome");
+    assert_eq!(outcome.status, JobStatus::Poisoned);
+    assert_eq!(server.poisoned_configs(), 1);
+
+    let bundle = parse_only_bundle(&dir);
+    assert_eq!(bundle.meta.reason, "poisoned");
+    assert_eq!(bundle.meta.job_id, "toxic");
+    assert_eq!(server.bundles_written(), 1);
+    server.await_drained();
+    let _ = std::fs::remove_dir_all(&dir);
 }

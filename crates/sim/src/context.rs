@@ -1,0 +1,75 @@
+//! Causal trace context: one identity that joins wire-level request
+//! handling to cycle-domain engine events.
+//!
+//! A [`TraceContext`] is minted once per admitted request (in
+//! `rispp-serve`) and carried through
+//! [`SimConfig`](crate::SimConfig::with_trace) into the engine, which
+//! hands it to every attached [`SimObserver`](crate::SimObserver) before
+//! replay begins. Observers that export data — the JSONL event log, the
+//! metrics registry, the Perfetto trace, the flight recorder — stamp
+//! their output with the context, so one id links a serve-side latency
+//! sample to the exact scheduler decisions and fabric loads behind it.
+//!
+//! The context is deliberately tiny and `Copy`: carrying it must never
+//! allocate, and `SimConfig` stays `Copy + Eq`. It is *identity only* —
+//! it must never influence simulation behaviour, so two runs that differ
+//! only in context are bit-identical by construction.
+
+/// Identity of one simulation run: request id, tenant and retry attempt.
+///
+/// Minted at admission, carried through
+/// [`SimConfig`](crate::SimConfig::with_trace) and stamped onto every
+/// exporting observer's output. The default context (`trace_id` 0,
+/// tenant 0, attempt 0) is valid but normally replaced by the minting
+/// side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Request/job id minted at admission, unique within one server
+    /// lifetime (a monotonically increasing counter, not random).
+    pub trace_id: u64,
+    /// Tenant (application) the run is attributed to; 0 for single-tenant
+    /// deployments.
+    pub tenant: u16,
+    /// 1-based retry attempt of the job this run belongs to (0 when the
+    /// caller does not retry).
+    pub attempt: u32,
+}
+
+impl TraceContext {
+    /// Creates a context for `trace_id` with tenant 0 and attempt 0.
+    #[must_use]
+    pub fn new(trace_id: u64) -> Self {
+        TraceContext {
+            trace_id,
+            ..TraceContext::default()
+        }
+    }
+
+    /// Sets the tenant (builder style).
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: u16) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Sets the retry attempt (builder style).
+    #[must_use]
+    pub fn with_attempt(mut self, attempt: u32) -> Self {
+        self.attempt = attempt;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let ctx = TraceContext::new(42).with_tenant(3).with_attempt(2);
+        assert_eq!(ctx.trace_id, 42);
+        assert_eq!(ctx.tenant, 3);
+        assert_eq!(ctx.attempt, 2);
+        assert_ne!(ctx, TraceContext::default());
+    }
+}

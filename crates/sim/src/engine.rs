@@ -9,6 +9,7 @@ use rispp_monitor::ForecastPolicy;
 use crate::backend::{ExecutionSystem, RisppBackend, SoftwareBackend};
 use crate::baseline::MolenSystem;
 use crate::cancel::{CancelToken, CancellableRun};
+use crate::context::TraceContext;
 use crate::multi::TenancyConfig;
 use crate::observer::{HotSpotOrigin, SimEvent, SimObserver};
 use crate::stats::{RunStats, DEFAULT_BUCKET_CYCLES};
@@ -118,6 +119,12 @@ pub struct SimConfig {
     /// time (the cache-off escape hatch for A/B comparisons); when off,
     /// shared caches handed to the engine are ignored too.
     pub plan_cache: bool,
+    /// Causal trace context of this run (see [`TraceContext`]). Identity
+    /// only: the engine hands it to every attached observer before replay
+    /// via [`SimObserver::set_trace_context`], and it never influences
+    /// simulation behaviour — results are bit-identical with or without
+    /// it. `None` (the default) stamps nothing.
+    pub trace: Option<TraceContext>,
 }
 
 /// Constructor-time default of [`SimConfig::plan_cache`]: on, unless
@@ -143,6 +150,7 @@ impl SimConfig {
             journal: false,
             tenants: TenancyConfig::default(),
             plan_cache: plan_cache_default(),
+            trace: None,
         }
     }
 
@@ -162,6 +170,7 @@ impl SimConfig {
             journal: false,
             tenants: TenancyConfig::default(),
             plan_cache: plan_cache_default(),
+            trace: None,
         }
     }
 
@@ -181,6 +190,7 @@ impl SimConfig {
             journal: false,
             tenants: TenancyConfig::default(),
             plan_cache: plan_cache_default(),
+            trace: None,
         }
     }
 
@@ -254,6 +264,15 @@ impl SimConfig {
     #[must_use]
     pub fn with_plan_cache(mut self, plan_cache: bool) -> Self {
         self.plan_cache = plan_cache;
+        self
+    }
+
+    /// Attaches a causal [`TraceContext`] (builder style). Identity only:
+    /// observers stamp their exports with it, the simulation itself is
+    /// bit-identical with or without one.
+    #[must_use]
+    pub fn with_trace(mut self, context: TraceContext) -> Self {
+        self.trace = Some(context);
         self
     }
 
@@ -779,6 +798,11 @@ pub fn simulate_observed_planned(
         for obs in extra.iter_mut() {
             observers.push(&mut **obs);
         }
+        if let Some(ctx) = config.trace {
+            for obs in observers.iter_mut() {
+                obs.set_trace_context(ctx);
+            }
+        }
         simulate_with(system.as_mut(), trace, &mut observers);
     }
     let plan = system.plan_cache_stats();
@@ -847,6 +871,11 @@ pub fn simulate_observed_cancellable_shared(
         observers.push(&mut stats);
         for obs in extra.iter_mut() {
             observers.push(&mut **obs);
+        }
+        if let Some(ctx) = config.trace {
+            for obs in observers.iter_mut() {
+                obs.set_trace_context(ctx);
+            }
         }
         simulate_with_cancellable(system.as_mut(), trace, &mut observers, token)
     };

@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 
 use rispp_model::SiLibrary;
 
+use crate::context::TraceContext;
 use crate::observer::SimEvent;
 use crate::stats::RunStats;
 
@@ -83,8 +84,17 @@ pub fn latency_timeline_csv(stats: &RunStats, library: &SiLibrary) -> String {
 
 /// Version of the JSONL event-log schema emitted by [`event_log_jsonl`].
 /// Bumped whenever a field or variant changes shape; consumers check the
-/// `{"event":"schema","schema_version":N}` header line.
-pub const EVENT_LOG_SCHEMA_VERSION: u32 = 3;
+/// `{"event":"schema","schema_version":N}` header line and must reject
+/// versions they do not understand — failing loudly on the header, not
+/// silently on rows.
+///
+/// v4: every row may carry the optional causal-trace fields `trace_id`,
+/// `trace_tenant` and `attempt` (present on all rows of a log whose run
+/// had a [`TraceContext`] attached, absent
+/// otherwise). The tenant field is prefixed because tenant events
+/// (`tenant_switched`, `atom_shared`, `eviction_contested`) already carry
+/// a payload `tenant` key that may legitimately differ from the job's.
+pub const EVENT_LOG_SCHEMA_VERSION: u32 = 4;
 
 /// Appends the JSONL schema-header line (the first line of every event
 /// log) to `out`.
@@ -102,12 +112,44 @@ pub fn write_schema_header(out: &mut String) {
 /// the CLI's `--log-events` flag.
 #[must_use]
 pub fn event_log_jsonl(events: &[SimEvent]) -> String {
+    event_log_jsonl_traced(events, None)
+}
+
+/// [`event_log_jsonl`] with an optional causal [`TraceContext`]: when
+/// `context` is `Some`, every row carries the schema-v4 `trace_id`,
+/// `trace_tenant` and `attempt` fields.
+#[must_use]
+pub fn event_log_jsonl_traced(events: &[SimEvent], context: Option<&TraceContext>) -> String {
     let mut out = String::new();
     write_schema_header(&mut out);
     for event in events {
-        write_event_jsonl(&mut out, event);
+        write_event_jsonl_traced(&mut out, event, context);
     }
     out
+}
+
+/// [`write_event_jsonl`] with an optional causal [`TraceContext`]. With a
+/// context the rendered row gains the trailing `trace_id`, `trace_tenant`
+/// and `attempt` fields (schema v4); without one it is byte-identical to
+/// [`write_event_jsonl`]. This is the single serialisation point shared
+/// by the streaming event log and the flight recorder, which is what
+/// makes a flight-recorder bundle tail bit-identical to the suffix of a
+/// `--log-events` file recorded with the same context.
+pub fn write_event_jsonl_traced(out: &mut String, event: &SimEvent, context: Option<&TraceContext>) {
+    let Some(ctx) = context else {
+        write_event_jsonl(out, event);
+        return;
+    };
+    write_event_jsonl(out, event);
+    // Every writer above emits exactly one `…}\n` line; splice the trace
+    // fields in front of the closing brace.
+    debug_assert!(out.ends_with("}\n"));
+    out.truncate(out.len() - 2);
+    let _ = writeln!(
+        out,
+        r#","trace_id":{},"trace_tenant":{},"attempt":{}}}"#,
+        ctx.trace_id, ctx.tenant, ctx.attempt
+    );
 }
 
 /// Appends one event as a single JSONL line to `out` — the streaming
@@ -639,6 +681,39 @@ mod tests {
                     "field `{field}` missing from {line}"
                 );
             }
+            // Untraced logs must not invent trace fields.
+            for field in ["trace_id", "trace_tenant", "attempt"] {
+                assert!(
+                    value.get(field).is_none(),
+                    "unexpected trace field `{field}` in untraced {line}"
+                );
+            }
+        }
+
+        // The same stream rendered with a trace context must carry the
+        // schema-v4 trace fields on *every* variant, with the exact
+        // values handed in.
+        let ctx = crate::TraceContext::new(9_001).with_tenant(2).with_attempt(3);
+        let traced = event_log_jsonl_traced(&events, Some(&ctx));
+        let traced_lines: Vec<&str> = traced.lines().collect();
+        assert_eq!(traced_lines.len(), cases.len() + 1);
+        for line in &traced_lines[1..] {
+            let value = JsonValue::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(
+                value.get("trace_id").and_then(JsonValue::as_u64),
+                Some(9_001),
+                "{line}"
+            );
+            assert_eq!(
+                value.get("trace_tenant").and_then(JsonValue::as_u64),
+                Some(2),
+                "{line}"
+            );
+            assert_eq!(
+                value.get("attempt").and_then(JsonValue::as_u64),
+                Some(3),
+                "{line}"
+            );
         }
     }
 }

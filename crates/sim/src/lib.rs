@@ -57,8 +57,10 @@
 mod backend;
 mod baseline;
 mod cancel;
+mod context;
 mod engine;
 pub mod export;
+mod flight;
 mod multi;
 mod observer;
 mod stats;
@@ -68,7 +70,9 @@ mod trace;
 
 pub use backend::{ExecutionSystem, RisppBackend, SoftwareBackend};
 pub use baseline::{molen_select, MolenSystem};
-pub use cancel::{CancelToken, CancellableRun};
+pub use cancel::{CancelCause, CancelToken, CancellableRun};
+pub use context::TraceContext;
+pub use flight::{FlightRecorder, FlightRecorderConfig};
 pub use engine::{
     simulate, simulate_cancellable, simulate_cancellable_shared, simulate_observed,
     simulate_observed_cancellable, simulate_observed_cancellable_shared,

@@ -17,6 +17,7 @@ use rispp_fabric::FabricJournalEntry;
 use rispp_model::SiId;
 use rispp_monitor::HotSpotId;
 
+use crate::context::TraceContext;
 use crate::stats::RunStats;
 
 /// How a [`SimEvent::HotSpotEntered`] transition became known.
@@ -168,6 +169,15 @@ pub trait SimObserver {
     /// Handles one event.
     fn on_event(&mut self, event: &SimEvent);
 
+    /// Receives the run's causal [`TraceContext`] before the first event,
+    /// when the driving [`SimConfig`](crate::SimConfig) carries one.
+    /// Exporting observers stamp their output with it (JSONL rows, metric
+    /// labels, Perfetto tracks, flight-recorder bundles); the default
+    /// implementation ignores it.
+    fn set_trace_context(&mut self, context: TraceContext) {
+        let _ = context;
+    }
+
     /// Whether this observer wants the per-segment stream
     /// ([`SimEvent::SegmentExecuted`]) — by far the highest-frequency
     /// event of a replay (one per burst segment, millions per run).
@@ -183,6 +193,10 @@ pub trait SimObserver {
 impl<O: SimObserver + ?Sized> SimObserver for &mut O {
     fn on_event(&mut self, event: &SimEvent) {
         (**self).on_event(event);
+    }
+
+    fn set_trace_context(&mut self, context: TraceContext) {
+        (**self).set_trace_context(context);
     }
 
     fn wants_segments(&self) -> bool {
@@ -259,6 +273,7 @@ pub struct TraceLogObserver {
     sink: Option<Box<dyn Write>>,
     line: String,
     error: Option<io::Error>,
+    context: Option<TraceContext>,
 }
 
 impl fmt::Debug for TraceLogObserver {
@@ -289,10 +304,27 @@ impl TraceLogObserver {
             sink: Some(Box::new(sink)),
             line: String::new(),
             error: None,
+            context: None,
         };
         crate::export::write_schema_header(&mut log.line);
         log.flush_line();
         log
+    }
+
+    /// Stamps every exported row with `context` (builder style). The
+    /// engine also sets this automatically via
+    /// [`SimObserver::set_trace_context`] when the driving
+    /// [`SimConfig`](crate::SimConfig) carries a context.
+    #[must_use]
+    pub fn with_context(mut self, context: TraceContext) -> Self {
+        self.context = Some(context);
+        self
+    }
+
+    /// The trace context stamped onto exported rows, if any.
+    #[must_use]
+    pub fn context(&self) -> Option<TraceContext> {
+        self.context
     }
 
     /// Whether this log streams to a sink instead of buffering.
@@ -309,10 +341,11 @@ impl TraceLogObserver {
     }
 
     /// Renders the buffered events as one JSON object per line, schema
-    /// header first.
+    /// header first. Rows carry the trace-context fields when a context
+    /// is attached.
     #[must_use]
     pub fn to_jsonl(&self) -> String {
-        crate::export::event_log_jsonl(&self.events)
+        crate::export::event_log_jsonl_traced(&self.events, self.context.as_ref())
     }
 
     /// Flushes the sink and reports the first I/O error encountered while
@@ -344,11 +377,15 @@ impl TraceLogObserver {
 impl SimObserver for TraceLogObserver {
     fn on_event(&mut self, event: &SimEvent) {
         if self.sink.is_some() {
-            crate::export::write_event_jsonl(&mut self.line, event);
+            crate::export::write_event_jsonl_traced(&mut self.line, event, self.context.as_ref());
             self.flush_line();
         } else {
             self.events.push(event.clone());
         }
+    }
+
+    fn set_trace_context(&mut self, context: TraceContext) {
+        self.context = Some(context);
     }
 }
 

@@ -29,6 +29,7 @@ use rispp_model::SiId;
 use rispp_monitor::{HotSpotDetector, HotSpotId};
 use rispp_telemetry::{MetricsRegistry, MetricsSnapshot, TraceBuilder};
 
+use crate::context::TraceContext;
 use crate::observer::{HotSpotOrigin, SimEvent, SimObserver};
 
 /// The no-op recorder: the default telemetry sink when no `--metrics-out`
@@ -327,6 +328,17 @@ impl SimObserver for MetricsObserver {
                 }
             }
         }
+    }
+
+    fn set_trace_context(&mut self, context: TraceContext) {
+        self.name.clear();
+        let _ = write!(
+            self.name,
+            "trace_id=\"{}\",tenant=\"{}\",attempt=\"{}\"",
+            context.trace_id, context.tenant, context.attempt
+        );
+        self.registry.set_base_labels(&self.name);
+        self.name.clear();
     }
 }
 
@@ -709,6 +721,17 @@ impl SimObserver for PerfettoTraceObserver {
             | SimEvent::EvictionContested { .. } => {}
         }
     }
+
+    fn set_trace_context(&mut self, context: TraceContext) {
+        self.args.clear();
+        let _ = write!(
+            self.args,
+            "{{\"trace_id\":{},\"tenant\":{},\"attempt\":{}}}",
+            context.trace_id, context.tenant, context.attempt
+        );
+        self.trace
+            .instant_with_args(PID_DECISIONS, 0, "trace context", 0, Some(&self.args));
+    }
 }
 
 /// Feeds the SI execution stream through the windowed
@@ -779,6 +802,10 @@ impl<O: SimObserver> SimObserver for DetectorObserver<O> {
                 });
             }
         }
+    }
+
+    fn set_trace_context(&mut self, context: TraceContext) {
+        self.inner.set_trace_context(context);
     }
 
     fn wants_segments(&self) -> bool {

@@ -19,7 +19,8 @@ use rispp_core::SchedulerKind;
 use rispp_model::{AtomTypeInfo, AtomUniverse, Molecule, SiId, SiLibrary, SiLibraryBuilder};
 use rispp_monitor::HotSpotId;
 use rispp_sim::{
-    simulate, simulate_observed, Burst, Invocation, NullRecorder, SimConfig, SimObserver, Trace,
+    simulate, simulate_observed, Burst, FlightRecorder, Invocation, NullRecorder, SimConfig,
+    SimObserver, Trace,
 };
 
 /// Forwards to the system allocator, counting every allocation path
@@ -129,6 +130,28 @@ fn null_recorder_adds_zero_allocations() {
     assert_eq!(
         observed, bare,
         "a NullRecorder must not add a single allocation to the hot path"
+    );
+
+    // A FlightRecorder with explain off (the default, so no boxed
+    // decision payloads reach it) must also be alloc-free in steady
+    // state: its rings are pre-allocated at construction and overwrite
+    // oldest entries in place.
+    let mut recorder = FlightRecorder::new();
+    {
+        let mut extra: [&mut dyn SimObserver; 1] = [&mut recorder];
+        black_box(simulate_observed(&lib, &t, &config, &mut extra));
+    }
+    let recorded = allocations(|| {
+        let mut extra: [&mut dyn SimObserver; 1] = [&mut recorder];
+        black_box(simulate_observed(&lib, &t, &config, &mut extra));
+    });
+    assert_eq!(
+        recorded, bare,
+        "a FlightRecorder must be alloc-free once its rings are warm"
+    );
+    assert!(
+        !recorder.events().is_empty(),
+        "the recorder retained nothing — the steady-state claim is vacuous"
     );
 
     // Sanity check that the counter observes heap traffic at all.

@@ -14,6 +14,9 @@
 //!   cycles are rendered as microseconds (1 cycle = 1 µs).
 //! * [`JsonValue`] — a minimal recursive-descent JSON parser used by tests
 //!   and the CLI trace validator (the workspace has no serde).
+//! * [`Bundle`] / [`BundleMeta`] — the self-describing flight-recorder
+//!   diagnostic-bundle format (writer helpers + parser) consumed by
+//!   `rispp-cli forensics`.
 //!
 //! The crate deliberately knows nothing about the simulator: `rispp-sim`
 //! hosts the observers that translate simulation events into these
@@ -22,10 +25,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bundle;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
 
+pub use bundle::{Bundle, BundleMeta, BUNDLE_FORMAT_VERSION};
 pub use json::{JsonError, JsonValue};
 pub use metrics::{Histogram, Metric, MetricsRegistry, MetricsSnapshot};
 pub use perfetto::{escape_json_into, TraceBuilder};

@@ -156,16 +156,50 @@ impl Metric {
 /// a name is bound to the kind of its first write, and later writes of a
 /// different kind panic — that is always a programming error, never a
 /// data-dependent condition.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     metrics: BTreeMap<String, Metric>,
+    /// Labels stitched into every written metric name (e.g.
+    /// `trace_id="7",tenant="0",attempt="1"`); empty means names pass
+    /// through untouched, byte-identical to a registry without the
+    /// feature.
+    base_labels: String,
+    /// Reusable buffer for decorated names, so steady-state writes with
+    /// base labels do not allocate per sample.
+    scratch: String,
 }
+
+impl PartialEq for MetricsRegistry {
+    fn eq(&self, other: &Self) -> bool {
+        // The scratch buffer is transient state, not identity.
+        self.metrics == other.metrics && self.base_labels == other.base_labels
+    }
+}
+
+impl Eq for MetricsRegistry {}
 
 impl MetricsRegistry {
     /// Creates an empty registry.
     #[must_use]
     pub fn new() -> Self {
         MetricsRegistry::default()
+    }
+
+    /// Sets the label set stitched into every metric name written from
+    /// now on: `name` becomes `name{labels}` and `name{k="v"}` becomes
+    /// `name{k="v",labels}`. Used to stamp a causal trace id (request id,
+    /// tenant, attempt) onto every series a run produces. Pass an empty
+    /// string to stop decorating. Metrics already written keep their
+    /// names.
+    pub fn set_base_labels(&mut self, labels: &str) {
+        self.base_labels = labels.to_owned();
+    }
+
+    /// The label set currently stitched into written metric names
+    /// (empty when undecorated).
+    #[must_use]
+    pub fn base_labels(&self) -> &str {
+        &self.base_labels
     }
 
     /// Adds `delta` to the counter `name`, creating it at zero first.
@@ -216,10 +250,31 @@ impl MetricsRegistry {
     }
 
     fn entry(&mut self, name: &str, make: impl FnOnce() -> Metric) -> &mut Metric {
-        if !self.metrics.contains_key(name) {
-            self.metrics.insert(name.to_owned(), make());
+        if self.base_labels.is_empty() {
+            if !self.metrics.contains_key(name) {
+                self.metrics.insert(name.to_owned(), make());
+            }
+            return self.metrics.get_mut(name).expect("just inserted");
         }
-        self.metrics.get_mut(name).expect("just inserted")
+        // Stitch the base labels into the name via the reusable scratch
+        // buffer; the String is only cloned on first sighting of a name.
+        self.scratch.clear();
+        match name.strip_suffix('}') {
+            Some(open) => {
+                self.scratch.push_str(open);
+                self.scratch.push(',');
+            }
+            None => {
+                self.scratch.push_str(name);
+                self.scratch.push('{');
+            }
+        }
+        self.scratch.push_str(&self.base_labels);
+        self.scratch.push('}');
+        if !self.metrics.contains_key(&self.scratch) {
+            self.metrics.insert(self.scratch.clone(), make());
+        }
+        self.metrics.get_mut(&self.scratch).expect("just inserted")
     }
 
     /// Freezes the current state into an immutable snapshot.
@@ -523,5 +578,99 @@ mod tests {
         h.observe(1_000_000); // +Inf bucket
         assert_eq!(h.quantile(0.5), Some(10));
         assert_eq!(h.quantile(1.0), Some(10));
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none_at_every_q() {
+        let h = Histogram::new(&[10, 100]);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+        // Out-of-range q values clamp, they do not invent answers.
+        assert_eq!(h.quantile(-1.0), None);
+        assert_eq!(h.quantile(2.0), None);
+    }
+
+    #[test]
+    fn histogram_with_only_the_inf_bucket_counts_but_cannot_quantile() {
+        // No finite bounds: every observation lands in the implicit +Inf
+        // overflow slot. Count and sum still accumulate, but no quantile
+        // can be resolved — there is no finite bound to report.
+        let mut h = Histogram::new(&[]);
+        h.observe(7);
+        h.observe_n(1_000_000, 3);
+        assert_eq!(h.counts(), &[4]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 3_000_007);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merging_disjoint_bucket_layouts_panics() {
+        let mut a = Histogram::new(&[10, 100]);
+        a.observe(5);
+        let mut b = Histogram::new(&[16, 256]);
+        b.observe(5);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn snapshot_merge_panics_on_same_name_disjoint_bounds() {
+        let mut a = MetricsRegistry::new();
+        a.observe_with_bounds("h", 5, &[10, 100]);
+        let mut b = MetricsRegistry::new();
+        b.observe_with_bounds("h", 5, &[16]);
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot());
+    }
+
+    #[test]
+    fn merging_an_empty_snapshot_is_identity() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("c", 3);
+        r.observe_with_bounds("h", 5, &[10]);
+        let mut s = r.snapshot();
+        let before = s.clone();
+        s.merge(&MetricsSnapshot::default());
+        assert_eq!(s, before);
+        // And empty-merge-full equals full.
+        let mut empty = MetricsSnapshot::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn base_labels_decorate_bare_and_labelled_names() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("before_total", 1);
+        r.set_base_labels("trace_id=\"9\",tenant=\"0\",attempt=\"1\"");
+        assert_eq!(r.base_labels(), "trace_id=\"9\",tenant=\"0\",attempt=\"1\"");
+        r.counter_add("plain_total", 2);
+        r.counter_add("labelled_total{si=\"3\"}", 4);
+        r.gauge_set("depth", 5);
+        r.observe_with_bounds("lat", 7, &[10]);
+        let s = r.snapshot();
+        // Metrics written before decoration keep their names.
+        assert_eq!(s.counter("before_total"), 1);
+        assert_eq!(
+            s.counter("plain_total{trace_id=\"9\",tenant=\"0\",attempt=\"1\"}"),
+            2
+        );
+        assert_eq!(
+            s.counter("labelled_total{si=\"3\",trace_id=\"9\",tenant=\"0\",attempt=\"1\"}"),
+            4
+        );
+        assert_eq!(s.gauge("depth{trace_id=\"9\",tenant=\"0\",attempt=\"1\"}"), 5);
+        assert!(s
+            .get("lat{trace_id=\"9\",tenant=\"0\",attempt=\"1\"}")
+            .is_some());
+        // Clearing the labels restores pass-through names.
+        r.set_base_labels("");
+        r.counter_add("plain_total", 1);
+        assert_eq!(r.snapshot().counter("plain_total"), 1);
     }
 }

@@ -131,6 +131,41 @@ if ! grep -q "drained: 4 completed, 0 rejected, 0 timeouts, 0 cancelled, 0 panic
 fi
 echo "    $(grep -m1 'drained:' target/ci_serve.log)"
 
+echo "==> forensics smoke (flight bundle on injected panic + rispp-cli forensics)"
+# Boot a forensics-armed daemon, inject a job that panics on every
+# attempt (retry exhaustion), and require exactly one flight bundle in
+# the spill directory that `rispp-cli forensics` parses with exit 0.
+rm -rf target/ci_flight
+./target/release/rispp-cli serve --addr 127.0.0.1:0 --workers 1 \
+  --max-attempts 2 --poison-threshold 10 --flight-dir target/ci_flight \
+  >target/ci_serve_flight.log 2>&1 &
+flight_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "rispp-serve listening on" target/ci_serve_flight.log 2>/dev/null && break
+  sleep 0.1
+done
+flight_addr=$(grep -m1 "rispp-serve listening on" target/ci_serve_flight.log | awk '{print $NF}')
+if [ -z "${flight_addr:-}" ]; then
+  echo "ci: forensics smoke failed — daemon never announced its address" >&2
+  kill "$flight_pid" 2>/dev/null || true
+  exit 1
+fi
+# The submit exits nonzero because the job fails — that is the point.
+./target/release/rispp-cli submit --addr "$flight_addr" --frames 2 \
+  --acs 6 --chaos-panics 99 | sed 's/^/    /' || true
+kill -TERM "$flight_pid"
+wait "$flight_pid" || {
+  echo "ci: forensics smoke failed — daemon exited nonzero after SIGTERM" >&2
+  exit 1
+}
+bundle_count=$(ls target/ci_flight/bundle-*.jsonl 2>/dev/null | wc -l)
+if [ "$bundle_count" -ne 1 ]; then
+  echo "ci: forensics smoke failed — expected exactly 1 flight bundle, found $bundle_count" >&2
+  exit 1
+fi
+./target/release/rispp-cli forensics \
+  --file "$(ls target/ci_flight/bundle-*.jsonl)" | sed 's/^/    /'
+
 echo "==> cargo bench --no-run --workspace"
 cargo bench --no-run --workspace
 
